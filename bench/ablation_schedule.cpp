@@ -1,0 +1,94 @@
+// R-A2 (ablation): fine-grain row-major pipeline vs CUDAlign-style
+// external-diagonal barriers.
+//
+// The row-major schedule ships border chunk i the moment block row i is
+// done, so a downstream device lags by one block row; the diagonal
+// schedule only completes chunk i with diagonal i + nbc - 1, delaying the
+// pipeline. Real execution measures the stall difference directly.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgpusw;
+  base::FlagSet flags = bench::standard_flags(
+      "R-A2: block schedule ablation (real execution)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::print_header(
+      "R-A2  Schedule ablation: fine-grain rows vs diagonal barriers",
+      "fine-grain pipelining is what makes the multi-GPU wavefront "
+      "efficient: downstream devices start almost immediately");
+
+  const seq::ChromosomePair pair = seq::paper_chromosome_pairs()[2];
+
+  base::TextTable table({"schedule", "devices", "score ok", "time",
+                         "total recv stall", "total send stall"});
+  for (const core::Schedule schedule :
+       {core::Schedule::kRowMajor, core::Schedule::kDiagonal}) {
+    for (const int devices : {2, 3}) {
+      core::EngineConfig config;
+      config.block_rows = 32;
+      config.block_cols = 32;
+      config.buffer_capacity = 8;
+      config.schedule = schedule;
+      const bench::RealRun run =
+          bench::run_real(pair, flags.get_int("scale"), devices, config);
+      std::int64_t recv = 0;
+      std::int64_t send = 0;
+      for (const auto& stats : run.engine.devices) {
+        recv += stats.recv_stall_ns;
+        send += stats.send_stall_ns;
+      }
+      table.add_row({
+          schedule == core::Schedule::kRowMajor ? "row-major (fine)"
+                                                : "diagonal (barrier)",
+          std::to_string(devices),
+          run.matches() ? "yes" : "NO",
+          base::human_duration(run.engine.wall_seconds),
+          base::human_duration(static_cast<double>(recv) * 1e-9),
+          base::human_duration(static_cast<double>(send) * 1e-9),
+      });
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  // Model mode at paper scale: the same two schedules on the full chr21
+  // matrix with the env-1 GPUs — this is where the fine-grain design's
+  // advantage becomes visible in GCUPS, not just in stall counters.
+  std::printf("\nModel mode (chr21 at paper scale, env-1 GPUs):\n");
+  base::TextTable model({"schedule", "GCUPS", "makespan",
+                         "max recv wait"});
+  for (const sim::SimSchedule schedule :
+       {sim::SimSchedule::kRowMajor, sim::SimSchedule::kDiagonalBarrier}) {
+    sim::SimConfig config;
+    config.rows = pair.human_length;
+    config.cols = pair.chimp_length;
+    config.block_rows = flags.get_int("block_rows");
+    config.block_cols = flags.get_int("block_cols");
+    config.buffer_capacity = flags.get_int("buffer");
+    config.devices = vgpu::environment1();
+    config.schedule = schedule;
+    const sim::SimResult result = sim::simulate_pipeline(config);
+    base::SimTime recv = 0;
+    for (const auto& device : result.devices) {
+      recv = std::max(recv, device.recv_wait_ns);
+    }
+    model.add_row({schedule == sim::SimSchedule::kRowMajor
+                       ? "row-major (fine)"
+                       : "diagonal (barrier)",
+                   bench::gcups_str(result.gcups()),
+                   base::human_duration(result.seconds()),
+                   base::human_duration(static_cast<double>(recv) * 1e-9)});
+  }
+  std::fputs(model.str().c_str(), stdout);
+
+  bench::print_shape_check({
+      "both schedules produce the exact serial score",
+      "the diagonal schedule accumulates more receive stall (chunks ship "
+      "a whole anti-diagonal later)",
+      "on real multi-core hardware the diagonal schedule would buy "
+      "intra-device parallelism in exchange; on one core it cannot",
+  });
+  return 0;
+}

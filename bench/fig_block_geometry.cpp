@@ -1,0 +1,65 @@
+// R-F4: block geometry sensitivity.
+//
+// Block height fixes the border-chunk granularity (communication), block
+// width fixes how many columns a device sweeps per row (pipeline lag).
+// Model mode sweeps block_rows at paper scale; real mode sweeps the
+// kernel tile size on this host (cache effects).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgpusw;
+  base::FlagSet flags = bench::standard_flags(
+      "R-F4: block geometry sweep");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::print_header(
+      "R-F4  Block geometry sensitivity (chr21, env-1 GPUs)",
+      "a wide plateau of good block sizes; extremes lose to latency "
+      "(tiny chunks) or pipeline lag (huge chunks)");
+
+  const seq::ChromosomePair pair = seq::paper_chromosome_pairs()[2];
+  const auto env = vgpu::environment1();
+
+  base::TextTable table({"block_rows", "chunks", "chunk payload", "GCUPS"});
+  for (const std::int64_t block_rows :
+       {64L, 128L, 256L, 512L, 2048L, 8192L, 65536L, 1048576L}) {
+    const sim::SimResult result = bench::simulate_pair(
+        pair, env, block_rows, flags.get_int("block_cols"),
+        flags.get_int("buffer"));
+    const std::int64_t chunks =
+        (pair.human_length + block_rows - 1) / block_rows;
+    table.add_row({base::with_thousands(block_rows),
+                   base::with_thousands(chunks),
+                   base::human_bytes(block_rows * comm::kBorderCellBytes),
+                   bench::gcups_str(result.gcups())});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  if (flags.get_bool("real")) {
+    std::printf("\nReal-mode kernel tile sweep (scaled chr21, 1 device, "
+                "host cache effects):\n");
+    base::TextTable real({"tile", "host GCUPS", "score ok"});
+    for (const std::int64_t tile : {16L, 64L, 256L, 1024L}) {
+      core::EngineConfig config;
+      config.block_rows = tile;
+      config.block_cols = tile;
+      const bench::RealRun run =
+          bench::run_real(pair, flags.get_int("scale"), 1, config);
+      real.add_row({std::to_string(tile),
+                    base::format_double(run.engine.gcups(), 3),
+                    run.matches() ? "yes" : "NO"});
+    }
+    std::fputs(real.str().c_str(), stdout);
+  }
+
+  bench::print_shape_check({
+      "moderate block heights (hundreds to thousands of rows) sit on a "
+      "GCUPS plateau",
+      "very large blocks lengthen the inter-device lag (chunk ships only "
+      "per block row) and cost GCUPS",
+      "very small blocks pay per-chunk latency",
+  });
+  return 0;
+}

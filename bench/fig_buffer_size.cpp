@@ -1,0 +1,109 @@
+// R-F2: impact of the circular buffer capacity on GCUPS.
+//
+// The paper's circular buffer hides communication: a sufficiently large
+// buffer lets producers run ahead while borders are in flight; a tiny
+// buffer couples the devices tightly and exposes transfer latency.
+// Model mode sweeps the capacity at paper scale; real mode measures the
+// actual producer/consumer stall times on this host.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgpusw;
+  base::FlagSet flags = bench::standard_flags(
+      "R-F2: GCUPS vs circular buffer capacity");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::print_header(
+      "R-F2  Circular buffer capacity vs GCUPS (chr21, env-1 GPUs)",
+      "communication overhead is hidden once the buffer is a few chunks "
+      "deep");
+
+  const seq::ChromosomePair pair = seq::paper_chromosome_pairs()[2];
+  const auto env = vgpu::environment1();
+
+  base::TextTable table({"capacity (chunks)", "GCUPS", "vs max",
+                         "max recv wait", "max send wait"});
+  // First find the asymptote with a generous buffer.
+  const double relaxed =
+      bench::simulate_pair(pair, env, flags.get_int("block_rows"),
+                           flags.get_int("block_cols"), 1024)
+          .gcups();
+  for (const std::int64_t capacity : {1, 2, 4, 8, 16, 32, 64, 256}) {
+    const sim::SimResult result = bench::simulate_pair(
+        pair, env, flags.get_int("block_rows"), flags.get_int("block_cols"),
+        capacity);
+    base::SimTime recv = 0;
+    base::SimTime send = 0;
+    for (const auto& device : result.devices) {
+      recv = std::max(recv, device.recv_wait_ns);
+      send = std::max(send, device.send_wait_ns);
+    }
+    table.add_row({std::to_string(capacity),
+                   bench::gcups_str(result.gcups()),
+                   base::format_double(result.gcups() / relaxed * 100.0, 1) +
+                       "%",
+                   base::human_duration(static_cast<double>(recv) * 1e-9),
+                   base::human_duration(static_cast<double>(send) * 1e-9)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  // Stress variant: a deliberately high-latency interconnect with small
+  // chunks. At chromosome scale with PCIe the buffer always hides the
+  // transfers (the flat curve above — the paper's claim); this variant
+  // shows what the circular buffer protects against when transfer
+  // latency becomes comparable to a chunk's compute time (e.g. multiple
+  // hosts on a slow network).
+  std::printf("\nStress variant: 50 ms interconnect latency, 64-row "
+              "chunks:\n");
+  std::vector<vgpu::DeviceSpec> slow_net = env;
+  for (auto& spec : slow_net) spec.pcie_latency_us = 50'000.0;
+  base::TextTable stress({"capacity (chunks)", "GCUPS", "vs deep buffer"});
+  const double stress_relaxed =
+      bench::simulate_pair(pair, slow_net, 64, flags.get_int("block_cols"),
+                           1024)
+          .gcups();
+  for (const std::int64_t capacity : {1, 2, 4, 8, 16, 64}) {
+    const sim::SimResult result = bench::simulate_pair(
+        pair, slow_net, 64, flags.get_int("block_cols"), capacity);
+    stress.add_row({std::to_string(capacity),
+                    bench::gcups_str(result.gcups()),
+                    base::format_double(
+                        result.gcups() / stress_relaxed * 100.0, 1) +
+                        "%"});
+  }
+  std::fputs(stress.str().c_str(), stdout);
+
+  if (flags.get_bool("real")) {
+    std::printf(
+        "\nReal-mode stall measurement (scaled chr21, 3 devices):\n");
+    base::TextTable real({"capacity", "score ok", "recv stall", "send stall"});
+    for (const std::int64_t capacity : {1, 4, 32}) {
+      core::EngineConfig config;
+      config.block_rows = 64;
+      config.block_cols = 64;
+      config.buffer_capacity = capacity;
+      const bench::RealRun run = bench::run_real(
+          pair, flags.get_int("scale"), 3, config);
+      std::int64_t recv = 0;
+      std::int64_t send = 0;
+      for (const auto& device : run.engine.devices) {
+        recv = std::max(recv, device.recv_stall_ns);
+        send = std::max(send, device.send_stall_ns);
+      }
+      real.add_row({std::to_string(capacity),
+                    run.matches() ? "yes" : "NO",
+                    base::human_duration(static_cast<double>(recv) * 1e-9),
+                    base::human_duration(static_cast<double>(send) * 1e-9)});
+    }
+    std::fputs(real.str().c_str(), stdout);
+  }
+
+  bench::print_shape_check({
+      "GCUPS is lowest at capacity 1 and saturates after a few chunks",
+      "send-side waiting vanishes as the buffer grows",
+      "scores stay exact at every capacity (back-pressure never corrupts)",
+  });
+  return 0;
+}

@@ -1,0 +1,74 @@
+// R-F6: why *megabase*? GCUPS vs sequence length.
+//
+// The paper's title promises megabase comparisons; this figure shows the
+// reason. Short sequences cannot saturate a GPU's wavefront (ramp-up),
+// give each device only a narrow slice, and cannot amortise the pipeline
+// fill — so multi-GPU only pays off beyond a crossover length. Model
+// mode, square matrices, env-1 devices.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgpusw;
+  base::FlagSet flags = bench::standard_flags(
+      "R-F6: GCUPS vs sequence length; multi- vs single-GPU crossover");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::print_header(
+      "R-F6  Sequence length sensitivity (env-1 GPUs, square matrices)",
+      "multi-GPU wins only beyond a crossover length; megabase inputs "
+      "are needed to approach peak GCUPS");
+
+  const auto env = vgpu::environment1();
+
+  base::TextTable table({"length", "1 GPU (680)", "3 GPUs", "ratio"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const std::int64_t length :
+       {16'384L, 65'536L, 262'144L, 1'048'576L, 4'194'304L, 16'777'216L,
+        47'000'000L}) {
+    sim::SimConfig multi;
+    multi.rows = multi.cols = length;
+    multi.block_rows = flags.get_int("block_rows");
+    multi.block_cols = flags.get_int("block_cols");
+    multi.buffer_capacity = flags.get_int("buffer");
+    multi.devices = env;
+
+    sim::SimConfig solo = multi;
+    solo.devices = {vgpu::gtx_680()};
+    solo.weights.clear();
+
+    const double three = sim::simulate_pipeline(multi).gcups();
+    const double one = sim::simulate_pipeline(solo).gcups();
+    table.add_row({base::human_bp(length), bench::gcups_str(one),
+                   bench::gcups_str(three),
+                   base::format_double(three / one, 2) + "x"});
+    csv_rows.push_back({std::to_string(length),
+                        base::format_double(one, 4),
+                        base::format_double(three, 4)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  bench::maybe_write_csv(flags.get_string("csv"),
+                         {"length", "gcups_1gpu", "gcups_3gpu"}, csv_rows);
+
+  sim::SimConfig config;
+  config.block_rows = flags.get_int("block_rows");
+  config.block_cols = flags.get_int("block_cols");
+  config.buffer_capacity = flags.get_int("buffer");
+  config.devices = env;
+  const std::int64_t break_even = sim::find_crossover_length(config, 1.0);
+  const std::int64_t double_up = sim::find_crossover_length(config, 2.0);
+  std::printf("\ncrossover: 3 heterogeneous GPUs beat the single fastest "
+              "GPU from %s; 2x faster from %s\n",
+              base::human_bp(break_even).c_str(),
+              base::human_bp(double_up).c_str());
+
+  bench::print_shape_check({
+      "GCUPS rises with length and saturates near the aggregate rate "
+      "only for megabase inputs",
+      "below the crossover length a single fast GPU wins (slice "
+      "narrowing + pipeline fill dominate)",
+      "the paper's chromosome-scale inputs sit far above the crossover",
+  });
+  return 0;
+}

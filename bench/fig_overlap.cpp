@@ -1,0 +1,106 @@
+// R-F5: communication/computation overlap.
+//
+// Per-device time breakdown (busy vs waiting for borders vs blocked on a
+// full buffer) at paper scale, demonstrating that the circular buffer
+// hides transfers: with a reasonable buffer, devices are busy almost all
+// the time; the only irreducible wait is the pipeline fill of downstream
+// devices.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgpusw;
+  base::FlagSet flags = bench::standard_flags(
+      "R-F5: per-device busy/wait breakdown");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::print_header(
+      "R-F5  Communication overlap: per-device time breakdown (chr21)",
+      "devices spend >95% of the makespan computing; border waits are "
+      "hidden by the circular buffer");
+
+  const seq::ChromosomePair pair = seq::paper_chromosome_pairs()[2];
+  const auto env = vgpu::environment1();
+
+  for (const std::int64_t capacity : {1, 64}) {
+    const sim::SimResult result = bench::simulate_pair(
+        pair, env, flags.get_int("block_rows"), flags.get_int("block_cols"),
+        capacity);
+    std::printf("buffer capacity = %lld chunks, makespan %s, %.2f GCUPS\n",
+                static_cast<long long>(capacity),
+                base::human_duration(result.seconds()).c_str(),
+                result.gcups());
+    base::TextTable table({"device", "slice cols", "busy", "recv wait",
+                           "send wait", "busy share"});
+    for (const auto& device : result.devices) {
+      table.add_row({
+          device.device_name,
+          base::with_thousands(device.slice.cols),
+          base::human_duration(static_cast<double>(device.busy_ns) * 1e-9),
+          base::human_duration(static_cast<double>(device.recv_wait_ns) *
+                               1e-9),
+          base::human_duration(static_cast<double>(device.send_wait_ns) *
+                               1e-9),
+          base::format_double(static_cast<double>(device.busy_ns) /
+                                  static_cast<double>(result.makespan_ns) *
+                                  100.0,
+                              1) +
+              "%",
+      });
+    }
+    std::fputs(table.str().c_str(), stdout);
+
+    // Text Gantt: each device's active span within the makespan ('#'
+    // busy span, '.' before start). With fine-grain chunks all bars
+    // nearly fill the makespan — the visual form of "communication is
+    // hidden".
+    constexpr int kBarWidth = 60;
+    for (const auto& device : result.devices) {
+      const int start = static_cast<int>(
+          device.start_ns * kBarWidth / result.makespan_ns);
+      const int finish = static_cast<int>(
+          device.finish_ns * kBarWidth / result.makespan_ns);
+      std::string bar(static_cast<std::size_t>(kBarWidth), ' ');
+      for (int k = 0; k < kBarWidth; ++k) {
+        bar[static_cast<std::size_t>(k)] =
+            k < start ? '.' : (k < finish ? '#' : ' ');
+      }
+      std::printf("  %-12s |%s|\n", device.device_name.c_str(),
+                  bar.c_str());
+    }
+    std::printf("\n");
+  }
+
+  if (flags.get_bool("real")) {
+    std::printf("Real-mode breakdown (scaled chr21, 3 devices, host "
+                "threads time-share one core):\n");
+    core::EngineConfig config;
+    config.block_rows = 64;
+    config.block_cols = 64;
+    const bench::RealRun run =
+        bench::run_real(pair, flags.get_int("scale"), 3, config);
+    base::TextTable real({"device", "cells", "busy", "recv stall",
+                          "send stall"});
+    for (const auto& device : run.engine.devices) {
+      real.add_row({device.device_name, base::with_thousands(device.cells),
+                    base::human_duration(
+                        static_cast<double>(device.busy_ns) * 1e-9),
+                    base::human_duration(
+                        static_cast<double>(device.recv_stall_ns) * 1e-9),
+                    base::human_duration(
+                        static_cast<double>(device.send_stall_ns) * 1e-9)});
+    }
+    std::fputs(real.str().c_str(), stdout);
+    std::printf("score cross-check: %s\n",
+                run.matches() ? "exact" : "MISMATCH");
+  }
+
+  bench::print_shape_check({
+      "with a deep buffer every device is busy >95% of the makespan",
+      "with capacity 1 upstream devices accumulate send waits "
+      "(back-pressure) and GCUPS drops",
+      "downstream devices accumulate recv waits only during pipeline fill",
+  });
+  return 0;
+}

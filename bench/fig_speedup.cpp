@@ -1,0 +1,78 @@
+// R-F1: speedup and efficiency vs number of GPUs, homogeneous and
+// heterogeneous, at paper scale (model mode) on chr21.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgpusw;
+  base::FlagSet flags = bench::standard_flags(
+      "R-F1: speedup/efficiency vs device count");
+  flags.add_int("max_devices", 8, "largest device count in the sweep");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::print_header(
+      "R-F1  Speedup and efficiency vs number of GPUs (chr21)",
+      "near-linear scaling; heterogeneous mixes scale by aggregate speed");
+
+  const seq::ChromosomePair pair = seq::paper_chromosome_pairs()[2];
+  const auto max_devices = static_cast<int>(flags.get_int("max_devices"));
+
+  // Homogeneous sweep: N x Tesla M2090.
+  base::TextTable homo({"M2090 GPUs", "GCUPS", "speedup", "efficiency"});
+  std::vector<std::vector<std::string>> csv_rows;
+  double base_gcups = 0.0;
+  for (int count = 1; count <= max_devices; ++count) {
+    const std::vector<vgpu::DeviceSpec> devices(
+        static_cast<std::size_t>(count), vgpu::tesla_m2090());
+    const sim::SimResult result = bench::simulate_pair(
+        pair, devices, flags.get_int("block_rows"),
+        flags.get_int("block_cols"), flags.get_int("buffer"));
+    if (count == 1) base_gcups = result.gcups();
+    csv_rows.push_back({std::to_string(count),
+                        base::format_double(result.gcups(), 4)});
+    homo.add_row({std::to_string(count), bench::gcups_str(result.gcups()),
+                  base::format_double(result.gcups() / base_gcups, 2) + "x",
+                  base::format_double(
+                      result.gcups() / base_gcups / count * 100.0, 1) +
+                      "%"});
+  }
+  std::printf("Homogeneous (Tesla M2090):\n%s\n", homo.str().c_str());
+
+  // Heterogeneous: growing prefix of environment 1 then repeats.
+  base::TextTable hetero({"devices", "mix", "GCUPS", "aggregate",
+                          "efficiency"});
+  const auto env = vgpu::environment1();
+  std::vector<vgpu::DeviceSpec> mix;
+  for (int count = 1; count <= max_devices; ++count) {
+    mix.push_back(env[static_cast<std::size_t>((count - 1) % 3)]);
+    const sim::SimResult result = bench::simulate_pair(
+        pair, mix, flags.get_int("block_rows"), flags.get_int("block_cols"),
+        flags.get_int("buffer"));
+    const double aggregate = sim::aggregate_gcups(mix);
+    std::string names;
+    for (const auto& spec : mix) {
+      if (!names.empty()) names += "+";
+      names += spec.name.substr(spec.name.rfind(' ') + 1);
+    }
+    hetero.add_row({std::to_string(count), names,
+                    bench::gcups_str(result.gcups()),
+                    bench::gcups_str(aggregate),
+                    base::format_double(result.gcups() / aggregate * 100.0,
+                                        1) +
+                        "%"});
+  }
+  std::printf("Heterogeneous (cycling env-1 cards):\n%s\n",
+              hetero.str().c_str());
+  bench::maybe_write_csv(flags.get_string("csv"),
+                         {"devices", "gcups_m2090"}, csv_rows);
+
+  bench::print_shape_check({
+      "homogeneous efficiency stays above ~90% through the sweep",
+      "heterogeneous GCUPS tracks the aggregate profile rate, not the "
+      "device count",
+      "efficiency decays gently as device count grows (deeper pipeline "
+      "fill, narrower slices)",
+  });
+  return 0;
+}

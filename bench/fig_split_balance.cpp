@@ -1,0 +1,79 @@
+// R-F3: static load balancing for heterogeneous GPUs.
+//
+// The paper sizes slices proportionally to device speed. This harness
+// sweeps the split ratio for a two-GPU heterogeneous pair and shows the
+// optimum sits at the speed-proportional point; it also compares
+// equal-vs-proportional splits for the full 3-GPU environment.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgpusw;
+  base::FlagSet flags = bench::standard_flags(
+      "R-F3: split ratio sweep for heterogeneous devices");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::print_header(
+      "R-F3  Static split balance (GTX 560 Ti + GTX 680, chr21)",
+      "speed-proportional slices are optimal; equal slices waste the fast "
+      "GPU");
+
+  const seq::ChromosomePair pair = seq::paper_chromosome_pairs()[2];
+  const std::vector<vgpu::DeviceSpec> duo = {vgpu::gtx_560_ti(),
+                                             vgpu::gtx_680()};
+  const double proportional =
+      duo[0].sw_gcups / (duo[0].sw_gcups + duo[1].sw_gcups);
+
+  base::TextTable table({"slow-GPU share", "GCUPS", "note"});
+  std::vector<std::vector<std::string>> csv_rows;
+  double best_gcups = 0.0;
+  double best_share = 0.0;
+  for (int percent = 10; percent <= 90; percent += 10) {
+    const double share = percent / 100.0;
+    const sim::SimResult result = bench::simulate_pair(
+        pair, duo, flags.get_int("block_rows"), flags.get_int("block_cols"),
+        flags.get_int("buffer"), {share, 1.0 - share});
+    csv_rows.push_back({std::to_string(percent),
+                        base::format_double(result.gcups(), 4)});
+    if (result.gcups() > best_gcups) {
+      best_gcups = result.gcups();
+      best_share = share;
+    }
+    std::string note;
+    if (percent == 50) note = "equal split";
+    if (std::abs(share - proportional) < 0.05) {
+      note = "~speed-proportional";
+    }
+    table.add_row({std::to_string(percent) + "%",
+                   bench::gcups_str(result.gcups()), note});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  bench::maybe_write_csv(flags.get_string("csv"),
+                         {"slow_share_percent", "gcups"}, csv_rows);
+  std::printf("\nbest observed share: %.0f%%  (speed-proportional: %.0f%%)\n",
+              best_share * 100.0, proportional * 100.0);
+
+  // Equal vs proportional on the full environment 1.
+  const auto env = vgpu::environment1();
+  const sim::SimResult equal = bench::simulate_pair(
+      pair, env, flags.get_int("block_rows"), flags.get_int("block_cols"),
+      flags.get_int("buffer"), {1.0, 1.0, 1.0});
+  const sim::SimResult prop = bench::simulate_pair(
+      pair, env, flags.get_int("block_rows"), flags.get_int("block_cols"),
+      flags.get_int("buffer"));
+  std::printf(
+      "\nenv-1 (3 GPUs): equal split %.2f GCUPS vs proportional %.2f "
+      "GCUPS (%.1f%% gain)\n",
+      equal.gcups(), prop.gcups(),
+      (prop.gcups() / equal.gcups() - 1.0) * 100.0);
+
+  bench::print_shape_check({
+      "GCUPS peaks near the speed-proportional share (~36% for the slow "
+      "GPU)",
+      "the curve falls off on both sides of the optimum",
+      "proportional beats equal split on env-1 by roughly the speed "
+      "imbalance",
+  });
+  return 0;
+}

@@ -1,0 +1,155 @@
+// R-B2: microbenchmarks of the computational kernels (google-benchmark).
+//
+// Measures the raw cell-update rate of the block kernel across tile
+// sizes, the serial scan, banded scan, chunk serialization and channel
+// round-trips. These host rates are what the `toy_device` profiles and
+// the real-mode GCUPS numbers trace back to.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "base/rng.hpp"
+#include "comm/channel.hpp"
+#include "comm/serialize.hpp"
+#include "sw/banded.hpp"
+#include "sw/block.hpp"
+#include "sw/block_antidiag.hpp"
+#include "sw/block_strip.hpp"
+#include "sw/linear.hpp"
+#include "sw/myers_miller.hpp"
+
+namespace {
+
+using namespace mgpusw;
+
+std::vector<seq::Nt> random_bases(std::int64_t length, std::uint64_t seed) {
+  base::Rng rng(seed);
+  std::vector<seq::Nt> out(static_cast<std::size_t>(length));
+  for (auto& nt : out) nt = static_cast<seq::Nt>(rng.next_below(4));
+  return out;
+}
+
+template <int Kind>  // 0 = row scan, 1 = anti-diagonal, 2 = strip-mined
+void BM_BlockKernel(benchmark::State& state) {
+  const std::int64_t tile = state.range(0);
+  const auto query = random_bases(tile, 1);
+  const auto subject = random_bases(tile, 2);
+  std::vector<sw::Score> row_h(static_cast<std::size_t>(tile), 0);
+  std::vector<sw::Score> row_f(static_cast<std::size_t>(tile), sw::kNegInf);
+  std::vector<sw::Score> col_h(static_cast<std::size_t>(tile), 0);
+  std::vector<sw::Score> col_e(static_cast<std::size_t>(tile), sw::kNegInf);
+  const sw::ScoreScheme scheme;
+
+  for (auto _ : state) {
+    sw::BlockArgs args;
+    args.query = query.data();
+    args.subject = subject.data();
+    args.rows = tile;
+    args.cols = tile;
+    args.top_h = row_h.data();
+    args.top_f = row_f.data();
+    args.left_h = col_h.data();
+    args.left_e = col_e.data();
+    args.bottom_h = row_h.data();
+    args.bottom_f = row_f.data();
+    args.right_h = col_h.data();
+    args.right_e = col_e.data();
+    if constexpr (Kind == 1) {
+      benchmark::DoNotOptimize(sw::compute_block_antidiag(scheme, args));
+    } else if constexpr (Kind == 2) {
+      benchmark::DoNotOptimize(sw::compute_block_strip(scheme, args));
+    } else {
+      benchmark::DoNotOptimize(sw::compute_block(scheme, args));
+    }
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(tile) * static_cast<double>(tile) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BlockKernel<0>)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_BlockKernel<1>)->Arg(256)->Arg(1024);
+BENCHMARK(BM_BlockKernel<2>)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_LinearScan(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const seq::Sequence a("a", random_bases(n, 3));
+  const seq::Sequence b("b", random_bases(n, 4));
+  const sw::ScoreScheme scheme;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw::linear_score(scheme, a, b));
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(n) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LinearScan)->Arg(512)->Arg(2048);
+
+void BM_BandedScan(benchmark::State& state) {
+  const std::int64_t n = 4096;
+  const std::int64_t radius = state.range(0);
+  const seq::Sequence a("a", random_bases(n, 5));
+  const seq::Sequence b("b", random_bases(n, 6));
+  const sw::ScoreScheme scheme;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw::banded_score(scheme, a, b, radius));
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(2 * radius + 1) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BandedScan)->Arg(32)->Arg(256);
+
+void BM_MyersMillerGlobal(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const seq::Sequence a("a", random_bases(n, 7));
+  const seq::Sequence b("b", random_bases(n, 8));
+  const sw::ScoreScheme scheme;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw::global_align(scheme, a, b));
+  }
+}
+BENCHMARK(BM_MyersMillerGlobal)->Arg(256)->Arg(1024);
+
+void BM_ChunkSerialize(benchmark::State& state) {
+  comm::BorderChunk chunk;
+  chunk.h.assign(static_cast<std::size_t>(state.range(0)), 42);
+  chunk.e.assign(static_cast<std::size_t>(state.range(0)), -7);
+  for (auto _ : state) {
+    const auto frame = comm::serialize_chunk(chunk);
+    benchmark::DoNotOptimize(
+        comm::deserialize_chunk(frame.data(), frame.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              comm::frame_bytes(state.range(0))));
+}
+BENCHMARK(BM_ChunkSerialize)->Arg(512)->Arg(8192);
+
+void BM_RingChannelRoundTrip(benchmark::State& state) {
+  auto channel = comm::make_ring_channel(16);
+  comm::BorderChunk chunk;
+  chunk.h.assign(512, 1);
+  chunk.e.assign(512, 2);
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    while (true) {
+      auto received = channel.source->recv();
+      if (!received.has_value()) break;
+    }
+  });
+  for (auto _ : state) {
+    channel.sink->send(chunk);
+  }
+  channel.sink->close();
+  consumer.join();
+  stop = true;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingChannelRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// R-M1: the paper's motivation — what exact Smith-Waterman buys over a
+// fast heuristic.
+//
+// BLAST-style seed-and-extend runs in roughly linear time but cannot
+// cross indels (ungapped extensions) and only looks where seeds land;
+// exact SW over the full matrix — what the paper's multi-GPU engine
+// makes affordable at megabase scale — recovers the true optimum. This
+// bench measures both on the synthetic homolog pairs and reports the
+// score gap, real execution end to end.
+#include <cstdio>
+
+#include "base/time.hpp"
+#include "bench/bench_util.hpp"
+#include "sw/heuristic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgpusw;
+  base::FlagSet flags = bench::standard_flags(
+      "R-M1: exact Smith-Waterman vs seed-and-extend heuristic");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::print_header(
+      "R-M1  Motivation: exact SW vs BLAST-style heuristic (real runs)",
+      "heuristics are much faster but leave alignment score on the "
+      "table; exactness is the reason to build the multi-GPU engine");
+
+  base::TextTable table({"pair", "exact score", "exact time",
+                         "heuristic score", "heuristic time", "recovered"});
+  for (const seq::ChromosomePair& pair : seq::paper_chromosome_pairs()) {
+    const seq::HomologPair homologs = seq::make_homolog_pair(
+        seq::scaled_pair(pair, flags.get_int("scale")), 7);
+
+    base::WallTimer exact_timer;
+    const sw::ScoreResult exact = sw::linear_score(
+        sw::ScoreScheme{}, homologs.query, homologs.subject);
+    const double exact_seconds = exact_timer.elapsed_seconds();
+
+    base::WallTimer heuristic_timer;
+    sw::SeedExtendConfig config;
+    config.word = 14;
+    const sw::Extension heuristic = sw::seed_and_extend(
+        sw::ScoreScheme{}, homologs.query, homologs.subject, config);
+    const double heuristic_seconds = heuristic_timer.elapsed_seconds();
+
+    table.add_row({
+        pair.id,
+        std::to_string(exact.score),
+        base::human_duration(exact_seconds),
+        std::to_string(heuristic.score),
+        base::human_duration(heuristic_seconds),
+        base::format_double(100.0 * static_cast<double>(heuristic.score) /
+                                static_cast<double>(
+                                    std::max(exact.score, sw::Score{1})),
+                            1) + "%",
+    });
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  bench::print_shape_check({
+      "the heuristic runs orders of magnitude faster (linear vs "
+      "quadratic)",
+      "the heuristic recovers only a small fraction of the exact score "
+      "on indel-rich homologs (ungapped extensions stop at the first "
+      "gap)",
+      "this gap is the paper's reason to make exact SW fast instead of "
+      "settling for heuristics",
+  });
+  return 0;
+}

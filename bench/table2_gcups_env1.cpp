@@ -1,0 +1,87 @@
+// R-T2: GCUPS on Environment 1 (heterogeneous: GTX 560 Ti + GTX 580 +
+// GTX 680) for the four chromosome pairs and 1..3 GPUs.
+//
+// Model mode reproduces the paper-scale numbers (headline: up to 140.36
+// GCUPS with 3 heterogeneous GPUs); real mode executes a scaled-down
+// version of chr21 on virtual devices and cross-checks the score against
+// the serial oracle.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgpusw;
+  base::FlagSet flags = bench::standard_flags(
+      "R-T2: GCUPS per chromosome pair on the heterogeneous environment");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::print_header(
+      "R-T2  GCUPS on Environment 1 (GTX 560 Ti + GTX 580 + GTX 680)",
+      "up to 140.36 GCUPS with 3 heterogeneous GPUs");
+
+  const auto env = vgpu::environment1();
+  const std::int64_t block_rows = flags.get_int("block_rows");
+  const std::int64_t block_cols = flags.get_int("block_cols");
+  const std::int64_t buffer = flags.get_int("buffer");
+
+  base::TextTable table({"pair", "1 GPU (560Ti)", "2 GPUs (+580)",
+                         "3 GPUs (+680)", "time (3 GPUs)", "efficiency"});
+  double best_gcups = 0.0;
+  for (const seq::ChromosomePair& pair : seq::paper_chromosome_pairs()) {
+    std::vector<std::string> row{pair.id};
+    double three = 0.0;
+    double seconds = 0.0;
+    for (std::size_t count = 1; count <= env.size(); ++count) {
+      const std::vector<vgpu::DeviceSpec> devices(env.begin(),
+                                                  env.begin() + count);
+      const sim::SimResult result = bench::simulate_pair(
+          pair, devices, block_rows, block_cols, buffer);
+      row.push_back(bench::gcups_str(result.gcups()));
+      if (count == env.size()) {
+        three = result.gcups();
+        seconds = result.seconds();
+      }
+    }
+    best_gcups = std::max(best_gcups, three);
+    row.push_back(base::human_duration(seconds));
+    row.push_back(
+        base::format_double(three / sim::aggregate_gcups(env) * 100.0, 1) +
+        "%");
+    table.add_row(row);
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\npeak aggregate: %.2f GCUPS (paper headline: 140.36)\n",
+              best_gcups);
+
+  if (flags.get_bool("real")) {
+    std::printf("\nReal-mode cross-check (scaled chr21, every cell computed "
+                "on this host):\n");
+    core::EngineConfig config;
+    config.block_rows = 64;
+    config.block_cols = 64;
+    config.buffer_capacity = buffer;
+    base::TextTable real({"devices", "score", "oracle", "match",
+                          "host GCUPS"});
+    for (int count = 1; count <= 3; ++count) {
+      const bench::RealRun run = bench::run_real(
+          seq::paper_chromosome_pairs()[2], flags.get_int("scale"), count,
+          config);
+      real.add_row({std::to_string(count),
+                    std::to_string(run.engine.best.score),
+                    std::to_string(run.oracle.score),
+                    run.matches() ? "yes" : "NO",
+                    base::format_double(run.engine.gcups(), 3)});
+    }
+    std::fputs(real.str().c_str(), stdout);
+  }
+
+  bench::print_shape_check({
+      "GCUPS grows with every added GPU on every pair",
+      "3 heterogeneous GPUs approach the aggregate profile rate "
+      "(~140 GCUPS, efficiency > 90%)",
+      "larger chromosome pairs achieve slightly higher efficiency "
+      "(pipeline fill amortises)",
+      "real-mode scores equal the serial oracle for every device count",
+  });
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Error handling primitives for mgpu-sw.
+//
+// The library uses exceptions for unrecoverable misuse (bad arguments,
+// protocol violations) and MGPUSW_CHECK-style macros for internal
+// invariants. Hot loops never throw; all validation happens at API
+// boundaries before parallel execution starts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mgpusw {
+
+/// Base class for all mgpu-sw exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller passes arguments that violate a documented
+/// precondition (negative length, zero devices, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O failures (FASTA parsing, socket errors, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated; indicates a bug in the
+/// library itself rather than in calling code.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace mgpusw
+
+/// Internal invariant check. Active in all build types: the cost is
+/// negligible outside inner kernels, and kernels deliberately avoid it.
+#define MGPUSW_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::mgpusw::detail::check_failed("MGPUSW_CHECK", #expr, __FILE__,      \
+                                     __LINE__, "");                        \
+    }                                                                      \
+  } while (0)
+
+#define MGPUSW_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream mgpusw_os_;                                       \
+      mgpusw_os_ << msg;                                                   \
+      ::mgpusw::detail::check_failed("MGPUSW_CHECK", #expr, __FILE__,      \
+                                     __LINE__, mgpusw_os_.str());          \
+    }                                                                      \
+  } while (0)
+
+/// Precondition check at public API boundaries; throws InvalidArgument.
+#define MGPUSW_REQUIRE(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream mgpusw_os_;                                       \
+      mgpusw_os_ << "precondition (" << #expr << ") violated: " << msg;    \
+      throw ::mgpusw::InvalidArgument(mgpusw_os_.str());                   \
+    }                                                                      \
+  } while (0)

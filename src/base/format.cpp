@@ -1,0 +1,133 @@
+#include "base/format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace mgpusw::base {
+
+std::string with_thousands(std::int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string human_bytes(std::int64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (std::abs(value) >= 1024.0 && unit + 1 < std::size(units)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return std::to_string(bytes) + " B";
+  return format_double(value, 1) + " " + units[unit];
+}
+
+std::string human_bp(std::int64_t bases) {
+  if (bases >= 1'000'000) {
+    return format_double(static_cast<double>(bases) / 1e6, 2) + " Mbp";
+  }
+  if (bases >= 1'000) {
+    return format_double(static_cast<double>(bases) / 1e3, 2) + " Kbp";
+  }
+  return std::to_string(bases) + " bp";
+}
+
+std::string human_duration(double seconds) {
+  if (seconds < 0.001) {
+    return format_double(seconds * 1e6, 1) + " us";
+  }
+  if (seconds < 1.0) {
+    return format_double(seconds * 1e3, 1) + " ms";
+  }
+  if (seconds < 60.0) {
+    return format_double(seconds, 2) + " s";
+  }
+  const auto total = static_cast<std::int64_t>(seconds);
+  if (seconds < 3600.0) {
+    return std::to_string(total / 60) + "m" +
+           std::to_string(total % 60) + "s";
+  }
+  return std::to_string(total / 3600) + "h" +
+         std::to_string((total % 3600) / 60) + "m";
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MGPUSW_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MGPUSW_REQUIRE(row.size() == header_.size(),
+                 "row has " << row.size() << " cells, table has "
+                            << header_.size() << " columns");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  auto emit_separator = [&](std::ostringstream& os) {
+    os << "+";
+    for (const std::size_t width : widths) {
+      os << std::string(width + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_separator(os);
+  emit_row(os, header_);
+  emit_separator(os);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_separator(os);
+    } else {
+      emit_row(os, row);
+    }
+  }
+  emit_separator(os);
+  return os.str();
+}
+
+}  // namespace mgpusw::base

@@ -1,0 +1,45 @@
+// Text formatting helpers: human-readable units and an aligned text table
+// used by the benchmark harnesses to print paper-style tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mgpusw::base {
+
+/// "1234567" -> "1,234,567".
+[[nodiscard]] std::string with_thousands(std::int64_t value);
+
+/// Bytes with binary units: 1536 -> "1.5 KiB".
+[[nodiscard]] std::string human_bytes(std::int64_t bytes);
+
+/// Base-pair counts with metric units: 46944323 -> "46.94 Mbp".
+[[nodiscard]] std::string human_bp(std::int64_t bases);
+
+/// Fixed-precision double: format_double(3.14159, 2) -> "3.14".
+[[nodiscard]] std::string format_double(double value, int precision);
+
+/// Seconds rendered as "1h02m", "3m20s", "12.4s" or "85 ms".
+[[nodiscard]] std::string human_duration(double seconds);
+
+/// Column-aligned plain-text table. Rows are added as string vectors; the
+/// printer right-pads each column to its widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void add_separator();
+
+  /// Renders the table including header and separators.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+};
+
+}  // namespace mgpusw::base

@@ -1,0 +1,47 @@
+// Lightweight leveled logging.
+//
+// Logging is off by default in benchmarks (it would perturb timing) and
+// is controlled globally. Messages are written to stderr with a
+// monotonic timestamp so interleavings between device threads can be
+// reconstructed.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mgpusw::base {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted. Thread-safe.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one log line (thread-safe, single write call).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace mgpusw::base
+
+#define MGPUSW_LOG(level)                                              \
+  if (static_cast<int>(::mgpusw::base::log_level()) <=                 \
+      static_cast<int>(::mgpusw::base::LogLevel::level))               \
+  ::mgpusw::base::detail::LogLine(::mgpusw::base::LogLevel::level)

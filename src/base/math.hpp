@@ -1,0 +1,29 @@
+// Small integer math helpers used throughout the partitioning and
+// scheduling code.
+#pragma once
+
+#include <cstdint>
+
+#include "base/error.hpp"
+
+namespace mgpusw::base {
+
+/// ceil(a / b) for positive b.
+[[nodiscard]] constexpr std::int64_t div_ceil(std::int64_t a,
+                                              std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Smallest multiple of b that is >= a, for positive b.
+[[nodiscard]] constexpr std::int64_t round_up(std::int64_t a,
+                                              std::int64_t b) {
+  return div_ceil(a, b) * b;
+}
+
+/// Largest multiple of b that is <= a, for positive b.
+[[nodiscard]] constexpr std::int64_t round_down(std::int64_t a,
+                                                std::int64_t b) {
+  return (a / b) * b;
+}
+
+}  // namespace mgpusw::base

@@ -1,0 +1,60 @@
+// Wall-clock timing and a virtual clock used by the discrete-event
+// pipeline simulator (src/sim).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mgpusw::base {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in nanoseconds since construction or the last reset().
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Virtual time measured in nanoseconds. The simulator advances this
+/// explicitly; it never reads the machine clock, which keeps simulated
+/// results deterministic and host-speed independent.
+using SimTime = std::int64_t;
+
+constexpr SimTime kSimTimeNever = INT64_MAX;
+
+/// Converts a cell count and a processing rate in GCUPS (billions of cell
+/// updates per second) to virtual nanoseconds, rounding up so that zero-
+/// duration events cannot occur for non-empty work.
+[[nodiscard]] constexpr SimTime cells_to_ns(std::int64_t cells,
+                                            double gcups) {
+  if (cells <= 0) return 0;
+  const double ns = static_cast<double>(cells) / gcups;  // 1 GCUPS = 1 cell/ns
+  const auto rounded = static_cast<SimTime>(ns);
+  return rounded > 0 ? rounded : 1;
+}
+
+/// Converts a byte count and a bandwidth in GB/s to virtual nanoseconds.
+[[nodiscard]] constexpr SimTime bytes_to_ns(std::int64_t bytes,
+                                            double gbytes_per_s) {
+  if (bytes <= 0) return 0;
+  const double ns = static_cast<double>(bytes) / gbytes_per_s;
+  const auto rounded = static_cast<SimTime>(ns);
+  return rounded > 0 ? rounded : 1;
+}
+
+}  // namespace mgpusw::base

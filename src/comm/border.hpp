@@ -1,0 +1,44 @@
+// Border chunk: the unit of inter-device communication.
+//
+// Device d computes its slice's last column; the (H, E) values of that
+// column, grouped in chunks of `rows` consecutive matrix rows (one block
+// row per chunk by default), travel to device d+1 through a circular
+// buffer. This mirrors the paper's design: the column border carries H
+// and E because the horizontal-gap state E is what crosses a vertical
+// partition boundary, together with H for the open-gap and diagonal
+// terms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sw/scoring.hpp"
+
+namespace mgpusw::comm {
+
+struct BorderChunk {
+  std::int64_t sequence_number = 0;  // consecutive from 0 per channel
+  std::int64_t first_row = 0;        // global matrix row of h[0]
+  std::int64_t corner_h = 0;         // H(first_row-1, boundary col)
+  std::vector<sw::Score> h;          // H(first_row + k, boundary col)
+  std::vector<sw::Score> e;          // E(first_row + k, boundary col)
+
+  [[nodiscard]] std::int64_t rows() const {
+    return static_cast<std::int64_t>(h.size());
+  }
+
+  /// Payload size on the wire (excluding framing).
+  [[nodiscard]] std::int64_t payload_bytes() const {
+    return static_cast<std::int64_t>(3 * sizeof(std::int64_t) +
+                                     sizeof(std::int64_t) +
+                                     h.size() * sizeof(sw::Score) +
+                                     e.size() * sizeof(sw::Score));
+  }
+
+  bool operator==(const BorderChunk&) const = default;
+};
+
+/// Bytes one border cell occupies on the wire (H + E).
+constexpr std::int64_t kBorderCellBytes = 2 * sizeof(sw::Score);
+
+}  // namespace mgpusw::comm

@@ -1,0 +1,63 @@
+// Channel abstraction: how border chunks travel between devices.
+//
+// Implementations:
+//   * RingChannel  — in-process circular buffer (the common case: all
+//     virtual devices live in one process, as the paper's GPUs live in
+//     one host). Capacity gives the paper's circular-buffer back-pressure.
+//   * TcpChannel   — loopback TCP with the same framing, exercising real
+//     serialization (the paper's multi-host socket variant).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "comm/border.hpp"
+
+namespace mgpusw::comm {
+
+/// Aggregated channel statistics, for the overlap experiments.
+struct ChannelStats {
+  std::int64_t chunks_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t producer_stall_ns = 0;  // blocked because the buffer was full
+  std::int64_t consumer_stall_ns = 0;  // blocked because the buffer was empty
+};
+
+/// Producer endpoint. send() blocks while the circular buffer is full —
+/// that is the paper's flow-control mechanism, not an error condition.
+class BorderSink {
+ public:
+  virtual ~BorderSink() = default;
+  virtual void send(BorderChunk chunk) = 0;
+  /// Signals that no further chunks will be sent.
+  virtual void close() = 0;
+  [[nodiscard]] virtual ChannelStats stats() const = 0;
+};
+
+/// Consumer endpoint. recv() blocks while the buffer is empty and returns
+/// nullopt after the producer closed and all chunks were drained.
+class BorderSource {
+ public:
+  virtual ~BorderSource() = default;
+  [[nodiscard]] virtual std::optional<BorderChunk> recv() = 0;
+  [[nodiscard]] virtual ChannelStats stats() const = 0;
+};
+
+/// A connected producer/consumer pair.
+struct ChannelPair {
+  std::unique_ptr<BorderSink> sink;
+  std::unique_ptr<BorderSource> source;
+};
+
+/// Creates an in-process circular-buffer channel holding at most
+/// `capacity_chunks` chunks.
+[[nodiscard]] ChannelPair make_ring_channel(std::size_t capacity_chunks);
+
+/// Creates a loopback-TCP channel (socket pair over 127.0.0.1) whose
+/// sender still enforces `capacity_chunks` of application-level buffering
+/// (acknowledgement window), so the circular-buffer semantics match the
+/// in-process channel.
+[[nodiscard]] ChannelPair make_tcp_channel(std::size_t capacity_chunks);
+
+}  // namespace mgpusw::comm

@@ -1,0 +1,78 @@
+#include <atomic>
+#include <memory>
+
+#include "base/queue.hpp"
+#include "comm/channel.hpp"
+
+namespace mgpusw::comm {
+
+namespace {
+
+/// Shared state of an in-process channel.
+struct RingState {
+  explicit RingState(std::size_t capacity) : queue(capacity) {}
+  base::BoundedQueue<BorderChunk> queue;
+  std::atomic<std::int64_t> chunks_sent{0};
+  std::atomic<std::int64_t> bytes_sent{0};
+};
+
+class RingSink final : public BorderSink {
+ public:
+  explicit RingSink(std::shared_ptr<RingState> state)
+      : state_(std::move(state)) {}
+
+  void send(BorderChunk chunk) override {
+    const std::int64_t bytes = chunk.payload_bytes();
+    state_->queue.push(std::move(chunk));
+    state_->chunks_sent.fetch_add(1, std::memory_order_relaxed);
+    state_->bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  void close() override { state_->queue.close(); }
+
+  [[nodiscard]] ChannelStats stats() const override {
+    return ChannelStats{
+        state_->chunks_sent.load(std::memory_order_relaxed),
+        state_->bytes_sent.load(std::memory_order_relaxed),
+        state_->queue.producer_stall_ns(),
+        state_->queue.consumer_stall_ns(),
+    };
+  }
+
+ private:
+  std::shared_ptr<RingState> state_;
+};
+
+class RingSource final : public BorderSource {
+ public:
+  explicit RingSource(std::shared_ptr<RingState> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] std::optional<BorderChunk> recv() override {
+    return state_->queue.pop();
+  }
+
+  [[nodiscard]] ChannelStats stats() const override {
+    return ChannelStats{
+        state_->chunks_sent.load(std::memory_order_relaxed),
+        state_->bytes_sent.load(std::memory_order_relaxed),
+        state_->queue.producer_stall_ns(),
+        state_->queue.consumer_stall_ns(),
+    };
+  }
+
+ private:
+  std::shared_ptr<RingState> state_;
+};
+
+}  // namespace
+
+ChannelPair make_ring_channel(std::size_t capacity_chunks) {
+  auto state = std::make_shared<RingState>(capacity_chunks);
+  ChannelPair pair;
+  pair.sink = std::make_unique<RingSink>(state);
+  pair.source = std::make_unique<RingSource>(state);
+  return pair;
+}
+
+}  // namespace mgpusw::comm

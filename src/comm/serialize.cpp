@@ -1,0 +1,78 @@
+#include "comm/serialize.hpp"
+
+#include <cstring>
+
+#include "base/error.hpp"
+
+namespace mgpusw::comm {
+
+namespace {
+
+template <typename T>
+void append(std::vector<std::uint8_t>& out, T value) {
+  const std::size_t offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T read(const std::uint8_t*& cursor, const std::uint8_t* end) {
+  if (cursor + sizeof(T) > end) {
+    throw IoError("border frame truncated");
+  }
+  T value;
+  std::memcpy(&value, cursor, sizeof(T));
+  cursor += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_chunk(const BorderChunk& chunk) {
+  MGPUSW_CHECK(chunk.h.size() == chunk.e.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(frame_bytes(chunk.rows()));
+  append<std::uint64_t>(out, kBorderFrameMagic);
+  append<std::int64_t>(out, chunk.sequence_number);
+  append<std::int64_t>(out, chunk.first_row);
+  append<std::int64_t>(out, chunk.corner_h);
+  append<std::int64_t>(out, chunk.rows());
+  const std::size_t offset = out.size();
+  const std::size_t payload = chunk.h.size() * sizeof(sw::Score);
+  out.resize(offset + 2 * payload);
+  if (payload > 0) {
+    std::memcpy(out.data() + offset, chunk.h.data(), payload);
+    std::memcpy(out.data() + offset + payload, chunk.e.data(), payload);
+  }
+  return out;
+}
+
+BorderChunk deserialize_chunk(const std::uint8_t* data, std::size_t size) {
+  const std::uint8_t* cursor = data;
+  const std::uint8_t* end = data + size;
+  const auto magic = read<std::uint64_t>(cursor, end);
+  if (magic != kBorderFrameMagic) {
+    throw IoError("border frame has bad magic");
+  }
+  BorderChunk chunk;
+  chunk.sequence_number = read<std::int64_t>(cursor, end);
+  chunk.first_row = read<std::int64_t>(cursor, end);
+  chunk.corner_h = read<std::int64_t>(cursor, end);
+  const auto rows = read<std::int64_t>(cursor, end);
+  if (rows < 0 || rows > (1LL << 32)) {
+    throw IoError("border frame has invalid row count");
+  }
+  const std::size_t payload = static_cast<std::size_t>(rows) * sizeof(sw::Score);
+  if (cursor + 2 * payload != end) {
+    throw IoError("border frame payload size mismatch");
+  }
+  chunk.h.resize(static_cast<std::size_t>(rows));
+  chunk.e.resize(static_cast<std::size_t>(rows));
+  if (payload > 0) {
+    std::memcpy(chunk.h.data(), cursor, payload);
+    std::memcpy(chunk.e.data(), cursor + payload, payload);
+  }
+  return chunk;
+}
+
+}  // namespace mgpusw::comm

@@ -1,0 +1,38 @@
+// Wire format for border chunks (little-endian framing shared by the TCP
+// transport and any future file/MPI transports).
+//
+// Frame layout:
+//   u64 magic            'MGSWBRD1'
+//   i64 sequence_number
+//   i64 first_row
+//   i64 corner_h
+//   i64 rows
+//   i32 h[rows]
+//   i32 e[rows]
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/border.hpp"
+
+namespace mgpusw::comm {
+
+constexpr std::uint64_t kBorderFrameMagic = 0x3144524257534D47ULL;  // "GMSWRBD1"
+
+/// Serializes a chunk into a byte frame.
+[[nodiscard]] std::vector<std::uint8_t> serialize_chunk(
+    const BorderChunk& chunk);
+
+/// Parses a frame produced by serialize_chunk. Throws IoError on
+/// malformed input (bad magic, truncated payload, negative row count).
+[[nodiscard]] BorderChunk deserialize_chunk(const std::uint8_t* data,
+                                            std::size_t size);
+
+/// Frame size for a chunk with `rows` border cells.
+[[nodiscard]] constexpr std::size_t frame_bytes(std::int64_t rows) {
+  return 5 * sizeof(std::int64_t) +
+         2 * static_cast<std::size_t>(rows) * sizeof(sw::Score);
+}
+
+}  // namespace mgpusw::comm

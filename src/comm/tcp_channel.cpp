@@ -1,0 +1,234 @@
+// Loopback TCP transport.
+//
+// The paper's engine runs one process per GPU connected by sockets; this
+// transport reproduces that path. Chunks are framed (u32 length +
+// serialized payload) and the circular-buffer capacity is enforced as an
+// acknowledgement window: the sender blocks once `capacity` chunks are
+// unacknowledged, which gives the same back-pressure semantics as the
+// in-process ring buffer.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "base/error.hpp"
+#include "base/time.hpp"
+#include "comm/channel.hpp"
+#include "comm/serialize.hpp"
+
+namespace mgpusw::comm {
+
+namespace {
+
+constexpr std::uint32_t kCloseSentinel = 0xFFFFFFFFu;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const void* data, std::size_t size) {
+  const char* cursor = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t written = ::write(fd, cursor, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("tcp write");
+    }
+    cursor += written;
+    size -= static_cast<std::size_t>(written);
+  }
+}
+
+void read_all(int fd, void* data, std::size_t size) {
+  char* cursor = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t got = ::read(fd, cursor, size);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("tcp read");
+    }
+    if (got == 0) throw IoError("tcp peer closed unexpectedly");
+    cursor += got;
+    size -= static_cast<std::size_t>(got);
+  }
+}
+
+struct TcpState {
+  int producer_fd = -1;
+  int consumer_fd = -1;
+  std::size_t capacity = 0;
+  std::atomic<std::int64_t> chunks_sent{0};
+  std::atomic<std::int64_t> bytes_sent{0};
+  std::atomic<std::int64_t> producer_stall_ns{0};
+  std::atomic<std::int64_t> consumer_stall_ns{0};
+  std::atomic<std::int64_t> acks_seen{0};
+
+  ~TcpState() {
+    if (producer_fd >= 0) ::close(producer_fd);
+    if (consumer_fd >= 0) ::close(consumer_fd);
+  }
+
+  [[nodiscard]] ChannelStats stats() const {
+    return ChannelStats{
+        chunks_sent.load(std::memory_order_relaxed),
+        bytes_sent.load(std::memory_order_relaxed),
+        producer_stall_ns.load(std::memory_order_relaxed),
+        consumer_stall_ns.load(std::memory_order_relaxed),
+    };
+  }
+};
+
+class TcpSink final : public BorderSink {
+ public:
+  explicit TcpSink(std::shared_ptr<TcpState> state)
+      : state_(std::move(state)) {}
+
+  void send(BorderChunk chunk) override {
+    MGPUSW_CHECK(!closed_);
+    // Acknowledgement window: wait until fewer than `capacity` chunks are
+    // in flight. Each ack is one byte on the same duplex connection.
+    if (in_flight_ >= state_->capacity) {
+      base::WallTimer stall;
+      while (in_flight_ >= state_->capacity) {
+        std::uint8_t ack = 0;
+        read_all(state_->producer_fd, &ack, 1);
+        --in_flight_;
+        state_->acks_seen.fetch_add(1, std::memory_order_relaxed);
+      }
+      state_->producer_stall_ns.fetch_add(stall.elapsed_ns(),
+                                          std::memory_order_relaxed);
+    }
+    const std::vector<std::uint8_t> frame = serialize_chunk(chunk);
+    const auto length = static_cast<std::uint32_t>(frame.size());
+    write_all(state_->producer_fd, &length, sizeof(length));
+    write_all(state_->producer_fd, frame.data(), frame.size());
+    ++in_flight_;
+    state_->chunks_sent.fetch_add(1, std::memory_order_relaxed);
+    state_->bytes_sent.fetch_add(static_cast<std::int64_t>(frame.size()),
+                                 std::memory_order_relaxed);
+  }
+
+  void close() override {
+    if (closed_) return;
+    closed_ = true;
+    write_all(state_->producer_fd, &kCloseSentinel, sizeof(kCloseSentinel));
+    ::shutdown(state_->producer_fd, SHUT_WR);
+  }
+
+  [[nodiscard]] ChannelStats stats() const override {
+    return state_->stats();
+  }
+
+ private:
+  std::shared_ptr<TcpState> state_;
+  std::size_t in_flight_ = 0;
+  bool closed_ = false;
+};
+
+class TcpSource final : public BorderSource {
+ public:
+  explicit TcpSource(std::shared_ptr<TcpState> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] std::optional<BorderChunk> recv() override {
+    if (done_) return std::nullopt;
+    base::WallTimer stall;
+    std::uint32_t length = 0;
+    read_all(state_->consumer_fd, &length, sizeof(length));
+    state_->consumer_stall_ns.fetch_add(stall.elapsed_ns(),
+                                        std::memory_order_relaxed);
+    if (length == kCloseSentinel) {
+      done_ = true;
+      return std::nullopt;
+    }
+    buffer_.resize(length);
+    read_all(state_->consumer_fd, buffer_.data(), buffer_.size());
+    BorderChunk chunk = deserialize_chunk(buffer_.data(), buffer_.size());
+    // Acknowledge so the producer's window opens one slot.
+    const std::uint8_t ack = 1;
+    write_all(state_->consumer_fd, &ack, 1);
+    return chunk;
+  }
+
+  [[nodiscard]] ChannelStats stats() const override {
+    return state_->stats();
+  }
+
+ private:
+  std::shared_ptr<TcpState> state_;
+  std::vector<std::uint8_t> buffer_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+ChannelPair make_tcp_channel(std::size_t capacity_chunks) {
+  MGPUSW_REQUIRE(capacity_chunks > 0, "channel capacity must be positive");
+
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) throw_errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listener);
+    throw_errno("bind");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    ::close(listener);
+    throw_errno("getsockname");
+  }
+  if (::listen(listener, 1) < 0) {
+    ::close(listener);
+    throw_errno("listen");
+  }
+
+  const int producer = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (producer < 0) {
+    ::close(listener);
+    throw_errno("socket");
+  }
+  if (::connect(producer, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(listener);
+    ::close(producer);
+    throw_errno("connect");
+  }
+  const int consumer = ::accept(listener, nullptr, nullptr);
+  ::close(listener);
+  if (consumer < 0) {
+    ::close(producer);
+    throw_errno("accept");
+  }
+
+  // Border chunks are latency-sensitive (they gate the downstream
+  // device's wavefront); disable Nagle.
+  const int one = 1;
+  ::setsockopt(producer, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(consumer, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto state = std::make_shared<TcpState>();
+  state->producer_fd = producer;
+  state->consumer_fd = consumer;
+  state->capacity = capacity_chunks;
+
+  ChannelPair pair;
+  pair.sink = std::make_unique<TcpSink>(state);
+  pair.source = std::make_unique<TcpSource>(state);
+  return pair;
+}
+
+}  // namespace mgpusw::comm

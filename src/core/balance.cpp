@@ -1,0 +1,79 @@
+#include "core/balance.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "base/time.hpp"
+#include "sw/block.hpp"
+
+namespace mgpusw::core {
+
+std::vector<double> spec_weights(const std::vector<vgpu::Device*>& devices) {
+  std::vector<double> weights;
+  weights.reserve(devices.size());
+  for (const vgpu::Device* device : devices) {
+    MGPUSW_REQUIRE(device != nullptr, "device pointer is null");
+    weights.push_back(device->spec().sw_gcups / device->slowdown());
+  }
+  return weights;
+}
+
+std::vector<double> calibrate_weights(
+    const std::vector<vgpu::Device*>& devices, const sw::ScoreScheme& scheme,
+    std::int64_t sample_rows, std::int64_t sample_cols, std::uint64_t seed) {
+  MGPUSW_REQUIRE(sample_rows > 0 && sample_cols > 0,
+                 "sample dimensions must be positive");
+  scheme.validate();
+
+  base::Rng rng(seed);
+  std::vector<seq::Nt> query(static_cast<std::size_t>(sample_rows));
+  std::vector<seq::Nt> subject(static_cast<std::size_t>(sample_cols));
+  for (auto& base : query) base = static_cast<seq::Nt>(rng.next_below(4));
+  for (auto& base : subject) base = static_cast<seq::Nt>(rng.next_below(4));
+
+  std::vector<sw::Score> row_h(static_cast<std::size_t>(sample_cols));
+  std::vector<sw::Score> row_f(static_cast<std::size_t>(sample_cols));
+  std::vector<sw::Score> col_h(static_cast<std::size_t>(sample_rows));
+  std::vector<sw::Score> col_e(static_cast<std::size_t>(sample_rows));
+
+  std::vector<double> weights;
+  weights.reserve(devices.size());
+  for (vgpu::Device* device : devices) {
+    MGPUSW_REQUIRE(device != nullptr, "device pointer is null");
+    std::fill(row_h.begin(), row_h.end(), 0);
+    std::fill(row_f.begin(), row_f.end(), sw::kNegInf);
+    std::fill(col_h.begin(), col_h.end(), 0);
+    std::fill(col_e.begin(), col_e.end(), sw::kNegInf);
+
+    sw::BlockArgs args;
+    args.query = query.data();
+    args.subject = subject.data();
+    args.rows = sample_rows;
+    args.cols = sample_cols;
+    args.top_h = row_h.data();
+    args.top_f = row_f.data();
+    args.left_h = col_h.data();
+    args.left_e = col_e.data();
+    args.bottom_h = row_h.data();
+    args.bottom_f = row_f.data();
+    args.right_h = col_h.data();
+    args.right_e = col_e.data();
+
+    base::WallTimer timer;
+    device->execute([&] {
+      base::WallTimer kernel_timer;
+      (void)sw::compute_block(scheme, args);
+      device->account_kernel(kernel_timer.elapsed_ns(),
+                             sample_rows * sample_cols);
+    });
+    device->synchronize();
+    const double seconds = timer.elapsed_seconds();
+    const double cells =
+        static_cast<double>(sample_rows) * static_cast<double>(sample_cols);
+    weights.push_back(cells / seconds);
+  }
+  return weights;
+}
+
+}  // namespace mgpusw::core

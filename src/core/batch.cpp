@@ -1,0 +1,25 @@
+#include "core/batch.hpp"
+
+#include "base/error.hpp"
+
+namespace mgpusw::core {
+
+BatchResult run_batch(const EngineConfig& config,
+                      const std::vector<vgpu::Device*>& devices,
+                      const std::vector<BatchItem>& items) {
+  MGPUSW_REQUIRE(!items.empty(), "batch needs at least one item");
+  MultiDeviceEngine engine(config, devices);
+  BatchResult batch;
+  batch.items.reserve(items.size());
+  for (const BatchItem& item : items) {
+    BatchItemResult entry;
+    entry.label = item.label;
+    entry.result = engine.run(item.query, item.subject);
+    batch.total_seconds += entry.result.wall_seconds;
+    batch.total_cells += entry.result.matrix_cells;
+    batch.items.push_back(std::move(entry));
+  }
+  return batch;
+}
+
+}  // namespace mgpusw::core

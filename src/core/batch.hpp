@@ -1,0 +1,46 @@
+// Batch comparison runner.
+//
+// The paper's evaluation compares four chromosome pairs back to back on
+// one device set. This module runs a list of comparisons sequentially on
+// a shared device fleet (borders and channels are rebuilt per pair) and
+// aggregates the metrics the paper reports per pair.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace mgpusw::core {
+
+struct BatchItem {
+  std::string label;
+  seq::Sequence query;
+  seq::Sequence subject;
+};
+
+struct BatchItemResult {
+  std::string label;
+  EngineResult result;
+};
+
+struct BatchResult {
+  std::vector<BatchItemResult> items;
+  double total_seconds = 0.0;
+  std::int64_t total_cells = 0;
+
+  /// Aggregate GCUPS across the whole batch.
+  [[nodiscard]] double gcups() const {
+    if (total_seconds <= 0.0) return 0.0;
+    return static_cast<double>(total_cells) / total_seconds / 1e9;
+  }
+};
+
+/// Runs every item on the given devices with the given configuration.
+/// Items run one after another (each comparison already spans all
+/// devices, as in the paper).
+[[nodiscard]] BatchResult run_batch(const EngineConfig& config,
+                                    const std::vector<vgpu::Device*>& devices,
+                                    const std::vector<BatchItem>& items);
+
+}  // namespace mgpusw::core

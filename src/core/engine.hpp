@@ -1,0 +1,191 @@
+// The multi-device Smith-Waterman engine — the paper's contribution.
+//
+// One huge DP matrix is computed cooperatively by several (virtual) GPUs:
+//
+//   subject columns  ───────────────────────────────────────────►
+//   ┌──────────────┬──────────────────────┬─────────────────────┐
+//   │  device 0    │      device 1        │      device 2       │ query
+//   │  (slice ∝    │                      │                     │ rows
+//   │   speed_0)   │ ◄── border (H,E) ──  │ ◄── border (H,E) ── │   │
+//   └──────────────┴──────────────────────┴─────────────────────┘   ▼
+//
+// Each device sweeps its slice in block wavefront order (external block
+// diagonals, CUDAlign-style). When a block of the slice's last column
+// finishes, its (H, E) border cells are pushed into a bounded circular
+// buffer; the right-hand neighbour pops them to seed its first block
+// column. The buffer capacity bounds how far a device can run ahead —
+// the paper's mechanism for overlapping communication with computation.
+//
+// Execution is real: every matrix cell is computed with the Gotoh
+// recurrences by sw::compute_block on the devices' worker threads, and
+// the result provably equals the serial scan (see tests/core).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "core/partition.hpp"
+#include "core/special_rows.hpp"
+#include "seq/sequence.hpp"
+#include "sw/scoring.hpp"
+#include "vgpu/device.hpp"
+
+namespace mgpusw::core {
+
+/// How slice widths are chosen for heterogeneous devices.
+enum class BalanceMode {
+  kEqual,          // equal block-column counts (the naive baseline)
+  kSpecGcups,      // proportional to DeviceSpec::sw_gcups / slowdown
+  kCustomWeights,  // caller-provided weights
+};
+
+enum class Transport {
+  kInProcess,  // circular buffer in shared memory
+  kTcp,        // loopback TCP sockets with the same framing
+};
+
+/// How a device orders the blocks of its slice. Both orders respect the
+/// DP dependencies and produce identical results; they differ in
+/// pipeline behaviour:
+///   * kRowMajor (default) — fine-grain pipelining: the border chunk for
+///     block row i ships as soon as row i is done, so a downstream device
+///     lags its neighbour by one block row. This matches the paper's
+///     communication-hiding design. Within a device, blocks execute
+///     sequentially.
+///   * kDiagonal — CUDAlign-style external block diagonals with a barrier
+///     per diagonal; blocks within a diagonal are independent and run
+///     concurrently on the device's worker pool. Maximises intra-device
+///     parallelism but delays border chunks (chunk i completes only with
+///     diagonal i + nbc - 1), lengthening the pipeline fill/drain.
+/// The schedule ablation benchmark (bench/ablation_schedule) quantifies
+/// the difference.
+enum class Schedule {
+  kRowMajor,
+  kDiagonal,
+};
+
+/// Which block kernel computes the cells. Results are identical; the
+/// traversal differs (see sw/block_antidiag.hpp).
+enum class KernelKind {
+  kRowScan,     // row sweep, one row at a time (fastest on this host)
+  kAntiDiag,    // lockstep anti-diagonal sweep (the GPU traversal)
+  kStripMined,  // 4-row strips (less array traffic, longer F chain)
+};
+
+/// Progress notification, emitted by each device's driver thread after
+/// every completed scheduling unit (block row in kRowMajor, external
+/// diagonal in kDiagonal).
+struct ProgressEvent {
+  int device_index = 0;
+  std::int64_t completed_units = 0;
+  std::int64_t total_units = 0;
+  std::int64_t device_cells_done = 0;
+};
+
+struct EngineConfig {
+  sw::ScoreScheme scheme;
+  std::int64_t block_rows = 512;   // block height (query direction)
+  std::int64_t block_cols = 512;   // block width (subject direction)
+  std::int64_t buffer_capacity = 16;  // circular buffer size, in chunks
+  Transport transport = Transport::kInProcess;
+  Schedule schedule = Schedule::kRowMajor;
+  KernelKind kernel = KernelKind::kRowScan;
+  BalanceMode balance = BalanceMode::kSpecGcups;
+  std::vector<double> custom_weights;  // used when balance == kCustomWeights
+
+  /// Block pruning (extension, CUDAlign 2.1 technique): skip blocks whose
+  /// upper bound cannot beat the best score seen so far. Exact score,
+  /// possibly different co-optimal end position.
+  bool enable_pruning = false;
+
+  /// Save the H row every `special_row_interval` block rows into
+  /// `special_rows` (0 = off). Extension used by alignment retrieval.
+  std::int64_t special_row_interval = 0;
+  SpecialRowStore* special_rows = nullptr;
+
+  /// Also save the F (vertical gap) values with each special row, making
+  /// the rows usable as restart checkpoints (doubles their size) — the
+  /// incremental-execution feature of the CUDAlign lineage.
+  bool checkpoint_f = false;
+
+  /// Progress callback; called concurrently from device threads (must be
+  /// thread-safe). Null disables reporting.
+  std::function<void(const ProgressEvent&)> progress;
+};
+
+/// Per-device outcome of a run.
+struct DeviceRunStats {
+  std::string device_name;
+  ColumnRange slice;
+  std::int64_t blocks = 0;
+  std::int64_t pruned_blocks = 0;
+  std::int64_t cells = 0;          // actually computed (pruned excluded)
+  std::int64_t busy_ns = 0;        // kernel time incl. throttle penalty
+  std::int64_t recv_stall_ns = 0;  // waiting for upstream border chunks
+  std::int64_t send_stall_ns = 0;  // blocked on a full circular buffer
+  std::int64_t wall_ns = 0;        // device thread total
+  std::int64_t chunks_received = 0;
+  std::int64_t chunks_sent = 0;
+  std::int64_t bytes_sent = 0;
+};
+
+struct EngineResult {
+  sw::ScoreResult best;
+  std::int64_t matrix_cells = 0;  // rows * cols of the full matrix
+  std::int64_t computed_cells = 0;  // < matrix_cells when pruning fired
+  double wall_seconds = 0.0;
+  std::vector<DeviceRunStats> devices;
+
+  /// Billions of matrix cells per wall second — the paper's metric.
+  /// Pruned cells count as processed (they were resolved, just not
+  /// recomputed), matching how CUDAlign reports GCUPS.
+  [[nodiscard]] double gcups() const {
+    if (wall_seconds <= 0.0) return 0.0;
+    return static_cast<double>(matrix_cells) / wall_seconds / 1e9;
+  }
+};
+
+class MultiDeviceEngine {
+ public:
+  /// Devices are borrowed; they must outlive the engine.
+  MultiDeviceEngine(EngineConfig config,
+                    std::vector<vgpu::Device*> devices);
+
+  /// Computes the optimal local alignment score of query vs subject.
+  /// Thread-safe for distinct engines; one engine runs one comparison at
+  /// a time.
+  [[nodiscard]] EngineResult run(const seq::Sequence& query,
+                                 const seq::Sequence& subject);
+
+  /// Resumes an interrupted comparison from a checkpoint row previously
+  /// saved with checkpoint_f = true: recomputes only matrix rows
+  /// (checkpoint_row, end). The returned best covers the *resumed region
+  /// only*; combine it with the best recorded before the interruption
+  /// using sw::improves. checkpoint_row must lie on a block-row boundary
+  /// ((row + 1) % block_rows == 0) and the schedule must be kRowMajor.
+  [[nodiscard]] EngineResult resume(const seq::Sequence& query,
+                                    const seq::Sequence& subject,
+                                    const SpecialRowStore& checkpoints,
+                                    std::int64_t checkpoint_row);
+
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+  /// The column split the engine would use for `total_cols` columns
+  /// (exposed for tests and the split-balance experiment).
+  [[nodiscard]] std::vector<ColumnRange> plan_partition(
+      std::int64_t total_cols) const;
+
+ private:
+  struct ResumeSeed;
+  [[nodiscard]] EngineResult run_internal(const seq::Sequence& query,
+                                          const seq::Sequence& subject,
+                                          const ResumeSeed* seed);
+
+  EngineConfig config_;
+  std::vector<vgpu::Device*> devices_;
+};
+
+}  // namespace mgpusw::core

@@ -1,0 +1,64 @@
+#include "core/pipeline.hpp"
+
+#include "base/error.hpp"
+#include "base/time.hpp"
+#include "sw/linear.hpp"
+#include "sw/myers_miller.hpp"
+
+namespace mgpusw::core {
+
+AlignmentPipeline::AlignmentPipeline(EngineConfig config,
+                                     std::vector<vgpu::Device*> devices,
+                                     std::int64_t max_region_cells)
+    : engine_(config, std::move(devices)),
+      scheme_(config.scheme),
+      max_region_cells_(max_region_cells) {
+  MGPUSW_REQUIRE(max_region_cells > 0, "max_region_cells must be positive");
+}
+
+PipelineResult AlignmentPipeline::align(const seq::Sequence& query,
+                                        const seq::Sequence& subject) {
+  PipelineResult result;
+  result.stage1 = engine_.run(query, subject);
+  if (result.stage1.best.score == 0) {
+    result.start = sw::CellPos{-1, -1};
+    return result;  // empty alignment
+  }
+
+  // Stage 2 scans the rectangle above-left of the end cell; stage 3 the
+  // start..end region. Both are bounded by the same guard.
+  const sw::CellPos end = result.stage1.best.end;
+  const std::int64_t stage2_cells = (end.row + 1) * (end.col + 1);
+  MGPUSW_REQUIRE(stage2_cells <= max_region_cells_,
+                 "alignment region has "
+                     << stage2_cells << " cells, over the retrieval limit "
+                     << max_region_cells_
+                     << "; raise max_region_cells to proceed");
+
+  base::WallTimer stage2;
+  result.start = sw::find_alignment_start(scheme_, query, subject,
+                                          result.stage1.best);
+  result.stage2_seconds = stage2.elapsed_seconds();
+
+  base::WallTimer stage3;
+  const std::int64_t q_len = end.row - result.start.row + 1;
+  const std::int64_t s_len = end.col - result.start.col + 1;
+  sw::Alignment inner = sw::global_align(
+      scheme_, query.subsequence(result.start.row, q_len),
+      subject.subsequence(result.start.col, s_len));
+  result.stage3_seconds = stage3.elapsed_seconds();
+
+  result.alignment.query_begin = result.start.row;
+  result.alignment.query_end = end.row + 1;
+  result.alignment.subject_begin = result.start.col;
+  result.alignment.subject_end = end.col + 1;
+  result.alignment.ops = std::move(inner.ops);
+  result.alignment.score = inner.score;
+  MGPUSW_CHECK_MSG(result.alignment.score == result.stage1.best.score,
+                   "stage-3 score " << result.alignment.score
+                                    << " != stage-1 score "
+                                    << result.stage1.best.score);
+  return result;
+}
+
+}  // namespace mgpusw::core

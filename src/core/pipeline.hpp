@@ -1,0 +1,45 @@
+// Alignment retrieval pipeline — CUDAlign's stage structure on top of
+// the multi-device engine.
+//
+//   stage 1  multi-device engine      -> optimal score + end cell
+//   stage 2  anchored reverse scan    -> start cell
+//   stage 3  Myers-Miller (linear sp) -> full ops between start and end
+//
+// Stage 1 is the paper's contribution and runs distributed; stages 2-3
+// run serially over the bounded alignment region (in the full CUDAlign
+// system they are also GPU stages — out of this paper's scope, see
+// DESIGN.md §7).
+#pragma once
+
+#include "core/engine.hpp"
+#include "sw/alignment.hpp"
+
+namespace mgpusw::core {
+
+struct PipelineResult {
+  EngineResult stage1;
+  sw::CellPos start;            // stage 2 output
+  sw::Alignment alignment;      // stage 3 output (empty if score == 0)
+  double stage2_seconds = 0.0;
+  double stage3_seconds = 0.0;
+};
+
+class AlignmentPipeline {
+ public:
+  /// Devices are borrowed; they must outlive the pipeline.
+  AlignmentPipeline(EngineConfig config, std::vector<vgpu::Device*> devices,
+                    std::int64_t max_region_cells = 256'000'000);
+
+  /// Runs all three stages. Throws InvalidArgument when the aligned
+  /// region exceeds max_region_cells (stages 2-3 are quadratic in the
+  /// region size; raise the limit deliberately for big regions).
+  [[nodiscard]] PipelineResult align(const seq::Sequence& query,
+                                     const seq::Sequence& subject);
+
+ private:
+  MultiDeviceEngine engine_;
+  sw::ScoreScheme scheme_;
+  std::int64_t max_region_cells_;
+};
+
+}  // namespace mgpusw::core

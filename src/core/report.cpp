@@ -1,0 +1,89 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace mgpusw::core {
+
+namespace {
+
+/// Escapes the characters JSON strings cannot carry verbatim. Device
+/// names are ASCII in practice, but stay safe for user-provided labels.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const EngineResult& result) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"score\": " << result.best.score << ",\n";
+  os << "  \"end_row\": " << result.best.end.row << ",\n";
+  os << "  \"end_col\": " << result.best.end.col << ",\n";
+  os << "  \"matrix_cells\": " << result.matrix_cells << ",\n";
+  os << "  \"computed_cells\": " << result.computed_cells << ",\n";
+  os << "  \"wall_seconds\": " << result.wall_seconds << ",\n";
+  os << "  \"gcups\": " << result.gcups() << ",\n";
+  os << "  \"devices\": [\n";
+  for (std::size_t d = 0; d < result.devices.size(); ++d) {
+    const DeviceRunStats& stats = result.devices[d];
+    os << "    {\"name\": \"" << json_escape(stats.device_name) << "\", "
+       << "\"first_col\": " << stats.slice.first_col << ", "
+       << "\"cols\": " << stats.slice.cols << ", "
+       << "\"blocks\": " << stats.blocks << ", "
+       << "\"pruned_blocks\": " << stats.pruned_blocks << ", "
+       << "\"cells\": " << stats.cells << ", "
+       << "\"busy_ns\": " << stats.busy_ns << ", "
+       << "\"recv_stall_ns\": " << stats.recv_stall_ns << ", "
+       << "\"send_stall_ns\": " << stats.send_stall_ns << ", "
+       << "\"chunks_sent\": " << stats.chunks_sent << ", "
+       << "\"bytes_sent\": " << stats.bytes_sent << "}"
+       << (d + 1 < result.devices.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string to_json(const sim::SimResult& result) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"makespan_ns\": " << result.makespan_ns << ",\n";
+  os << "  \"total_cells\": " << result.total_cells << ",\n";
+  os << "  \"gcups\": " << result.gcups() << ",\n";
+  os << "  \"devices\": [\n";
+  for (std::size_t d = 0; d < result.devices.size(); ++d) {
+    const sim::SimDeviceStats& stats = result.devices[d];
+    os << "    {\"name\": \"" << json_escape(stats.device_name) << "\", "
+       << "\"first_col\": " << stats.slice.first_col << ", "
+       << "\"cols\": " << stats.slice.cols << ", "
+       << "\"cells\": " << stats.cells << ", "
+       << "\"busy_ns\": " << stats.busy_ns << ", "
+       << "\"recv_wait_ns\": " << stats.recv_wait_ns << ", "
+       << "\"send_wait_ns\": " << stats.send_wait_ns << ", "
+       << "\"start_ns\": " << stats.start_ns << ", "
+       << "\"finish_ns\": " << stats.finish_ns << "}"
+       << (d + 1 < result.devices.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace mgpusw::core

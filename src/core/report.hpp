@@ -1,0 +1,22 @@
+// Machine-readable run reports.
+//
+// Serializes engine and simulator results to JSON so external tooling
+// (plotting scripts, regression dashboards) can consume benchmark runs
+// without scraping tables. No external JSON dependency: the document
+// structure is flat and fully controlled here.
+#pragma once
+
+#include <string>
+
+#include "core/engine.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace mgpusw::core {
+
+/// EngineResult -> JSON object (pretty-printed, stable key order).
+[[nodiscard]] std::string to_json(const EngineResult& result);
+
+/// SimResult -> JSON object.
+[[nodiscard]] std::string to_json(const sim::SimResult& result);
+
+}  // namespace mgpusw::core

@@ -1,0 +1,189 @@
+#include "core/special_rows.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "base/error.hpp"
+
+namespace mgpusw::core {
+
+namespace {
+
+struct RecordHeader {
+  std::int64_t first_col;
+  std::int64_t count;
+  std::int64_t has_f;  // 1 when an F payload follows the H payload
+};
+
+}  // namespace
+
+SpecialRowStore::SpecialRowStore(std::string directory)
+    : directory_(std::move(directory)) {
+  MGPUSW_REQUIRE(!directory_.empty(), "spill directory must be non-empty");
+}
+
+std::string SpecialRowStore::row_path(std::int64_t row) const {
+  return directory_ + "/row_" + std::to_string(row) + ".srw";
+}
+
+void SpecialRowStore::append_to_disk(std::int64_t row,
+                                     std::int64_t first_col,
+                                     const std::vector<sw::Score>& h,
+                                     const std::vector<sw::Score>& f) {
+  std::ofstream out(row_path(row), std::ios::binary | std::ios::app);
+  if (!out) throw IoError("cannot open spill file " + row_path(row));
+  const RecordHeader header{first_col,
+                            static_cast<std::int64_t>(h.size()),
+                            f.empty() ? 0 : 1};
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(h.data()),
+            static_cast<std::streamsize>(h.size() * sizeof(sw::Score)));
+  if (!f.empty()) {
+    out.write(reinterpret_cast<const char*>(f.data()),
+              static_cast<std::streamsize>(f.size() * sizeof(sw::Score)));
+  }
+  if (!out) throw IoError("error writing spill file " + row_path(row));
+}
+
+std::vector<SpecialRowStore::Segment> SpecialRowStore::read_from_disk(
+    std::int64_t row) const {
+  std::ifstream in(row_path(row), std::ios::binary);
+  if (!in) throw IoError("cannot open spill file " + row_path(row));
+  std::vector<Segment> segments;
+  RecordHeader header;
+  while (in.read(reinterpret_cast<char*>(&header), sizeof(header))) {
+    MGPUSW_CHECK_MSG(header.count >= 0 && header.first_col >= 0,
+                     "corrupt spill record in " << row_path(row));
+    Segment segment;
+    segment.first_col = header.first_col;
+    segment.h.resize(static_cast<std::size_t>(header.count));
+    in.read(reinterpret_cast<char*>(segment.h.data()),
+            static_cast<std::streamsize>(segment.h.size() *
+                                         sizeof(sw::Score)));
+    if (header.has_f != 0) {
+      segment.f.resize(static_cast<std::size_t>(header.count));
+      in.read(reinterpret_cast<char*>(segment.f.data()),
+              static_cast<std::streamsize>(segment.f.size() *
+                                           sizeof(sw::Score)));
+    }
+    MGPUSW_CHECK_MSG(static_cast<bool>(in),
+                     "truncated spill record in " << row_path(row));
+    segments.push_back(std::move(segment));
+  }
+  return segments;
+}
+
+void SpecialRowStore::save_segment(std::int64_t row, std::int64_t first_col,
+                                   std::vector<sw::Score> h,
+                                   std::vector<sw::Score> f) {
+  MGPUSW_REQUIRE(row >= 0, "row must be non-negative");
+  MGPUSW_REQUIRE(first_col >= 0, "first_col must be non-negative");
+  MGPUSW_REQUIRE(f.empty() || f.size() == h.size(),
+                 "F payload must be empty or match the H payload size");
+  std::lock_guard lock(mu_);
+  const auto payload = static_cast<std::int64_t>(
+      (h.size() + f.size()) * sizeof(sw::Score));
+  bytes_ += payload;
+  if (spills_to_disk()) {
+    // First segment of a row after clear(): truncate any stale file.
+    if (disk_rows_.find(row) == disk_rows_.end()) {
+      std::remove(row_path(row).c_str());
+    }
+    append_to_disk(row, first_col, h, f);
+    disk_rows_[row] += payload;
+  } else {
+    rows_[row].push_back(Segment{first_col, std::move(h), std::move(f)});
+  }
+}
+
+std::vector<std::int64_t> SpecialRowStore::rows() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::int64_t> out;
+  if (spills_to_disk()) {
+    out.reserve(disk_rows_.size());
+    for (const auto& [row, bytes] : disk_rows_) out.push_back(row);
+  } else {
+    out.reserve(rows_.size());
+    for (const auto& [row, segments] : rows_) out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<SpecialRowStore::Segment> SpecialRowStore::row_segments(
+    std::int64_t row) const {
+  if (spills_to_disk()) {
+    MGPUSW_CHECK_MSG(disk_rows_.find(row) != disk_rows_.end(),
+                     "special row " << row << " not saved");
+    return read_from_disk(row);
+  }
+  const auto it = rows_.find(row);
+  MGPUSW_CHECK_MSG(it != rows_.end(), "special row " << row << " not saved");
+  return it->second;
+}
+
+std::vector<sw::Score> SpecialRowStore::assemble(
+    std::int64_t row, std::int64_t expected_cols, bool want_f) const {
+  std::lock_guard lock(mu_);
+  // A resumed run re-saves the segments of rows it recomputes; the
+  // latest write wins (CUDAlign overwrites its special-row files too).
+  std::map<std::int64_t, Segment> by_col;
+  std::vector<Segment> raw = row_segments(row);
+  for (Segment& segment : raw) {
+    by_col[segment.first_col] = std::move(segment);
+  }
+  std::vector<Segment> segments;
+  segments.reserve(by_col.size());
+  for (auto& [col, segment] : by_col) {
+    segments.push_back(std::move(segment));
+  }
+  std::vector<sw::Score> out;
+  out.reserve(static_cast<std::size_t>(expected_cols));
+  std::int64_t next = 0;
+  for (const Segment& segment : segments) {
+    MGPUSW_CHECK_MSG(segment.first_col == next,
+                     "special row " << row << " has a gap at column "
+                                    << next);
+    const std::vector<sw::Score>& payload =
+        want_f ? segment.f : segment.h;
+    MGPUSW_CHECK_MSG(!want_f || segment.f.size() == segment.h.size(),
+                     "special row " << row
+                                    << " was saved without F data; it "
+                                       "cannot seed a restart");
+    out.insert(out.end(), payload.begin(), payload.end());
+    next += static_cast<std::int64_t>(segment.h.size());
+  }
+  MGPUSW_CHECK_MSG(next == expected_cols,
+                   "special row " << row << " covers " << next
+                                  << " columns, expected " << expected_cols);
+  return out;
+}
+
+std::vector<sw::Score> SpecialRowStore::assemble_row(
+    std::int64_t row, std::int64_t expected_cols) const {
+  return assemble(row, expected_cols, /*want_f=*/false);
+}
+
+std::vector<sw::Score> SpecialRowStore::assemble_row_f(
+    std::int64_t row, std::int64_t expected_cols) const {
+  return assemble(row, expected_cols, /*want_f=*/true);
+}
+
+std::int64_t SpecialRowStore::bytes() const {
+  std::lock_guard lock(mu_);
+  return bytes_;
+}
+
+void SpecialRowStore::clear() {
+  std::lock_guard lock(mu_);
+  if (spills_to_disk()) {
+    for (const auto& [row, bytes] : disk_rows_) {
+      std::remove(row_path(row).c_str());
+    }
+    disk_rows_.clear();
+  }
+  rows_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace mgpusw::core

@@ -1,0 +1,124 @@
+#include "seq/dotplot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <unordered_map>
+
+#include "base/error.hpp"
+
+namespace mgpusw::seq {
+
+std::int64_t Dotplot::max_count() const {
+  std::int64_t best = 0;
+  for (const std::int64_t count : counts) best = std::max(best, count);
+  return best;
+}
+
+double Dotplot::diagonal_fraction(std::int64_t band) const {
+  std::int64_t total = 0;
+  std::int64_t near = 0;
+  for (std::int64_t row = 0; row < height; ++row) {
+    // Identity line: bucket row r covers query base p ~ r*q_span/H; a
+    // hit at subject base p lands in column p*W/s_span.
+    const std::int64_t diag_col =
+        row * query_span * width / (height * std::max<std::int64_t>(
+                                                 1, subject_span));
+    for (std::int64_t col = 0; col < width; ++col) {
+      const std::int64_t count = at(row, col);
+      total += count;
+      if (std::llabs(col - diag_col) <= band) near += count;
+    }
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(near) / static_cast<double>(total);
+}
+
+Dotplot make_dotplot(const Sequence& query, const Sequence& subject,
+                     const DotplotConfig& config) {
+  MGPUSW_REQUIRE(config.k >= 4 && config.k <= 31, "k must be in [4, 31]");
+  MGPUSW_REQUIRE(config.width > 0 && config.height > 0,
+                 "raster dimensions must be positive");
+  MGPUSW_REQUIRE(config.query_stride > 0, "query_stride must be positive");
+
+  Dotplot plot;
+  plot.width = config.width;
+  plot.height = config.height;
+  plot.query_span = std::max<std::int64_t>(1, query.size() - config.k + 1);
+  plot.subject_span =
+      std::max<std::int64_t>(1, subject.size() - config.k + 1);
+  plot.counts.assign(
+      static_cast<std::size_t>(config.width * config.height), 0);
+  if (query.size() < config.k || subject.size() < config.k) return plot;
+
+  const std::uint64_t mask =
+      config.k == 32 ? ~0ULL : ((1ULL << (2 * config.k)) - 1);
+
+  // Index the subject's k-mer start positions.
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> index;
+  index.reserve(static_cast<std::size_t>(subject.size()));
+  std::uint64_t code = 0;
+  for (std::int64_t j = 0; j < subject.size(); ++j) {
+    code = ((code << 2) | static_cast<std::uint64_t>(subject.at(j))) & mask;
+    if (j >= config.k - 1) {
+      auto& positions = index[code];
+      // Cap per-word lists: ultra-frequent words (low-complexity repeats)
+      // would blur the plot and blow up memory.
+      if (static_cast<std::int64_t>(positions.size()) <=
+          config.max_word_hits) {
+        positions.push_back(j - (config.k - 1));
+      }
+    }
+  }
+
+  // Probe the query.
+  const std::int64_t q_span = std::max<std::int64_t>(
+      1, query.size() - config.k + 1);
+  const std::int64_t s_span = std::max<std::int64_t>(
+      1, subject.size() - config.k + 1);
+  code = 0;
+  for (std::int64_t i = 0; i < query.size(); ++i) {
+    code = ((code << 2) | static_cast<std::uint64_t>(query.at(i))) & mask;
+    if (i < config.k - 1) continue;
+    const std::int64_t start = i - (config.k - 1);
+    if (start % config.query_stride != 0) continue;
+    const auto it = index.find(code);
+    if (it == index.end()) continue;
+    if (static_cast<std::int64_t>(it->second.size()) >
+        config.max_word_hits) {
+      continue;  // repeat word, skipped entirely
+    }
+    const std::int64_t row =
+        std::min(config.height - 1, start * config.height / q_span);
+    for (const std::int64_t position : it->second) {
+      const std::int64_t col =
+          std::min(config.width - 1, position * config.width / s_span);
+      ++plot.counts[static_cast<std::size_t>(row * config.width + col)];
+    }
+  }
+  return plot;
+}
+
+void write_pgm(const Dotplot& plot, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  out << "P5\n" << plot.width << ' ' << plot.height << "\n255\n";
+  const double max_count = static_cast<double>(
+      std::max<std::int64_t>(1, plot.max_count()));
+  std::vector<unsigned char> row(static_cast<std::size_t>(plot.width));
+  for (std::int64_t r = 0; r < plot.height; ++r) {
+    for (std::int64_t c = 0; c < plot.width; ++c) {
+      // Gamma compression keeps single hits visible next to the dense
+      // diagonal; 255 = empty (white), 0 = densest (black).
+      const double density =
+          std::pow(static_cast<double>(plot.at(r, c)) / max_count, 0.35);
+      row[static_cast<std::size_t>(c)] =
+          static_cast<unsigned char>(255.0 - density * 255.0);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw IoError("error writing " + path);
+}
+
+}  // namespace mgpusw::seq

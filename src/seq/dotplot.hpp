@@ -1,0 +1,60 @@
+// Dotplot: a sampled similarity raster between two sequences.
+//
+// The classical way to *look at* a chromosome comparison before running
+// the DP: split the matrix into a W x H grid of buckets, count shared
+// k-mer hits per bucket, and render the density. Homologous sequences
+// show a dark main diagonal with visible indel steps and segmental
+// events — a quick visual check that the synthetic homolog generator
+// produces the structure the paper's inputs have.
+//
+// Hits are found by indexing the subject's k-mers in a hash map and
+// probing the query's k-mers with a stride (sampling keeps this linear
+// and cheap even at megabase scale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace mgpusw::seq {
+
+struct DotplotConfig {
+  int k = 16;                   // word size (exact matches of k bases)
+  std::int64_t width = 256;     // raster width (subject axis)
+  std::int64_t height = 256;    // raster height (query axis)
+  std::int64_t query_stride = 1;   // probe every n-th query k-mer
+  std::int64_t max_word_hits = 32; // skip words more frequent than this
+};
+
+struct Dotplot {
+  std::int64_t width = 0;
+  std::int64_t height = 0;
+  std::int64_t query_span = 1;    // sequence bases per plot (denominators
+  std::int64_t subject_span = 1;  // for mapping buckets back to bases)
+  std::vector<std::int64_t> counts;  // row-major, height x width
+
+  [[nodiscard]] std::int64_t at(std::int64_t row, std::int64_t col) const {
+    return counts[static_cast<std::size_t>(row * width + col)];
+  }
+
+  [[nodiscard]] std::int64_t max_count() const;
+
+  /// Fraction of all hits that fall within `band` buckets of the
+  /// *identity line* (query position == subject position) — near 1.0 for
+  /// homologs that share coordinates (the paper's chromosome pairs),
+  /// small for unrelated sequences.
+  [[nodiscard]] double diagonal_fraction(std::int64_t band = 2) const;
+};
+
+/// Builds the dotplot of query (rows) vs subject (columns).
+[[nodiscard]] Dotplot make_dotplot(const Sequence& query,
+                                   const Sequence& subject,
+                                   const DotplotConfig& config = {});
+
+/// Renders the plot as a binary PGM image (white = empty, black =
+/// densest bucket; gamma-compressed so sparse hits stay visible).
+void write_pgm(const Dotplot& plot, const std::string& path);
+
+}  // namespace mgpusw::seq

@@ -1,0 +1,96 @@
+#include "seq/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace mgpusw::seq {
+
+double gc_content(const Sequence& sequence) {
+  if (sequence.empty()) return 0.0;
+  const auto counts = sequence.composition();
+  return static_cast<double>(counts[1] + counts[2]) /
+         static_cast<double>(sequence.size());
+}
+
+std::vector<double> gc_windows(const Sequence& sequence,
+                               std::int64_t window) {
+  MGPUSW_REQUIRE(window > 0, "window must be positive");
+  std::vector<double> out;
+  const std::int64_t n = sequence.size();
+  out.reserve(static_cast<std::size_t>((n + window - 1) / window));
+  for (std::int64_t start = 0; start < n; start += window) {
+    const std::int64_t count = std::min(window, n - start);
+    std::int64_t gc = 0;
+    for (std::int64_t i = 0; i < count; ++i) {
+      const Nt base = sequence.at(start + i);
+      if (base == Nt::C || base == Nt::G) ++gc;
+    }
+    out.push_back(static_cast<double>(gc) / static_cast<double>(count));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> kmer_spectrum(const Sequence& sequence, int k) {
+  MGPUSW_REQUIRE(k >= 1 && k <= 12, "k must be in [1, 12]");
+  const std::size_t buckets = std::size_t{1} << (2 * k);
+  std::vector<std::int64_t> counts(buckets, 0);
+  const std::int64_t n = sequence.size();
+  if (n < k) return counts;
+
+  const std::uint64_t mask = buckets - 1;
+  std::uint64_t code = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    code = ((code << 2) |
+            static_cast<std::uint64_t>(sequence.at(i))) & mask;
+    if (i >= k - 1) ++counts[static_cast<std::size_t>(code)];
+  }
+  return counts;
+}
+
+double kmer_entropy(const Sequence& sequence, int k) {
+  const auto counts = kmer_spectrum(sequence, k);
+  std::int64_t total = 0;
+  for (const std::int64_t count : counts) total += count;
+  if (total == 0) return 0.0;
+  double entropy = 0.0;
+  for (const std::int64_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) /
+                     static_cast<double>(total);
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double sampled_identity(const Sequence& a, const Sequence& b,
+                        std::int64_t stride) {
+  MGPUSW_REQUIRE(stride > 0, "stride must be positive");
+  const std::int64_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  std::int64_t same = 0;
+  std::int64_t probes = 0;
+  for (std::int64_t i = 0; i < n; i += stride) {
+    if (a.at(i) == b.at(i)) ++same;
+    ++probes;
+  }
+  return static_cast<double>(same) / static_cast<double>(probes);
+}
+
+std::int64_t longest_homopolymer(const Sequence& sequence) {
+  const std::int64_t n = sequence.size();
+  if (n == 0) return 0;
+  std::int64_t best = 1;
+  std::int64_t run = 1;
+  for (std::int64_t i = 1; i < n; ++i) {
+    if (sequence.at(i) == sequence.at(i - 1)) {
+      best = std::max(best, ++run);
+    } else {
+      run = 1;
+    }
+  }
+  return best;
+}
+
+}  // namespace mgpusw::seq

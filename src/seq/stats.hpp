@@ -1,0 +1,43 @@
+// Sequence statistics: composition, GC windows, k-mer spectra, entropy
+// and a sampled identity estimate between homologs.
+//
+// Used by the examples to characterise inputs the way the paper's
+// evaluation section characterises its chromosomes, and by tests to
+// validate the synthetic-genome substrate (divergence, GC content,
+// non-repetitiveness).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "seq/sequence.hpp"
+
+namespace mgpusw::seq {
+
+/// Fraction of G/C bases.
+[[nodiscard]] double gc_content(const Sequence& sequence);
+
+/// GC fraction per fixed-size window (last window may be shorter).
+[[nodiscard]] std::vector<double> gc_windows(const Sequence& sequence,
+                                             std::int64_t window);
+
+/// Counts of all 4^k k-mers (k <= 12), indexed by the packed 2-bit code
+/// of the k-mer (first base in the most significant position).
+[[nodiscard]] std::vector<std::int64_t> kmer_spectrum(
+    const Sequence& sequence, int k);
+
+/// Shannon entropy of the k-mer distribution, in bits (max 2k for
+/// uniform random DNA). Low values indicate repetitive sequence.
+[[nodiscard]] double kmer_entropy(const Sequence& sequence, int k);
+
+/// Fraction of positions where the two sequences carry the same base,
+/// over the leading min(size) positions, sampled every `stride` bases.
+/// A cheap proxy for homology (random DNA pairs measure ~0.25).
+[[nodiscard]] double sampled_identity(const Sequence& a, const Sequence& b,
+                                      std::int64_t stride = 1);
+
+/// Longest run of a single repeated base.
+[[nodiscard]] std::int64_t longest_homopolymer(const Sequence& sequence);
+
+}  // namespace mgpusw::seq

@@ -1,0 +1,169 @@
+#include "seq/synth.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace mgpusw::seq {
+
+double MutationStats::divergence(std::int64_t ancestral_length) const {
+  if (ancestral_length == 0) return 0.0;
+  return static_cast<double>(substitutions) /
+         static_cast<double>(ancestral_length);
+}
+
+Sequence generate_chromosome(const std::string& name, std::int64_t length,
+                             std::uint64_t seed, double gc_content) {
+  MGPUSW_REQUIRE(length >= 0, "length must be non-negative");
+  MGPUSW_REQUIRE(gc_content > 0.0 && gc_content < 1.0,
+                 "gc_content must lie in (0, 1)");
+  base::Rng rng(seed);
+  std::vector<Nt> bases;
+  bases.reserve(static_cast<std::size_t>(length));
+  for (std::int64_t i = 0; i < length; ++i) {
+    const bool gc = rng.next_bool(gc_content);
+    const bool second = rng.next_bool(0.5);
+    // gc: C or G; at: A or T.
+    const Nt base = gc ? (second ? Nt::G : Nt::C) : (second ? Nt::T : Nt::A);
+    bases.push_back(base);
+  }
+  return Sequence(name, bases);
+}
+
+namespace {
+
+/// A substitution that is guaranteed to change the base.
+Nt substitute(Nt original, base::Rng& rng) {
+  const auto offset = 1 + rng.next_below(3);  // 1..3
+  return static_cast<Nt>((static_cast<std::uint64_t>(original) + offset) & 3);
+}
+
+}  // namespace
+
+Sequence mutate_homolog(const Sequence& ancestor, const MutationModel& model,
+                        std::uint64_t seed, const std::string& name,
+                        MutationStats* stats) {
+  MGPUSW_REQUIRE(model.snp_rate >= 0 && model.snp_rate <= 1,
+                 "snp_rate must lie in [0, 1]");
+  MGPUSW_REQUIRE(model.indel_rate >= 0 && model.indel_rate <= 1,
+                 "indel_rate must lie in [0, 1]");
+  MGPUSW_REQUIRE(model.max_indel >= 1, "max_indel must be >= 1");
+  base::Rng rng(seed);
+  MutationStats local;
+
+  std::vector<Nt> out;
+  out.reserve(static_cast<std::size_t>(ancestor.size()));
+  std::int64_t i = 0;
+  const std::int64_t n = ancestor.size();
+  while (i < n) {
+    // Large segmental event: insertion of novel sequence or deletion of a
+    // block, emulating the segmental differences between homologous
+    // chromosomes.
+    if (model.segment_rate > 0 && rng.next_bool(model.segment_rate)) {
+      ++local.segment_events;
+      const std::int64_t len = rng.next_range(
+          model.max_segment / 2, std::max<std::int64_t>(1, model.max_segment));
+      if (rng.next_bool(0.5)) {
+        for (std::int64_t k = 0; k < len; ++k) {
+          out.push_back(static_cast<Nt>(rng.next_below(4)));
+        }
+        ++local.insertions;
+        local.inserted_bases += len;
+      } else {
+        const std::int64_t removable = std::min(len, n - i);
+        i += removable;
+        ++local.deletions;
+        local.deleted_bases += removable;
+      }
+      continue;
+    }
+    if (model.indel_rate > 0 && rng.next_bool(model.indel_rate)) {
+      const std::int64_t len = rng.next_range(1, model.max_indel);
+      if (rng.next_bool(0.5)) {
+        for (std::int64_t k = 0; k < len; ++k) {
+          out.push_back(static_cast<Nt>(rng.next_below(4)));
+        }
+        ++local.insertions;
+        local.inserted_bases += len;
+      } else {
+        const std::int64_t removable = std::min(len, n - i);
+        i += removable;
+        ++local.deletions;
+        local.deleted_bases += removable;
+      }
+      continue;
+    }
+    const Nt base = ancestor.at(i++);
+    if (model.snp_rate > 0 && rng.next_bool(model.snp_rate)) {
+      out.push_back(substitute(base, rng));
+      ++local.substitutions;
+    } else {
+      out.push_back(base);
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  return Sequence(name, out);
+}
+
+const std::vector<ChromosomePair>& paper_chromosome_pairs() {
+  // Approximate assembly lengths for the homologous chromosome pairs the
+  // paper compares (human GRCh37 vs chimpanzee panTro, chr19–chr22).
+  // chr21/chr22 sizes are the well-documented pairs used across the
+  // CUDAlign papers; chr19/chr20 use the assembly sizes of the era.
+  static const std::vector<ChromosomePair> pairs = {
+      {"chr19", 59'128'983, 63'644'993},
+      {"chr20", 63'025'520, 62'293'572},
+      {"chr21", 46'944'323, 32'799'110},
+      {"chr22", 49'691'432, 49'737'984},
+  };
+  return pairs;
+}
+
+ChromosomePair scaled_pair(const ChromosomePair& pair, std::int64_t factor) {
+  MGPUSW_REQUIRE(factor >= 1, "scale factor must be >= 1");
+  ChromosomePair scaled = pair;
+  scaled.id = pair.id + "/" + std::to_string(factor);
+  scaled.human_length = std::max<std::int64_t>(1024, pair.human_length / factor);
+  scaled.chimp_length = std::max<std::int64_t>(1024, pair.chimp_length / factor);
+  return scaled;
+}
+
+HomologPair make_homolog_pair(const ChromosomePair& pair, std::uint64_t seed,
+                              const MutationModel& model) {
+  // Derive both sides from one ancestral sequence of the longer length:
+  // the "human" side is the ancestor itself trimmed to human_length, the
+  // "chimp" side is a mutated homolog trimmed/padded to chimp_length.
+  const std::int64_t ancestral_len =
+      std::max(pair.human_length, pair.chimp_length);
+  Sequence ancestor = generate_chromosome(pair.id + "-ancestor",
+                                          ancestral_len, seed);
+
+  HomologPair result;
+  result.query = ancestor.subsequence(0, pair.human_length);
+
+  Sequence homolog = mutate_homolog(ancestor, model, seed ^ 0xC0FFEEULL,
+                                    pair.id + "-chimp", &result.stats);
+  if (homolog.size() >= pair.chimp_length) {
+    result.subject = homolog.subsequence(0, pair.chimp_length);
+  } else {
+    // Mutation shrank below target (heavy deletion settings): pad with
+    // novel random sequence so the requested matrix shape is preserved.
+    std::vector<Nt> padded;
+    padded.reserve(static_cast<std::size_t>(pair.chimp_length));
+    for (std::int64_t k = 0; k < homolog.size(); ++k) {
+      padded.push_back(homolog.at(k));
+    }
+    base::Rng rng(seed ^ 0xFEEDULL);
+    while (static_cast<std::int64_t>(padded.size()) < pair.chimp_length) {
+      padded.push_back(static_cast<Nt>(rng.next_below(4)));
+    }
+    result.subject = Sequence(pair.id + "-chimp", padded);
+  }
+  // Keep names stable regardless of trimming.
+  result.query.rename(pair.id + "-human");
+  result.subject.rename(pair.id + "-chimp");
+  return result;
+}
+
+}  // namespace mgpusw::seq

@@ -1,0 +1,96 @@
+// Synthetic genome substrate.
+//
+// The paper compares homologous human–chimpanzee chromosomes downloaded
+// from NCBI. Those files are unavailable offline, so this module builds
+// the closest synthetic equivalent: a random "ancestral" chromosome with a
+// controllable GC content, and a derived homolog produced by an
+// evolutionary mutation model (point substitutions, short indels, and
+// larger segmental events) tuned to the ~1.2% divergence observed between
+// human and chimpanzee. Stage 1 of the engine touches every matrix cell
+// regardless of content, so the sequences' lengths drive the computational
+// shape; the mutation model additionally makes alignment scores behave
+// like real homolog comparisons (long near-diagonal matches).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "seq/sequence.hpp"
+
+namespace mgpusw::seq {
+
+/// Evolutionary divergence model applied to derive a homolog.
+struct MutationModel {
+  double snp_rate = 0.012;        // per-base substitution probability
+  double indel_rate = 0.0008;     // per-base probability an indel starts
+  std::int64_t max_indel = 30;    // indel lengths uniform in [1, max_indel]
+  double segment_rate = 2e-7;     // per-base probability of a large event
+  std::int64_t max_segment = 20000;  // segmental insertion/deletion length
+};
+
+/// Statistics describing the differences introduced by mutate_homolog.
+struct MutationStats {
+  std::int64_t substitutions = 0;
+  std::int64_t insertions = 0;      // events
+  std::int64_t inserted_bases = 0;
+  std::int64_t deletions = 0;       // events
+  std::int64_t deleted_bases = 0;
+  std::int64_t segment_events = 0;
+
+  /// Fraction of ancestral bases substituted.
+  [[nodiscard]] double divergence(std::int64_t ancestral_length) const;
+};
+
+/// Generates a random chromosome of the given length. gc_content is the
+/// probability of a G or C base (human chromosomes range ~0.38–0.48).
+[[nodiscard]] Sequence generate_chromosome(const std::string& name,
+                                           std::int64_t length,
+                                           std::uint64_t seed,
+                                           double gc_content = 0.41);
+
+/// Derives a homolog of `ancestor` under `model`. Deterministic in seed.
+[[nodiscard]] Sequence mutate_homolog(const Sequence& ancestor,
+                                      const MutationModel& model,
+                                      std::uint64_t seed,
+                                      const std::string& name,
+                                      MutationStats* stats = nullptr);
+
+/// One of the paper's chromosome pairs: human vs chimpanzee homologs.
+struct ChromosomePair {
+  std::string id;              // "chr19" ... "chr22"
+  std::int64_t human_length;   // base pairs (approximate assembly sizes)
+  std::int64_t chimp_length;
+  /// DP matrix size for this pair, in cells.
+  [[nodiscard]] std::int64_t matrix_cells() const {
+    return human_length * chimp_length;
+  }
+};
+
+/// The four human–chimpanzee homologous chromosome pairs the paper
+/// evaluates (chr19–chr22), with approximate hg19/panTro assembly sizes.
+/// Used verbatim by the model-mode benchmarks; real-mode benchmarks scale
+/// them down with scaled_pair().
+[[nodiscard]] const std::vector<ChromosomePair>& paper_chromosome_pairs();
+
+/// Returns `pair` with both lengths divided by `factor` (min length 1024),
+/// keeping the human/chimp length ratio so load-balancing behaviour is
+/// preserved at reduced scale.
+[[nodiscard]] ChromosomePair scaled_pair(const ChromosomePair& pair,
+                                         std::int64_t factor);
+
+/// Generates the two synthetic homologs for a chromosome pair: the shorter
+/// one is derived from a prefix of the longer ancestral sequence plus
+/// divergence, mirroring how homologous chromosomes share most content.
+struct HomologPair {
+  Sequence query;    // "human" side (matrix rows)
+  Sequence subject;  // "chimp" side (matrix columns)
+  MutationStats stats;
+};
+
+[[nodiscard]] HomologPair make_homolog_pair(const ChromosomePair& pair,
+                                            std::uint64_t seed,
+                                            const MutationModel& model = {});
+
+}  // namespace mgpusw::seq

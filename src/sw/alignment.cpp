@@ -1,0 +1,140 @@
+#include "sw/alignment.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace mgpusw::sw {
+
+double Alignment::identity() const {
+  if (ops.empty()) return 0.0;
+  std::int64_t matches = 0;
+  for (const char op : ops) {
+    if (op == '=') ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(ops.size());
+}
+
+Score score_of_ops(const ScoreScheme& scheme, const std::string& ops) {
+  Score score = 0;
+  char previous = '\0';
+  for (const char op : ops) {
+    switch (op) {
+      case '=':
+        score += scheme.match;
+        break;
+      case 'X':
+        score += scheme.mismatch;
+        break;
+      case 'I':
+      case 'D':
+        score -= scheme.gap_extend;
+        if (op != previous) score -= scheme.gap_open;
+        break;
+      default:
+        throw InvalidArgument(std::string("unknown alignment op '") + op +
+                              "'");
+    }
+    previous = op;
+  }
+  return score;
+}
+
+void validate_alignment(const ScoreScheme& scheme,
+                        const seq::Sequence& query,
+                        const seq::Sequence& subject,
+                        const Alignment& alignment) {
+  std::int64_t qi = alignment.query_begin;
+  std::int64_t sj = alignment.subject_begin;
+  for (std::size_t k = 0; k < alignment.ops.size(); ++k) {
+    const char op = alignment.ops[k];
+    switch (op) {
+      case '=':
+      case 'X': {
+        MGPUSW_CHECK_MSG(qi < query.size() && sj < subject.size(),
+                         "alignment runs past sequence end at op " << k);
+        const bool equal = query.at(qi) == subject.at(sj);
+        MGPUSW_CHECK_MSG(equal == (op == '='),
+                         "op " << k << " claims '" << op << "' but bases "
+                               << (equal ? "match" : "differ") << " at ("
+                               << qi << "," << sj << ")");
+        ++qi;
+        ++sj;
+        break;
+      }
+      case 'I':
+        MGPUSW_CHECK_MSG(sj < subject.size(),
+                         "insert past subject end at op " << k);
+        ++sj;
+        break;
+      case 'D':
+        MGPUSW_CHECK_MSG(qi < query.size(),
+                         "delete past query end at op " << k);
+        ++qi;
+        break;
+      default:
+        throw InvalidArgument(std::string("unknown alignment op '") + op +
+                              "'");
+    }
+  }
+  MGPUSW_CHECK_MSG(qi == alignment.query_end,
+                   "ops consume query up to " << qi << " but query_end is "
+                                              << alignment.query_end);
+  MGPUSW_CHECK_MSG(sj == alignment.subject_end,
+                   "ops consume subject up to "
+                       << sj << " but subject_end is "
+                       << alignment.subject_end);
+  const Score recomputed = score_of_ops(scheme, alignment.ops);
+  MGPUSW_CHECK_MSG(recomputed == alignment.score,
+                   "ops score " << recomputed << " != stored score "
+                                << alignment.score);
+}
+
+std::string render_alignment(const seq::Sequence& query,
+                             const seq::Sequence& subject,
+                             const Alignment& alignment, int width) {
+  MGPUSW_REQUIRE(width > 0, "width must be positive");
+  std::string q_line;
+  std::string m_line;
+  std::string s_line;
+  std::int64_t qi = alignment.query_begin;
+  std::int64_t sj = alignment.subject_begin;
+  for (const char op : alignment.ops) {
+    switch (op) {
+      case '=':
+      case 'X':
+        q_line.push_back(seq::to_char(query.at(qi++)));
+        m_line.push_back(op == '=' ? '|' : ' ');
+        s_line.push_back(seq::to_char(subject.at(sj++)));
+        break;
+      case 'I':
+        q_line.push_back('-');
+        m_line.push_back(' ');
+        s_line.push_back(seq::to_char(subject.at(sj++)));
+        break;
+      case 'D':
+        q_line.push_back(seq::to_char(query.at(qi++)));
+        m_line.push_back(' ');
+        s_line.push_back('-');
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::ostringstream os;
+  const auto total = static_cast<std::int64_t>(q_line.size());
+  for (std::int64_t offset = 0; offset < total; offset += width) {
+    const auto count =
+        static_cast<std::size_t>(std::min<std::int64_t>(width, total - offset));
+    const auto start = static_cast<std::size_t>(offset);
+    os << "Q " << q_line.substr(start, count) << '\n';
+    os << "  " << m_line.substr(start, count) << '\n';
+    os << "S " << s_line.substr(start, count) << '\n';
+    if (offset + width < total) os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mgpusw::sw

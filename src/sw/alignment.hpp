@@ -1,0 +1,60 @@
+// Alignment representation and scoring utilities.
+//
+// Ops string alphabet:
+//   '='  aligned pair, bases equal          (consumes query + subject)
+//   'X'  aligned pair, bases differ         (consumes query + subject)
+//   'I'  gap in query  — insertion          (consumes subject only)
+//   'D'  gap in subject — deletion          (consumes query only)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "seq/sequence.hpp"
+#include "sw/scoring.hpp"
+
+namespace mgpusw::sw {
+
+struct Alignment {
+  // Half-open coordinate ranges over the two sequences.
+  std::int64_t query_begin = 0;
+  std::int64_t query_end = 0;
+  std::int64_t subject_begin = 0;
+  std::int64_t subject_end = 0;
+  std::string ops;
+  Score score = 0;
+
+  [[nodiscard]] std::int64_t query_span() const {
+    return query_end - query_begin;
+  }
+  [[nodiscard]] std::int64_t subject_span() const {
+    return subject_end - subject_begin;
+  }
+
+  /// Fraction of aligned pairs that are matches ('=') among all ops.
+  [[nodiscard]] double identity() const;
+};
+
+/// Recomputes the affine-gap score of an ops string. Adjacent runs of 'I'
+/// and of 'D' each pay one gap-open; an 'I' run abutting a 'D' run opens
+/// separately.
+[[nodiscard]] Score score_of_ops(const ScoreScheme& scheme,
+                                 const std::string& ops);
+
+/// Verifies structural consistency: coordinate spans match the ops
+/// consumption, '='/'X' agree with the actual bases, the stored score
+/// equals score_of_ops. Throws InternalError with a description on the
+/// first violation; returns normally when consistent.
+void validate_alignment(const ScoreScheme& scheme,
+                        const seq::Sequence& query,
+                        const seq::Sequence& subject,
+                        const Alignment& alignment);
+
+/// Renders a three-line pretty view (query / bars / subject) for reports;
+/// wraps at `width` columns.
+[[nodiscard]] std::string render_alignment(const seq::Sequence& query,
+                                           const seq::Sequence& subject,
+                                           const Alignment& alignment,
+                                           int width = 60);
+
+}  // namespace mgpusw::sw

@@ -1,0 +1,121 @@
+#include "sw/banded.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace mgpusw::sw {
+
+ScoreResult banded_score(const ScoreScheme& scheme,
+                         const seq::Sequence& query,
+                         const seq::Sequence& subject, std::int64_t radius,
+                         std::int64_t offset) {
+  scheme.validate();
+  MGPUSW_REQUIRE(radius >= 0, "band radius must be non-negative");
+  const std::int64_t rows = query.size();
+  const std::int64_t cols = subject.size();
+  if (rows == 0 || cols == 0) return ScoreResult{};
+
+  const Score gap_first = scheme.gap_first();
+  const Score gap_ext = scheme.gap_extend;
+
+  // Full-width rolling row, but only the in-band window is touched per
+  // row. Cells outside the band keep kNegInf (unreachable).
+  const auto width = static_cast<std::size_t>(cols);
+  std::vector<Score> row_h(width, kNegInf);
+  std::vector<Score> row_f(width, kNegInf);
+
+  ScoreResult best;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    // Band for row i: columns with |i - j - offset| <= radius.
+    const std::int64_t lo = std::max<std::int64_t>(0, i - offset - radius);
+    const std::int64_t hi =
+        std::min<std::int64_t>(cols - 1, i - offset + radius);
+    if (lo > hi) continue;
+
+    const seq::Nt qa = query.at(i);
+    Score h_left = 0;       // H(i, lo-1): boundary or out-of-band -> 0-clip
+    Score e_left = kNegInf;
+    // Out-of-band left neighbours are unreachable, except the true matrix
+    // boundary where local alignments may start fresh (H = 0).
+    if (lo > 0) h_left = kNegInf;
+    // Diagonal H(i-1, lo-1): matrix boundary gives 0; out-of-band cells
+    // from the previous row still hold their value in row_h if lo-1 was in
+    // the previous band, otherwise unreachable.
+    Score h_diag;
+    if (i == 0 || lo == 0) {
+      h_diag = 0;
+    } else {
+      const std::int64_t prev_lo =
+          std::max<std::int64_t>(0, (i - 1) - offset - radius);
+      const std::int64_t prev_hi =
+          std::min<std::int64_t>(cols - 1, (i - 1) - offset + radius);
+      h_diag = (lo - 1 >= prev_lo && lo - 1 <= prev_hi)
+                   ? row_h[static_cast<std::size_t>(lo - 1)]
+                   : kNegInf;
+    }
+
+    // Clear cells that were in the previous row's band but are left of
+    // this row's band (the band slides right), so stale values are never
+    // read by the next row's F computation.
+    if (i > 0) {
+      const std::int64_t prev_lo =
+          std::max<std::int64_t>(0, (i - 1) - offset - radius);
+      for (std::int64_t j = prev_lo; j < lo; ++j) {
+        row_h[static_cast<std::size_t>(j)] = kNegInf;
+        row_f[static_cast<std::size_t>(j)] = kNegInf;
+      }
+    }
+
+    for (std::int64_t j = lo; j <= hi; ++j) {
+      const auto sj = static_cast<std::size_t>(j);
+      const Score e = std::max<Score>(e_left - gap_ext, h_left - gap_first);
+      // Vertical inputs: row i-1. On the matrix's top row those are the
+      // local-alignment boundary (H=0, F=-inf); in-band values otherwise.
+      const Score up_h = i == 0 ? 0 : row_h[sj];
+      const Score up_f = i == 0 ? kNegInf : row_f[sj];
+      const Score f = std::max<Score>(up_f - gap_ext, up_h - gap_first);
+      Score h = h_diag + scheme.substitution(qa, subject.at(j));
+      if (h < e) h = e;
+      if (h < f) h = f;
+      if (h < 0) h = 0;
+
+      h_diag = i == 0 ? 0 : row_h[sj];
+      if (i == 0) h_diag = 0;
+      row_h[sj] = h;
+      row_f[sj] = f;
+      h_left = h;
+      e_left = e;
+
+      const ScoreResult candidate{h, CellPos{i, j}};
+      if (improves(candidate, best)) best = candidate;
+    }
+    // Cell to the right of the band is unreachable for row i+1's diagonal.
+    if (hi + 1 < cols) {
+      row_h[static_cast<std::size_t>(hi + 1)] = kNegInf;
+      row_f[static_cast<std::size_t>(hi + 1)] = kNegInf;
+    }
+  }
+  return best;
+}
+
+ScoreResult adaptive_banded_score(const ScoreScheme& scheme,
+                                  const seq::Sequence& query,
+                                  const seq::Sequence& subject,
+                                  std::int64_t initial_radius) {
+  MGPUSW_REQUIRE(initial_radius >= 1, "initial radius must be >= 1");
+  const std::int64_t full =
+      std::max(query.size(), subject.size());
+  std::int64_t radius = std::min(initial_radius, full);
+  ScoreResult previous = banded_score(scheme, query, subject, radius);
+  while (radius < full) {
+    radius = std::min(radius * 2, full);
+    const ScoreResult next = banded_score(scheme, query, subject, radius);
+    if (next == previous) return next;
+    previous = next;
+  }
+  return previous;
+}
+
+}  // namespace mgpusw::sw

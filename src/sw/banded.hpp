@@ -1,0 +1,32 @@
+// Banded Smith-Waterman score.
+//
+// Extension module: when the two sequences are known to be near-collinear
+// homologs (the paper's use case), restricting the DP to a diagonal band
+// of half-width `radius` around the main diagonal turns O(mn) work into
+// O((m+n)·radius). The result is exact whenever the optimal alignment
+// stays inside the band; callers widen the band until the score stops
+// changing to certify optimality.
+#pragma once
+
+#include "seq/sequence.hpp"
+#include "sw/scoring.hpp"
+
+namespace mgpusw::sw {
+
+/// Best local score restricted to cells with |row - col - offset| <=
+/// radius. Cells outside the band are treated as unreachable.
+[[nodiscard]] ScoreResult banded_score(const ScoreScheme& scheme,
+                                       const seq::Sequence& query,
+                                       const seq::Sequence& subject,
+                                       std::int64_t radius,
+                                       std::int64_t offset = 0);
+
+/// Doubles the radius until the banded score is stable across one
+/// doubling (a common certification heuristic) or the band covers the
+/// whole matrix; returns the final result.
+[[nodiscard]] ScoreResult adaptive_banded_score(const ScoreScheme& scheme,
+                                                const seq::Sequence& query,
+                                                const seq::Sequence& subject,
+                                                std::int64_t initial_radius);
+
+}  // namespace mgpusw::sw

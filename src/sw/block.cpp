@@ -1,0 +1,96 @@
+#include "sw/block.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace mgpusw::sw {
+
+BlockResult compute_block(const ScoreScheme& scheme, const BlockArgs& args) {
+  MGPUSW_CHECK(args.rows > 0 && args.cols > 0);
+  MGPUSW_CHECK(args.query != nullptr && args.subject != nullptr);
+  MGPUSW_CHECK(args.top_h != nullptr && args.top_f != nullptr);
+  MGPUSW_CHECK(args.left_h != nullptr && args.left_e != nullptr);
+  MGPUSW_CHECK(args.bottom_h != nullptr && args.bottom_f != nullptr);
+  MGPUSW_CHECK(args.right_h != nullptr && args.right_e != nullptr);
+
+  const Score gap_first = scheme.gap_first();
+  const Score gap_ext = scheme.gap_extend;
+  const Score match = scheme.match;
+  const Score mismatch = scheme.mismatch;
+
+  // Seed the rolling row state from the top border. The outputs may alias
+  // the inputs, in which case this is a no-op.
+  if (args.bottom_h != args.top_h) {
+    std::copy(args.top_h, args.top_h + args.cols, args.bottom_h);
+  }
+  if (args.bottom_f != args.top_f) {
+    std::copy(args.top_f, args.top_f + args.cols, args.bottom_f);
+  }
+
+  Score* const row_h = args.bottom_h;
+  Score* const row_f = args.bottom_f;
+
+  ScoreResult best;  // score 0, empty alignment
+  Score diag_carry = args.corner_h;
+
+  for (std::int64_t i = 0; i < args.rows; ++i) {
+    const seq::Nt qa = args.query[i];
+    Score h_left = args.left_h[i];
+    Score e_left = args.left_e[i];
+    // Original H(r, col-1): becomes the diagonal for the next row even if
+    // right_h aliases left_h and overwrites it below.
+    const Score next_diag = h_left;
+    Score h_diag = diag_carry;
+
+    Score best_h_row = -1;        // strictly below any reachable H (H >= 0)
+    std::int64_t best_j_row = -1;
+
+    for (std::int64_t j = 0; j < args.cols; ++j) {
+      const Score e = std::max<Score>(e_left - gap_ext, h_left - gap_first);
+      const Score f =
+          std::max<Score>(row_f[j] - gap_ext, row_h[j] - gap_first);
+      Score h = h_diag + (qa == args.subject[j] ? match : mismatch);
+      if (h < e) h = e;
+      if (h < f) h = f;
+      if (h < 0) h = 0;
+
+      h_diag = row_h[j];
+      row_h[j] = h;
+      row_f[j] = f;
+      h_left = h;
+      e_left = e;
+
+      // Strict '>' keeps the first (smallest column) maximum in this row.
+      if (h > best_h_row) {
+        best_h_row = h;
+        best_j_row = j;
+      }
+    }
+
+    args.right_h[i] = h_left;
+    args.right_e[i] = e_left;
+    diag_carry = next_diag;
+
+    // Row-major tie-breaking: an earlier row always wins ties, so only a
+    // strictly larger row maximum updates the block best.
+    if (best_h_row > best.score) {
+      best.score = best_h_row;
+      best.end = CellPos{args.global_row + i, args.global_col + best_j_row};
+    }
+  }
+
+  BlockResult result;
+  result.best = best;
+  Score border_max = 0;
+  for (std::int64_t j = 0; j < args.cols; ++j) {
+    border_max = std::max(border_max, args.bottom_h[j]);
+  }
+  for (std::int64_t i = 0; i < args.rows; ++i) {
+    border_max = std::max(border_max, args.right_h[i]);
+  }
+  result.border_max = border_max;
+  return result;
+}
+
+}  // namespace mgpusw::sw

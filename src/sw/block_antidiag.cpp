@@ -1,0 +1,127 @@
+#include "sw/block_antidiag.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace mgpusw::sw {
+
+namespace {
+
+/// Per-thread scratch: one slot per block row for the rolling
+/// anti-diagonal state.
+struct Scratch {
+  std::vector<Score> h_prev2, h_prev, h_cur;
+  std::vector<Score> e_prev, e_cur;
+  std::vector<Score> f_prev, f_cur;
+
+  void resize(std::int64_t rows) {
+    const auto n = static_cast<std::size_t>(rows);
+    h_prev2.resize(n);
+    h_prev.resize(n);
+    h_cur.resize(n);
+    e_prev.resize(n);
+    e_cur.resize(n);
+    f_prev.resize(n);
+    f_cur.resize(n);
+  }
+};
+
+thread_local Scratch t_scratch;
+
+}  // namespace
+
+BlockResult compute_block_antidiag(const ScoreScheme& scheme,
+                                   const BlockArgs& args) {
+  // Degenerate shapes would break the alias-safety argument below (the
+  // in-place borders are read and written on the same anti-diagonal in
+  // the wrong order when a dimension is < 3); the row-scan kernel handles
+  // them with identical semantics.
+  if (args.rows < 3 || args.cols < 3) {
+    return compute_block(scheme, args);
+  }
+
+  const Score gap_first = scheme.gap_first();
+  const Score gap_ext = scheme.gap_extend;
+
+  Scratch& scratch = t_scratch;
+  scratch.resize(args.rows);
+
+  ScoreResult best;
+  const std::int64_t diagonals = args.rows + args.cols - 1;
+  for (std::int64_t d = 0; d < diagonals; ++d) {
+    const std::int64_t i_lo =
+        std::max<std::int64_t>(0, d - (args.cols - 1));
+    const std::int64_t i_hi = std::min<std::int64_t>(args.rows - 1, d);
+    // Ascending i: for the minimal supported shapes (rows, cols >= 3)
+    // every aliased border cell is read (by a lower i) before it is
+    // written (by i == rows-1 / j == cols-1 on the same diagonal).
+    for (std::int64_t i = i_lo; i <= i_hi; ++i) {
+      const std::int64_t j = d - i;
+      const auto si = static_cast<std::size_t>(i);
+
+      const Score left_h =
+          j > 0 ? scratch.h_prev[si] : args.left_h[i];
+      const Score left_e =
+          j > 0 ? scratch.e_prev[si] : args.left_e[i];
+      const Score up_h =
+          i > 0 ? scratch.h_prev[si - 1] : args.top_h[j];
+      const Score up_f =
+          i > 0 ? scratch.f_prev[si - 1] : args.top_f[j];
+      Score diag;
+      if (i == 0) {
+        diag = j == 0 ? args.corner_h : args.top_h[j - 1];
+      } else if (j == 0) {
+        diag = args.left_h[i - 1];
+      } else {
+        diag = scratch.h_prev2[si - 1];
+      }
+
+      const Score e = std::max<Score>(left_e - gap_ext,
+                                      left_h - gap_first);
+      const Score f = std::max<Score>(up_f - gap_ext, up_h - gap_first);
+      Score h = diag + (args.query[i] == args.subject[j]
+                            ? scheme.match
+                            : scheme.mismatch);
+      if (h < e) h = e;
+      if (h < f) h = f;
+      if (h < 0) h = 0;
+
+      scratch.h_cur[si] = h;
+      scratch.e_cur[si] = e;
+      scratch.f_cur[si] = f;
+
+      if (i == args.rows - 1) {
+        args.bottom_h[j] = h;
+        args.bottom_f[j] = f;
+      }
+      if (j == args.cols - 1) {
+        args.right_h[i] = h;
+        args.right_e[i] = e;
+      }
+
+      const ScoreResult candidate{
+          h, CellPos{args.global_row + i, args.global_col + j}};
+      if (improves(candidate, best)) best = candidate;
+    }
+    scratch.h_prev2.swap(scratch.h_prev);
+    scratch.h_prev.swap(scratch.h_cur);
+    scratch.e_prev.swap(scratch.e_cur);
+    scratch.f_prev.swap(scratch.f_cur);
+  }
+
+  BlockResult result;
+  result.best = best;
+  Score border_max = 0;
+  for (std::int64_t j = 0; j < args.cols; ++j) {
+    border_max = std::max(border_max, args.bottom_h[j]);
+  }
+  for (std::int64_t i = 0; i < args.rows; ++i) {
+    border_max = std::max(border_max, args.right_h[i]);
+  }
+  result.border_max = border_max;
+  return result;
+}
+
+}  // namespace mgpusw::sw

@@ -1,0 +1,24 @@
+// Anti-diagonal block kernel.
+//
+// Functionally identical to sw::compute_block (same border contract, same
+// result including tie-breaking), but sweeps the block along minor
+// anti-diagonals — the traversal a CUDA kernel uses, where all cells of
+// one anti-diagonal are data-independent and execute in lockstep across
+// threads. On a CPU this order is usually slower than the row scan
+// (strided access), which is itself an instructive measurement: it is the
+// memory layout, not the dependency structure, that dictates the right
+// traversal per architecture. The engine exposes both through
+// EngineConfig::kernel; tests assert bit-identical results.
+#pragma once
+
+#include "sw/block.hpp"
+
+namespace mgpusw::sw {
+
+/// Drop-in alternative to compute_block with anti-diagonal traversal.
+/// Uses thread-local scratch sized O(rows) — safe for concurrent calls
+/// from different threads.
+BlockResult compute_block_antidiag(const ScoreScheme& scheme,
+                                   const BlockArgs& args);
+
+}  // namespace mgpusw::sw

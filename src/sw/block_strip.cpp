@@ -1,0 +1,143 @@
+#include "sw/block_strip.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace mgpusw::sw {
+
+namespace {
+
+constexpr std::int64_t kStrip = 4;
+
+/// One strip of LANES rows. LANES is a template parameter so the lane
+/// loops fully unroll and the per-lane state stays in registers — that
+/// is the whole point of strip mining.
+template <int kLanes>
+void process_strip(const ScoreScheme& scheme, const BlockArgs& args,
+                   std::int64_t i0, Score* row_h, Score* row_f,
+                   Score strip_diag0, ScoreResult& best) {
+  const Score gap_first = scheme.gap_first();
+  const Score gap_ext = scheme.gap_extend;
+  const Score match = scheme.match;
+  const Score mismatch = scheme.mismatch;
+
+  Score h_left[kLanes];
+  Score e_left[kLanes];
+  seq::Nt q[kLanes];
+  Score best_h[kLanes];
+  std::int64_t best_col[kLanes];
+  for (int r = 0; r < kLanes; ++r) {
+    h_left[r] = args.left_h[i0 + r];
+    e_left[r] = args.left_e[i0 + r];
+    q[r] = args.query[i0 + r];
+    best_h[r] = -1;  // strictly below any reachable H
+    best_col[r] = -1;
+  }
+
+  Score diag0 = strip_diag0;
+  for (std::int64_t j = 0; j < args.cols; ++j) {
+    const seq::Nt sj = args.subject[j];
+    const Score up_h = row_h[j];  // H(i0-1, j) from the strip above
+    const Score up_f = row_f[j];
+
+    Score lane_diag = diag0;
+    Score above_h = up_h;
+    Score above_f = up_f;
+    for (int r = 0; r < kLanes; ++r) {
+      const Score e =
+          std::max<Score>(e_left[r] - gap_ext, h_left[r] - gap_first);
+      const Score f =
+          std::max<Score>(above_f - gap_ext, above_h - gap_first);
+      Score h = lane_diag + (q[r] == sj ? match : mismatch);
+      if (h < e) h = e;
+      if (h < f) h = f;
+      if (h < 0) h = 0;
+
+      lane_diag = h_left[r];  // old H(i0+r, j-1): diag for lane r+1
+      h_left[r] = h;
+      e_left[r] = e;
+      above_h = h;
+      above_f = f;
+      if (h > best_h[r]) {
+        best_h[r] = h;
+        best_col[r] = j;
+      }
+    }
+    row_h[j] = above_h;  // H/F(last strip row, j) for the next strip
+    row_f[j] = above_f;
+    diag0 = up_h;
+  }
+
+  for (int r = 0; r < kLanes; ++r) {
+    args.right_h[i0 + r] = h_left[r];
+    args.right_e[i0 + r] = e_left[r];
+    // Row-major tie-breaking: earlier rows win ties, so only strictly
+    // larger row maxima update the block best.
+    if (best_h[r] > best.score) {
+      best.score = best_h[r];
+      best.end =
+          CellPos{args.global_row + i0 + r, args.global_col + best_col[r]};
+    }
+  }
+}
+
+}  // namespace
+
+BlockResult compute_block_strip(const ScoreScheme& scheme,
+                                const BlockArgs& args) {
+  MGPUSW_CHECK(args.rows > 0 && args.cols > 0);
+
+  if (args.bottom_h != args.top_h) {
+    std::copy(args.top_h, args.top_h + args.cols, args.bottom_h);
+  }
+  if (args.bottom_f != args.top_f) {
+    std::copy(args.top_f, args.top_f + args.cols, args.bottom_f);
+  }
+  Score* const row_h = args.bottom_h;
+  Score* const row_f = args.bottom_f;
+
+  ScoreResult best;
+
+  // H(strip_first_row - 1, block left border): the corner for the first
+  // strip, the saved original left-border value afterwards.
+  Score strip_diag0 = args.corner_h;
+
+  for (std::int64_t i0 = 0; i0 < args.rows; i0 += kStrip) {
+    const std::int64_t lanes =
+        std::min<std::int64_t>(kStrip, args.rows - i0);
+    // Original H(last strip row, left border) before the sweep clobbers
+    // the (possibly aliased) left/right arrays: next strip's diag0.
+    const Score next_strip_diag0 = args.left_h[i0 + lanes - 1];
+
+    switch (lanes) {
+      case 4:
+        process_strip<4>(scheme, args, i0, row_h, row_f, strip_diag0, best);
+        break;
+      case 3:
+        process_strip<3>(scheme, args, i0, row_h, row_f, strip_diag0, best);
+        break;
+      case 2:
+        process_strip<2>(scheme, args, i0, row_h, row_f, strip_diag0, best);
+        break;
+      default:
+        process_strip<1>(scheme, args, i0, row_h, row_f, strip_diag0, best);
+        break;
+    }
+    strip_diag0 = next_strip_diag0;
+  }
+
+  BlockResult result;
+  result.best = best;
+  Score border_max = 0;
+  for (std::int64_t j = 0; j < args.cols; ++j) {
+    border_max = std::max(border_max, args.bottom_h[j]);
+  }
+  for (std::int64_t i = 0; i < args.rows; ++i) {
+    border_max = std::max(border_max, args.right_h[i]);
+  }
+  result.border_max = border_max;
+  return result;
+}
+
+}  // namespace mgpusw::sw

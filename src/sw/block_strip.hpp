@@ -1,0 +1,28 @@
+// Strip-mined block kernel.
+//
+// Processes the block in horizontal strips of four query rows, sweeping
+// columns within a strip: the rolling row arrays (H, F per column) are
+// touched once per strip instead of once per row — a 4x cut in the
+// kernel's array traffic — at the price of a serialized four-deep F
+// dependency chain per column. Bit-identical to sw::compute_block (same
+// borders, same best cell, same tie-breaking); KernelKind::kStripMined
+// selects it in the engine.
+//
+// Measured on the reproduction host (bench/micro_kernels): the plain row
+// sweep wins (~0.56 vs ~0.45 G cells/s at 1024^2) — its single
+// dependency chain pipelines better than the strip's cross-lane F chain,
+// and the row arrays already sit in L1. The kernel is kept as a
+// documented traversal ablation: on machines where the row arrays fall
+// out of cache (much wider blocks) the traffic reduction is the winning
+// term, and the engine lets you choose per configuration.
+#pragma once
+
+#include "sw/block.hpp"
+
+namespace mgpusw::sw {
+
+/// Drop-in alternative to compute_block with 4-row strip mining.
+BlockResult compute_block_strip(const ScoreScheme& scheme,
+                                const BlockArgs& args);
+
+}  // namespace mgpusw::sw

@@ -1,0 +1,111 @@
+#include "sw/heuristic.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/error.hpp"
+
+namespace mgpusw::sw {
+
+Extension ungapped_extend(const ScoreScheme& scheme,
+                          const seq::Sequence& query,
+                          const seq::Sequence& subject, std::int64_t qi,
+                          std::int64_t sj, Score xdrop) {
+  scheme.validate();
+  MGPUSW_REQUIRE(qi >= 0 && qi < query.size(), "anchor row out of range");
+  MGPUSW_REQUIRE(sj >= 0 && sj < subject.size(),
+                 "anchor column out of range");
+  MGPUSW_REQUIRE(xdrop > 0, "xdrop must be positive");
+
+  // Right extension including the anchor pair itself.
+  Score running = 0;
+  Score best_right = 0;
+  std::int64_t best_right_len = 0;  // pairs consumed right of the anchor
+  for (std::int64_t k = 0;
+       qi + k < query.size() && sj + k < subject.size(); ++k) {
+    running += scheme.substitution(query.at(qi + k), subject.at(sj + k));
+    if (running > best_right) {
+      best_right = running;
+      best_right_len = k + 1;
+    }
+    if (running <= best_right - xdrop) break;
+  }
+
+  // Left extension, excluding the anchor pair.
+  running = 0;
+  Score best_left = 0;
+  std::int64_t best_left_len = 0;
+  for (std::int64_t k = 1; qi - k >= 0 && sj - k >= 0; ++k) {
+    running += scheme.substitution(query.at(qi - k), subject.at(sj - k));
+    if (running > best_left) {
+      best_left = running;
+      best_left_len = k;
+    }
+    if (running <= best_left - xdrop) break;
+  }
+
+  Extension extension;
+  extension.score = best_left + best_right;
+  extension.query_begin = qi - best_left_len;
+  extension.query_end = qi + best_right_len;
+  extension.subject_begin = sj - best_left_len;
+  extension.subject_end = sj + best_right_len;
+  return extension;
+}
+
+Extension seed_and_extend(const ScoreScheme& scheme,
+                          const seq::Sequence& query,
+                          const seq::Sequence& subject,
+                          const SeedExtendConfig& config) {
+  scheme.validate();
+  MGPUSW_REQUIRE(config.word >= 4 && config.word <= 31,
+                 "word must be in [4, 31]");
+  MGPUSW_REQUIRE(config.query_stride > 0, "query_stride must be positive");
+
+  Extension best;
+  if (query.size() < config.word || subject.size() < config.word) {
+    return best;
+  }
+  const std::uint64_t mask = (1ULL << (2 * config.word)) - 1;
+
+  // Index subject words.
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> index;
+  std::uint64_t code = 0;
+  for (std::int64_t j = 0; j < subject.size(); ++j) {
+    code = ((code << 2) | static_cast<std::uint64_t>(subject.at(j))) & mask;
+    if (j >= config.word - 1) {
+      auto& positions = index[code];
+      if (static_cast<std::int64_t>(positions.size()) <=
+          config.max_word_hits) {
+        positions.push_back(j - (config.word - 1));
+      }
+    }
+  }
+
+  // Probe query words; extend each fresh (diagonal-deduplicated) seed.
+  std::unordered_set<std::int64_t> extended_diagonals;
+  code = 0;
+  for (std::int64_t i = 0; i < query.size(); ++i) {
+    code = ((code << 2) | static_cast<std::uint64_t>(query.at(i))) & mask;
+    if (i < config.word - 1) continue;
+    const std::int64_t q_start = i - (config.word - 1);
+    if (q_start % config.query_stride != 0) continue;
+    const auto it = index.find(code);
+    if (it == index.end()) continue;
+    if (static_cast<std::int64_t>(it->second.size()) >
+        config.max_word_hits) {
+      continue;
+    }
+    for (const std::int64_t s_start : it->second) {
+      const std::int64_t diagonal = q_start - s_start;
+      if (!extended_diagonals.insert(diagonal).second) continue;
+      const Extension extension = ungapped_extend(
+          scheme, query, subject, q_start, s_start, config.xdrop);
+      if (extension.score > best.score) best = extension;
+    }
+  }
+  return best;
+}
+
+}  // namespace mgpusw::sw

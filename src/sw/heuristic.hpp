@@ -1,0 +1,59 @@
+// Seed-and-extend heuristic alignment (BLAST-style).
+//
+// The paper's motivation: heuristic aligners are fast but may miss or
+// truncate the optimal alignment; exact Smith-Waterman over the full
+// matrix is what the multi-GPU engine makes affordable at megabase
+// scale. This module implements the heuristic side of that comparison —
+// exact-match word seeds (shared k-mers) extended greedily until the
+// running score drops `xdrop` below the best seen — so the benches can
+// measure exactly how much score the heuristic leaves on the table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/sequence.hpp"
+#include "sw/scoring.hpp"
+
+namespace mgpusw::sw {
+
+/// An ungapped extension around an anchor pair.
+struct Extension {
+  Score score = 0;
+  std::int64_t query_begin = 0;
+  std::int64_t query_end = 0;    // half-open
+  std::int64_t subject_begin = 0;
+  std::int64_t subject_end = 0;
+
+  [[nodiscard]] std::int64_t length() const {
+    return query_end - query_begin;
+  }
+};
+
+/// Greedy ungapped X-drop extension through the anchor (qi, sj): extends
+/// left and right along the diagonal while the running score stays
+/// within `xdrop` of the best. Exact for gap-free alignments through the
+/// anchor. Preconditions: 0 <= qi < |query|, 0 <= sj < |subject|.
+[[nodiscard]] Extension ungapped_extend(const ScoreScheme& scheme,
+                                        const seq::Sequence& query,
+                                        const seq::Sequence& subject,
+                                        std::int64_t qi, std::int64_t sj,
+                                        Score xdrop = 20);
+
+struct SeedExtendConfig {
+  int word = 12;                 // seed word size (exact match)
+  Score xdrop = 20;              // extension drop-off
+  std::int64_t max_word_hits = 16;  // skip over-frequent words
+  std::int64_t query_stride = 1;    // probe every n-th query word
+};
+
+/// Full heuristic pipeline: shared-word seeds, deduplicated per
+/// diagonal, each extended ungapped; returns the best-scoring extension
+/// (score 0 if no seed was found). Time roughly linear in the input —
+/// the speed/accuracy trade the paper's exact engine competes against.
+[[nodiscard]] Extension seed_and_extend(const ScoreScheme& scheme,
+                                        const seq::Sequence& query,
+                                        const seq::Sequence& subject,
+                                        const SeedExtendConfig& config = {});
+
+}  // namespace mgpusw::sw

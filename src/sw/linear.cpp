@@ -1,0 +1,137 @@
+#include "sw/linear.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "sw/block.hpp"
+
+namespace mgpusw::sw {
+
+namespace {
+
+std::vector<seq::Nt> unpack(const seq::Sequence& s) {
+  std::vector<seq::Nt> out(static_cast<std::size_t>(s.size()));
+  s.extract(0, s.size(), out.data());
+  return out;
+}
+
+}  // namespace
+
+ScoreResult linear_score_unpacked(const ScoreScheme& scheme,
+                                  const std::vector<seq::Nt>& query,
+                                  const std::vector<seq::Nt>& subject) {
+  scheme.validate();
+  if (query.empty() || subject.empty()) return ScoreResult{};
+
+  const auto rows = static_cast<std::int64_t>(query.size());
+  const auto cols = static_cast<std::int64_t>(subject.size());
+
+  std::vector<Score> row_h(static_cast<std::size_t>(cols), 0);
+  std::vector<Score> row_f(static_cast<std::size_t>(cols), kNegInf);
+  std::vector<Score> col_h(static_cast<std::size_t>(rows), 0);
+  std::vector<Score> col_e(static_cast<std::size_t>(rows), kNegInf);
+
+  BlockArgs args;
+  args.query = query.data();
+  args.subject = subject.data();
+  args.rows = rows;
+  args.cols = cols;
+  args.top_h = row_h.data();
+  args.top_f = row_f.data();
+  args.left_h = col_h.data();
+  args.left_e = col_e.data();
+  args.corner_h = 0;
+  args.bottom_h = row_h.data();
+  args.bottom_f = row_f.data();
+  args.right_h = col_h.data();
+  args.right_e = col_e.data();
+
+  return compute_block(scheme, args).best;
+}
+
+ScoreResult linear_score(const ScoreScheme& scheme,
+                         const seq::Sequence& query,
+                         const seq::Sequence& subject) {
+  return linear_score_unpacked(scheme, unpack(query), unpack(subject));
+}
+
+CellPos find_alignment_start(const ScoreScheme& scheme,
+                             const seq::Sequence& query,
+                             const seq::Sequence& subject,
+                             const ScoreResult& stage1) {
+  scheme.validate();
+  MGPUSW_REQUIRE(stage1.score > 0, "stage-1 result has no alignment");
+  MGPUSW_REQUIRE(stage1.end.row >= 0 && stage1.end.row < query.size(),
+                 "stage-1 end row out of range");
+  MGPUSW_REQUIRE(stage1.end.col >= 0 && stage1.end.col < subject.size(),
+                 "stage-1 end column out of range");
+
+  // Anchored-extension DP on the reversed prefixes: the alignment is
+  // forced to start at reversed cell (0,0) — i.e. to end at `stage1.end`
+  // in the forward matrix — and we look for the farthest cell where the
+  // accumulated score reaches stage1.score. No zero-clamp here: this is
+  // an extension, not a free local alignment.
+  const std::int64_t rows = stage1.end.row + 1;
+  const std::int64_t cols = stage1.end.col + 1;
+
+  std::vector<seq::Nt> rev_q(static_cast<std::size_t>(rows));
+  std::vector<seq::Nt> rev_s(static_cast<std::size_t>(cols));
+  for (std::int64_t i = 0; i < rows; ++i) {
+    rev_q[static_cast<std::size_t>(i)] = query.at(stage1.end.row - i);
+  }
+  for (std::int64_t j = 0; j < cols; ++j) {
+    rev_s[static_cast<std::size_t>(j)] = subject.at(stage1.end.col - j);
+  }
+
+  const Score gap_first = scheme.gap_first();
+  const Score gap_ext = scheme.gap_extend;
+
+  std::vector<Score> row_h(static_cast<std::size_t>(cols), kNegInf);
+  std::vector<Score> row_f(static_cast<std::size_t>(cols), kNegInf);
+
+  Score best = kNegInf;
+  CellPos best_rev{-1, -1};
+
+  Score diag_carry = 0;  // H(-1,-1) of the anchored problem
+  for (std::int64_t i = 0; i < rows; ++i) {
+    Score h_left = kNegInf;
+    Score e_left = kNegInf;
+    Score h_diag = diag_carry;
+    const seq::Nt qa = rev_q[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const Score e = std::max<Score>(e_left - gap_ext, h_left - gap_first);
+      const Score f =
+          std::max<Score>(row_f[static_cast<std::size_t>(j)] - gap_ext,
+                          row_h[static_cast<std::size_t>(j)] - gap_first);
+      Score h = h_diag + scheme.substitution(
+                             qa, rev_s[static_cast<std::size_t>(j)]);
+      if (h < e) h = e;
+      if (h < f) h = f;
+
+      h_diag = row_h[static_cast<std::size_t>(j)];
+      row_h[static_cast<std::size_t>(j)] = h;
+      row_f[static_cast<std::size_t>(j)] = f;
+      h_left = h;
+      e_left = e;
+
+      // Prefer the farthest-reaching start (largest reversed row, then
+      // column) among cells achieving the best score: that matches the
+      // longest optimal alignment ending at stage1.end. Strictly-greater
+      // keeps the first such cell scanning forward; we instead prefer
+      // later cells on ties deliberately (>=) to maximise extension.
+      if (h >= best) {
+        best = h;
+        best_rev = CellPos{i, j};
+      }
+    }
+    diag_carry = kNegInf;  // H(i, -1) is unreachable for i >= 0
+  }
+
+  MGPUSW_CHECK_MSG(best == stage1.score,
+                   "anchored reverse scan found " << best
+                       << ", stage 1 reported " << stage1.score);
+  return CellPos{stage1.end.row - best_rev.row,
+                 stage1.end.col - best_rev.col};
+}
+
+}  // namespace mgpusw::sw

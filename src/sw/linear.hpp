@@ -1,0 +1,37 @@
+// Serial linear-memory Smith-Waterman score scan.
+//
+// This is the CPU baseline of the evaluation (experiment R-B1) and the
+// ground-truth oracle for every parallel decomposition on inputs too
+// large for the full-matrix reference. Memory: O(n) for the rolling row
+// plus the unpacked sequences.
+#pragma once
+
+#include <vector>
+
+#include "seq/sequence.hpp"
+#include "sw/scoring.hpp"
+
+namespace mgpusw::sw {
+
+/// Computes the optimal local alignment score (and end cell) of query vs
+/// subject using one full-width block sweep.
+[[nodiscard]] ScoreResult linear_score(const ScoreScheme& scheme,
+                                       const seq::Sequence& query,
+                                       const seq::Sequence& subject);
+
+/// As linear_score but over pre-unpacked nucleotide arrays; used by
+/// callers that already hold unpacked caches.
+[[nodiscard]] ScoreResult linear_score_unpacked(
+    const ScoreScheme& scheme, const std::vector<seq::Nt>& query,
+    const std::vector<seq::Nt>& subject);
+
+/// Finds the start cell of an optimal local alignment that ends at `end`:
+/// runs the same scan on the reversed prefixes and mirrors the result
+/// (CUDAlign stage-2 technique). Returns the (row, col) of the first
+/// aligned pair. Requires end to be a real cell of a non-empty alignment.
+[[nodiscard]] CellPos find_alignment_start(const ScoreScheme& scheme,
+                                           const seq::Sequence& query,
+                                           const seq::Sequence& subject,
+                                           const ScoreResult& stage1);
+
+}  // namespace mgpusw::sw

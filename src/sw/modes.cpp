@@ -1,0 +1,129 @@
+#include "sw/modes.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace mgpusw::sw {
+
+namespace {
+
+struct ModeSpec {
+  bool free_top;        // H(0, j) = 0 instead of gap costs
+  bool free_left;       // H(i, 0) = 0 instead of gap costs
+  bool best_last_row;   // take the max over the last row
+  bool best_last_col;   // take the max over the last column
+};
+
+/// One boundary-parameterised Gotoh sweep (no zero-clamp). Returns the
+/// best end cell according to the mode; for pure-global modes that is
+/// the bottom-right corner.
+ScoreResult gotoh_sweep(const ScoreScheme& scheme,
+                        const seq::Sequence& query,
+                        const seq::Sequence& subject,
+                        const ModeSpec& mode) {
+  scheme.validate();
+  const std::int64_t rows = query.size();
+  const std::int64_t cols = subject.size();
+  const Score gap_first = scheme.gap_first();
+  const Score gap_ext = scheme.gap_extend;
+
+  auto boundary_cost = [&](std::int64_t k) -> Score {
+    return -(scheme.gap_open + static_cast<Score>(k) * gap_ext);
+  };
+
+  // Degenerate shapes: an empty side leaves only boundary cells.
+  if (rows == 0 || cols == 0) {
+    ScoreResult result;
+    if (rows == 0 && cols == 0) return result;
+    if (rows == 0) {
+      result.score = mode.free_top ? 0 : boundary_cost(cols);
+    } else {
+      result.score = mode.free_left ? 0 : boundary_cost(rows);
+    }
+    return result;
+  }
+
+  const auto width = static_cast<std::size_t>(cols);
+  std::vector<Score> row_h(width);
+  std::vector<Score> row_f(width, kNegInf);
+  for (std::int64_t j = 0; j < cols; ++j) {
+    row_h[static_cast<std::size_t>(j)] =
+        mode.free_top ? 0 : boundary_cost(j + 1);
+  }
+
+  ScoreResult best{kNegInf, {-1, -1}};
+  Score diag_boundary = 0;  // H(i-1, 0 boundary) carried across rows
+
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const seq::Nt qa = query.at(i);
+    const Score left_boundary_h =
+        mode.free_left ? 0 : boundary_cost(i + 1);
+    Score h_left = left_boundary_h;
+    Score e_left = kNegInf;
+    Score h_diag = diag_boundary;
+    diag_boundary = left_boundary_h;
+
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const auto sj = static_cast<std::size_t>(j);
+      const Score e =
+          std::max<Score>(e_left - gap_ext, h_left - gap_first);
+      const Score f =
+          std::max<Score>(row_f[sj] - gap_ext, row_h[sj] - gap_first);
+      Score h = h_diag + scheme.substitution(qa, subject.at(j));
+      if (h < e) h = e;
+      if (h < f) h = f;
+
+      h_diag = row_h[sj];
+      row_h[sj] = h;
+      row_f[sj] = f;
+      h_left = h;
+      e_left = e;
+
+      const bool candidate =
+          (mode.best_last_row && i == rows - 1) ||
+          (mode.best_last_col && j == cols - 1) ||
+          (!mode.best_last_row && !mode.best_last_col &&
+           i == rows - 1 && j == cols - 1);
+      if (candidate) {
+        const ScoreResult cell{h, CellPos{i, j}};
+        if (cell.score > best.score ||
+            (cell.score == best.score &&
+             (cell.end.row < best.end.row ||
+              (cell.end.row == best.end.row &&
+               cell.end.col < best.end.col)))) {
+          best = cell;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Score global_score(const ScoreScheme& scheme, const seq::Sequence& query,
+                   const seq::Sequence& subject) {
+  return gotoh_sweep(scheme, query, subject,
+                     ModeSpec{false, false, false, false})
+      .score;
+}
+
+ScoreResult semi_global_score(const ScoreScheme& scheme,
+                              const seq::Sequence& query,
+                              const seq::Sequence& subject) {
+  if (query.empty()) return ScoreResult{};
+  return gotoh_sweep(scheme, query, subject,
+                     ModeSpec{true, false, true, false});
+}
+
+ScoreResult overlap_score(const ScoreScheme& scheme,
+                          const seq::Sequence& query,
+                          const seq::Sequence& subject) {
+  if (query.empty() || subject.empty()) return ScoreResult{};
+  return gotoh_sweep(scheme, query, subject,
+                     ModeSpec{true, true, true, true});
+}
+
+}  // namespace mgpusw::sw

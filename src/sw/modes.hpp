@@ -1,0 +1,41 @@
+// Alignment modes beyond local Smith-Waterman (extension).
+//
+// The paper's stage 1 computes local alignments; production aligners in
+// the same family also need:
+//   * global        — both sequences end to end (Needleman-Wunsch);
+//   * semi-global   — the query end to end, anywhere in the subject
+//                     ("glocal": read-vs-chromosome placement);
+//   * overlap       — free leading and trailing gaps on both sides
+//                     (dovetail detection between fragments).
+// All three share the Gotoh recurrences without the zero-clamp; they
+// differ only in boundary initialisation and where the result is read.
+// Linear memory, score only.
+#pragma once
+
+#include "seq/sequence.hpp"
+#include "sw/scoring.hpp"
+
+namespace mgpusw::sw {
+
+/// Global (NW) score over the full sequences; equals
+/// reference_global_score but without the quadratic-memory size guard.
+[[nodiscard]] Score global_score(const ScoreScheme& scheme,
+                                 const seq::Sequence& query,
+                                 const seq::Sequence& subject);
+
+/// Semi-global: the whole query aligned against any subject substring.
+/// Returns the best score and its end cell (end.row is always
+/// query.size()-1). Empty query -> score 0 at (-1,-1).
+[[nodiscard]] ScoreResult semi_global_score(const ScoreScheme& scheme,
+                                            const seq::Sequence& query,
+                                            const seq::Sequence& subject);
+
+/// Overlap (dovetail): free gaps at the beginning and end of both
+/// sequences; the alignment must still cross the matrix (a suffix of one
+/// sequence against a prefix of the other, or containment). Returns the
+/// best score over the last row and last column.
+[[nodiscard]] ScoreResult overlap_score(const ScoreScheme& scheme,
+                                        const seq::Sequence& query,
+                                        const seq::Sequence& subject);
+
+}  // namespace mgpusw::sw

@@ -1,0 +1,269 @@
+#include "sw/myers_miller.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/error.hpp"
+#include "sw/linear.hpp"
+
+namespace mgpusw::sw {
+
+namespace {
+
+/// Gap run cost: gap(0) = 0, gap(k) = open + k*extend (positive cost).
+Score gap_cost(const ScoreScheme& s, std::int64_t k) {
+  if (k <= 0) return 0;
+  return s.gap_open + static_cast<Score>(k) * s.gap_extend;
+}
+
+/// Recursive Myers–Miller worker operating on unpacked base arrays.
+///
+/// Aligns a[0..m) against b[0..n) globally. tb / te are the gap-open
+/// costs charged to a deletion run touching the top / bottom boundary
+/// (0 when the run continues into the neighbouring region, gap_open
+/// otherwise); insertions always open at full cost because the divide
+/// cuts horizontally and can never split an insertion run.
+class MmWorker {
+ public:
+  MmWorker(const ScoreScheme& scheme, std::string& ops)
+      : s_(scheme), ops_(ops) {}
+
+  void diff(const seq::Nt* a, std::int64_t m, const seq::Nt* b,
+            std::int64_t n, Score tb, Score te) {
+    if (n == 0) {
+      emit('D', m);
+      return;
+    }
+    if (m == 0) {
+      emit('I', n);
+      return;
+    }
+    if (m == 1) {
+      single_row(a[0], b, n, tb, te);
+      return;
+    }
+
+    const std::int64_t mid = m / 2;
+    forward(a, mid, b, n, tb);
+    reverse(a + mid, m - mid, b, n, te);
+
+    // Choose the split column (and whether the cut passes through a
+    // deletion run) maximising the joined score.
+    Score best = kNegInf;
+    std::int64_t best_j = 0;
+    bool best_in_gap = false;
+    for (std::int64_t j = 0; j <= n; ++j) {
+      const auto sj = static_cast<std::size_t>(j);
+      const auto rj = static_cast<std::size_t>(n - j);
+      const Score joined = cc_[sj] + rr_[rj];
+      if (joined > best) {
+        best = joined;
+        best_j = j;
+        best_in_gap = false;
+      }
+      // A deletion run crossing the cut: both halves charged an open, so
+      // add one back.
+      const Score joined_gap = dd_[sj] + ss_[rj] + s_.gap_open;
+      if (joined_gap > best) {
+        best = joined_gap;
+        best_j = j;
+        best_in_gap = true;
+      }
+    }
+
+    if (!best_in_gap) {
+      diff(a, mid, b, best_j, tb, s_.gap_open);
+      diff(a + mid, m - mid, b + best_j, n - best_j, s_.gap_open, te);
+    } else {
+      // Rows mid-1 and mid belong to one deletion run spanning the cut.
+      diff(a, mid - 1, b, best_j, tb, 0);
+      emit('D', 2);
+      diff(a + mid + 1, m - mid - 1, b + best_j, n - best_j, 0, te);
+    }
+  }
+
+ private:
+  void emit(char op, std::int64_t count) {
+    ops_.append(static_cast<std::size_t>(count), op);
+  }
+
+  /// Exact handling of a single query character (base case).
+  void single_row(seq::Nt a, const seq::Nt* b, std::int64_t n, Score tb,
+                  Score te) {
+    // Option A: delete `a` first (open tb), then insert all of b.
+    Score best = -(tb + s_.gap_extend) - gap_cost(s_, n);
+    int best_kind = 0;
+    std::int64_t best_j = -1;
+    // Option B: insert all of b, then delete `a` (open te).
+    const Score option_b = -gap_cost(s_, n) - (te + s_.gap_extend);
+    if (option_b > best) {
+      best = option_b;
+      best_kind = 1;
+    }
+    // Option C: align `a` against b[j], inserting around it.
+    for (std::int64_t j = 0; j < n; ++j) {
+      const Score score = -gap_cost(s_, j) +
+                          s_.substitution(a, b[j]) -
+                          gap_cost(s_, n - j - 1);
+      if (score > best) {
+        best = score;
+        best_kind = 2;
+        best_j = j;
+      }
+    }
+
+    switch (best_kind) {
+      case 0:
+        emit('D', 1);
+        emit('I', n);
+        break;
+      case 1:
+        emit('I', n);
+        emit('D', 1);
+        break;
+      default:
+        emit('I', best_j);
+        emit(a == b[best_j] ? '=' : 'X', 1);
+        emit('I', n - best_j - 1);
+        break;
+    }
+  }
+
+  /// Forward pass: cc_[j] = best score aligning a[0..m) vs b[0..j);
+  /// dd_[j] = same but constrained to end in a deletion (consuming a's
+  /// last row), with the top-boundary deletion open cost tb.
+  void forward(const seq::Nt* a, std::int64_t m, const seq::Nt* b,
+               std::int64_t n, Score tb) {
+    resize(n);
+    cc_[0] = 0;
+    Score t = -s_.gap_open;
+    for (std::int64_t j = 1; j <= n; ++j) {
+      t -= s_.gap_extend;
+      cc_[static_cast<std::size_t>(j)] = t;
+      dd_[static_cast<std::size_t>(j)] = t - s_.gap_open;
+    }
+    t = -tb;
+    for (std::int64_t i = 1; i <= m; ++i) {
+      Score diag = cc_[0];
+      t -= s_.gap_extend;
+      Score c = t;
+      cc_[0] = c;
+      dd_[0] = c;  // column 0 ends in the boundary deletion run
+      Score e = t - s_.gap_open;
+      for (std::int64_t j = 1; j <= n; ++j) {
+        const auto sj = static_cast<std::size_t>(j);
+        e = std::max<Score>(e, c - s_.gap_open) - s_.gap_extend;
+        dd_[sj] = std::max<Score>(dd_[sj], cc_[sj] - s_.gap_open) -
+                  s_.gap_extend;
+        c = std::max({dd_[sj], e, diag + s_.substitution(a[i - 1], b[j - 1])});
+        diag = cc_[sj];
+        cc_[sj] = c;
+      }
+    }
+  }
+
+  /// Reverse pass over the mirrored problem: rr_[k] = best score aligning
+  /// a[m-?..) suffixes — rr_[k] corresponds to aligning all of `a` vs the
+  /// last k characters of b; ss_ is the deletion-constrained variant with
+  /// bottom open cost te.
+  void reverse(const seq::Nt* a, std::int64_t m, const seq::Nt* b,
+               std::int64_t n, Score te) {
+    resize_rev(n);
+    rr_[0] = 0;
+    Score t = -s_.gap_open;
+    for (std::int64_t j = 1; j <= n; ++j) {
+      t -= s_.gap_extend;
+      rr_[static_cast<std::size_t>(j)] = t;
+      ss_[static_cast<std::size_t>(j)] = t - s_.gap_open;
+    }
+    t = -te;
+    for (std::int64_t i = 1; i <= m; ++i) {
+      Score diag = rr_[0];
+      t -= s_.gap_extend;
+      Score c = t;
+      rr_[0] = c;
+      ss_[0] = c;
+      Score e = t - s_.gap_open;
+      for (std::int64_t j = 1; j <= n; ++j) {
+        const auto sj = static_cast<std::size_t>(j);
+        e = std::max<Score>(e, c - s_.gap_open) - s_.gap_extend;
+        ss_[sj] = std::max<Score>(ss_[sj], rr_[sj] - s_.gap_open) -
+                  s_.gap_extend;
+        c = std::max({ss_[sj], e,
+                      diag + s_.substitution(a[m - i], b[n - j])});
+        diag = rr_[sj];
+        rr_[sj] = c;
+      }
+    }
+  }
+
+  void resize(std::int64_t n) {
+    cc_.resize(static_cast<std::size_t>(n + 1));
+    dd_.resize(static_cast<std::size_t>(n + 1));
+  }
+  void resize_rev(std::int64_t n) {
+    rr_.resize(static_cast<std::size_t>(n + 1));
+    ss_.resize(static_cast<std::size_t>(n + 1));
+  }
+
+  const ScoreScheme& s_;
+  std::string& ops_;
+  std::vector<Score> cc_, dd_, rr_, ss_;
+};
+
+std::vector<seq::Nt> unpack(const seq::Sequence& s) {
+  std::vector<seq::Nt> out(static_cast<std::size_t>(s.size()));
+  if (s.size() > 0) s.extract(0, s.size(), out.data());
+  return out;
+}
+
+}  // namespace
+
+Alignment global_align(const ScoreScheme& scheme,
+                       const seq::Sequence& query,
+                       const seq::Sequence& subject) {
+  scheme.validate();
+  const std::vector<seq::Nt> a = unpack(query);
+  const std::vector<seq::Nt> b = unpack(subject);
+
+  Alignment alignment;
+  alignment.query_end = query.size();
+  alignment.subject_end = subject.size();
+
+  MmWorker worker(scheme, alignment.ops);
+  worker.diff(a.data(), query.size(), b.data(), subject.size(),
+              scheme.gap_open, scheme.gap_open);
+  alignment.score = score_of_ops(scheme, alignment.ops);
+  return alignment;
+}
+
+Alignment local_align(const ScoreScheme& scheme, const seq::Sequence& query,
+                      const seq::Sequence& subject) {
+  scheme.validate();
+  const ScoreResult stage1 = linear_score(scheme, query, subject);
+  if (stage1.score == 0) return Alignment{};
+
+  const CellPos start = find_alignment_start(scheme, query, subject, stage1);
+
+  const std::int64_t q_len = stage1.end.row - start.row + 1;
+  const std::int64_t s_len = stage1.end.col - start.col + 1;
+  const seq::Sequence q_slice = query.subsequence(start.row, q_len);
+  const seq::Sequence s_slice = subject.subsequence(start.col, s_len);
+
+  Alignment inner = global_align(scheme, q_slice, s_slice);
+
+  Alignment alignment;
+  alignment.query_begin = start.row;
+  alignment.query_end = stage1.end.row + 1;
+  alignment.subject_begin = start.col;
+  alignment.subject_end = stage1.end.col + 1;
+  alignment.ops = std::move(inner.ops);
+  alignment.score = inner.score;
+
+  MGPUSW_CHECK_MSG(alignment.score == stage1.score,
+                   "stage-3 alignment score " << alignment.score
+                       << " != stage-1 score " << stage1.score);
+  return alignment;
+}
+
+}  // namespace mgpusw::sw

@@ -1,0 +1,31 @@
+// Myers–Miller linear-space optimal alignment (extension: CUDAlign's
+// later stages retrieve the full alignment after stage 1 finds the score;
+// this module provides that retrieval at laptop scale).
+//
+// global_align computes an optimal *global* alignment (Needleman–Wunsch
+// with affine gaps) in O(m+n) memory using the Myers–Miller divide and
+// conquer. local_align composes the full stage pipeline:
+//   stage 1  linear_score          -> optimal score + end cell
+//   stage 2  find_alignment_start  -> start cell (reverse anchored scan)
+//   stage 3  global_align          -> ops between start and end
+#pragma once
+
+#include "seq/sequence.hpp"
+#include "sw/alignment.hpp"
+#include "sw/scoring.hpp"
+
+namespace mgpusw::sw {
+
+/// Optimal global alignment of the full sequences in linear space.
+[[nodiscard]] Alignment global_align(const ScoreScheme& scheme,
+                                     const seq::Sequence& query,
+                                     const seq::Sequence& subject);
+
+/// Optimal local alignment retrieved through the three-stage pipeline.
+/// Linear memory in the sequence lengths (quadratic time in the aligned
+/// region, as in the paper's stage hierarchy).
+[[nodiscard]] Alignment local_align(const ScoreScheme& scheme,
+                                    const seq::Sequence& query,
+                                    const seq::Sequence& subject);
+
+}  // namespace mgpusw::sw

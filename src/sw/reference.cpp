@@ -1,0 +1,215 @@
+#include "sw/reference.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace mgpusw::sw {
+
+namespace {
+
+struct FullMatrices {
+  std::int64_t rows = 0;  // query length
+  std::int64_t cols = 0;  // subject length
+  // (rows+1) x (cols+1), row-major; index 0 is the boundary.
+  std::vector<Score> h, e, f;
+
+  [[nodiscard]] std::size_t idx(std::int64_t i, std::int64_t j) const {
+    return static_cast<std::size_t>(i * (cols + 1) + j);
+  }
+};
+
+FullMatrices fill_local(const ScoreScheme& scheme,
+                        const seq::Sequence& query,
+                        const seq::Sequence& subject) {
+  FullMatrices m;
+  m.rows = query.size();
+  m.cols = subject.size();
+  const std::size_t total =
+      static_cast<std::size_t>((m.rows + 1) * (m.cols + 1));
+  m.h.assign(total, 0);
+  m.e.assign(total, kNegInf);
+  m.f.assign(total, kNegInf);
+
+  const Score gap_first = scheme.gap_first();
+  const Score gap_ext = scheme.gap_extend;
+
+  for (std::int64_t i = 1; i <= m.rows; ++i) {
+    const seq::Nt qa = query.at(i - 1);
+    for (std::int64_t j = 1; j <= m.cols; ++j) {
+      const std::size_t cur = m.idx(i, j);
+      const Score e = std::max<Score>(m.e[m.idx(i, j - 1)] - gap_ext,
+                                      m.h[m.idx(i, j - 1)] - gap_first);
+      const Score f = std::max<Score>(m.f[m.idx(i - 1, j)] - gap_ext,
+                                      m.h[m.idx(i - 1, j)] - gap_first);
+      Score h = m.h[m.idx(i - 1, j - 1)] +
+                scheme.substitution(qa, subject.at(j - 1));
+      if (h < e) h = e;
+      if (h < f) h = f;
+      if (h < 0) h = 0;
+      m.e[cur] = e;
+      m.f[cur] = f;
+      m.h[cur] = h;
+    }
+  }
+  return m;
+}
+
+void check_size(const seq::Sequence& query, const seq::Sequence& subject,
+                std::int64_t max_cells) {
+  const std::int64_t cells = query.size() * subject.size();
+  MGPUSW_REQUIRE(cells <= max_cells,
+                 "reference implementation limited to "
+                     << max_cells << " cells, got " << cells
+                     << "; use linear_score / the engine instead");
+}
+
+ScoreResult best_cell(const FullMatrices& m) {
+  ScoreResult best;
+  for (std::int64_t i = 1; i <= m.rows; ++i) {
+    for (std::int64_t j = 1; j <= m.cols; ++j) {
+      const Score h = m.h[m.idx(i, j)];
+      if (h > best.score) {
+        best.score = h;
+        best.end = CellPos{i - 1, j - 1};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ScoreResult reference_score(const ScoreScheme& scheme,
+                            const seq::Sequence& query,
+                            const seq::Sequence& subject,
+                            std::int64_t max_cells) {
+  scheme.validate();
+  check_size(query, subject, max_cells);
+  if (query.empty() || subject.empty()) return ScoreResult{};
+  return best_cell(fill_local(scheme, query, subject));
+}
+
+Alignment reference_local_alignment(const ScoreScheme& scheme,
+                                    const seq::Sequence& query,
+                                    const seq::Sequence& subject,
+                                    std::int64_t max_cells) {
+  scheme.validate();
+  check_size(query, subject, max_cells);
+  Alignment alignment;
+  if (query.empty() || subject.empty()) return alignment;
+
+  const FullMatrices m = fill_local(scheme, query, subject);
+  const ScoreResult best = best_cell(m);
+  alignment.score = best.score;
+  if (best.score == 0) return alignment;
+
+  const Score gap_first = scheme.gap_first();
+  const Score gap_ext = scheme.gap_extend;
+
+  // Traceback from the best H cell. state: 0 = H, 1 = E, 2 = F.
+  std::string reversed_ops;
+  std::int64_t i = best.end.row + 1;
+  std::int64_t j = best.end.col + 1;
+  int state = 0;
+  while (true) {
+    if (state == 0) {
+      const Score h = m.h[m.idx(i, j)];
+      if (h == 0) break;
+      const Score diag = m.h[m.idx(i - 1, j - 1)] +
+                         scheme.substitution(query.at(i - 1),
+                                             subject.at(j - 1));
+      if (h == diag) {
+        reversed_ops.push_back(
+            query.at(i - 1) == subject.at(j - 1) ? '=' : 'X');
+        --i;
+        --j;
+      } else if (h == m.e[m.idx(i, j)]) {
+        state = 1;
+      } else {
+        MGPUSW_CHECK(h == m.f[m.idx(i, j)]);
+        state = 2;
+      }
+    } else if (state == 1) {
+      reversed_ops.push_back('I');
+      const Score e = m.e[m.idx(i, j)];
+      const bool extend = e == m.e[m.idx(i, j - 1)] - gap_ext;
+      --j;
+      if (!extend) {
+        MGPUSW_CHECK(e == m.h[m.idx(i, j)] - gap_first);
+        state = 0;
+      }
+    } else {
+      reversed_ops.push_back('D');
+      const Score f = m.f[m.idx(i, j)];
+      const bool extend = f == m.f[m.idx(i - 1, j)] - gap_ext;
+      --i;
+      if (!extend) {
+        MGPUSW_CHECK(f == m.h[m.idx(i, j)] - gap_first);
+        state = 0;
+      }
+    }
+  }
+
+  alignment.query_begin = i;
+  alignment.subject_begin = j;
+  alignment.query_end = best.end.row + 1;
+  alignment.subject_end = best.end.col + 1;
+  alignment.ops.assign(reversed_ops.rbegin(), reversed_ops.rend());
+  return alignment;
+}
+
+Score reference_global_score(const ScoreScheme& scheme,
+                             const seq::Sequence& query,
+                             const seq::Sequence& subject,
+                             std::int64_t max_cells) {
+  scheme.validate();
+  check_size(query, subject, max_cells);
+  const std::int64_t rows = query.size();
+  const std::int64_t cols = subject.size();
+  if (rows == 0 && cols == 0) return 0;
+
+  const Score gap_first = scheme.gap_first();
+  const Score gap_ext = scheme.gap_extend;
+
+  const auto width = static_cast<std::size_t>(cols + 1);
+  std::vector<Score> h(width), e(width), f(width);
+  // Row 0: global boundary — inserts along the top.
+  h[0] = 0;
+  e[0] = kNegInf;
+  f[0] = kNegInf;
+  for (std::int64_t j = 1; j <= cols; ++j) {
+    h[static_cast<std::size_t>(j)] =
+        -(scheme.gap_open + static_cast<Score>(j) * gap_ext);
+    e[static_cast<std::size_t>(j)] = h[static_cast<std::size_t>(j)];
+    f[static_cast<std::size_t>(j)] = kNegInf;
+  }
+
+  for (std::int64_t i = 1; i <= rows; ++i) {
+    Score diag = h[0];
+    h[0] = -(scheme.gap_open + static_cast<Score>(i) * gap_ext);
+    Score f_left = h[0];  // F state along the left boundary
+    Score e_cur = kNegInf;
+    const seq::Nt qa = query.at(i - 1);
+    // f vector currently holds row i-1's F; overwrite in place.
+    f[0] = f_left;
+    Score h_left = h[0];
+    for (std::int64_t j = 1; j <= cols; ++j) {
+      const auto sj = static_cast<std::size_t>(j);
+      e_cur = std::max<Score>(e_cur - gap_ext, h_left - gap_first);
+      const Score f_cur =
+          std::max<Score>(f[sj] - gap_ext, h[sj] - gap_first);
+      Score best = diag + scheme.substitution(qa, subject.at(j - 1));
+      if (best < e_cur) best = e_cur;
+      if (best < f_cur) best = f_cur;
+      diag = h[sj];
+      h[sj] = best;
+      f[sj] = f_cur;
+      h_left = best;
+    }
+  }
+  return h[static_cast<std::size_t>(cols)];
+}
+
+}  // namespace mgpusw::sw

@@ -1,0 +1,43 @@
+// Full-matrix reference implementation (ground truth).
+//
+// Keeps the complete H/E/F matrices in memory and supports traceback.
+// Quadratic memory restricts it to small inputs — it exists to validate
+// every other implementation, never to run the paper's workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "seq/sequence.hpp"
+#include "sw/alignment.hpp"
+#include "sw/scoring.hpp"
+
+namespace mgpusw::sw {
+
+/// Default cap on matrix cells for the reference (64 MiB * 3 matrices at
+/// 4 bytes per cell ≈ 0.75 GiB would be too much; 8M cells ≈ 96 MiB).
+constexpr std::int64_t kDefaultReferenceCellLimit = 8'000'000;
+
+/// Best local score + end cell via the full matrix. Throws
+/// InvalidArgument when rows*cols exceeds max_cells.
+[[nodiscard]] ScoreResult reference_score(
+    const ScoreScheme& scheme, const seq::Sequence& query,
+    const seq::Sequence& subject,
+    std::int64_t max_cells = kDefaultReferenceCellLimit);
+
+/// Optimal local alignment with traceback. The returned alignment ends at
+/// the same cell reference_score reports and its stored score equals the
+/// optimal score (any co-optimal path may be returned; callers validate
+/// with validate_alignment).
+[[nodiscard]] Alignment reference_local_alignment(
+    const ScoreScheme& scheme, const seq::Sequence& query,
+    const seq::Sequence& subject,
+    std::int64_t max_cells = kDefaultReferenceCellLimit);
+
+/// Optimal *global* (Needleman–Wunsch, affine gaps) alignment score of the
+/// full sequences, full-matrix; oracle for the Myers–Miller module.
+[[nodiscard]] Score reference_global_score(
+    const ScoreScheme& scheme, const seq::Sequence& query,
+    const seq::Sequence& subject,
+    std::int64_t max_cells = kDefaultReferenceCellLimit);
+
+}  // namespace mgpusw::sw

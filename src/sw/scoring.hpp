@@ -1,0 +1,89 @@
+// Scoring parameters and result types for Smith-Waterman with affine gaps
+// (Gotoh recurrences).
+//
+// Conventions (identical across every implementation in this repo, which
+// is what makes the block/multi-device decompositions testable):
+//
+//   s(a,b)   = match        if a == b, else mismatch (mismatch < 0)
+//   E[i][j]  = max(E[i][j-1] - gap_extend, H[i][j-1] - gap_first)
+//   F[i][j]  = max(F[i-1][j] - gap_extend, H[i-1][j] - gap_first)
+//   H[i][j]  = max(0, H[i-1][j-1] + s(a_i,b_j), E[i][j], F[i][j])
+//
+// where gap_first = gap_open + gap_extend is the cost of the first gap
+// character (CUDAlign's convention: first gap -5, each extension -2 with
+// the defaults below). The reported result is the maximum H over the
+// whole matrix together with its coordinates; ties resolve to the
+// smallest row, then the smallest column, so that every implementation
+// (serial, blocked, multi-device, pruned) reports the identical cell.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "base/error.hpp"
+#include "seq/alphabet.hpp"
+
+namespace mgpusw::sw {
+
+using Score = std::int32_t;
+
+/// Sentinel for "no gap can be open here". Half of INT32_MIN so that one
+/// subtraction of a gap penalty cannot wrap around.
+constexpr Score kNegInf = std::numeric_limits<Score>::min() / 2;
+
+struct ScoreScheme {
+  Score match = 1;
+  Score mismatch = -3;
+  Score gap_open = 3;    // extra cost of opening (positive magnitude)
+  Score gap_extend = 2;  // cost per gap character (positive magnitude)
+
+  /// Cost of the first character of a gap.
+  [[nodiscard]] constexpr Score gap_first() const {
+    return gap_open + gap_extend;
+  }
+
+  [[nodiscard]] constexpr Score substitution(seq::Nt a, seq::Nt b) const {
+    return a == b ? match : mismatch;
+  }
+
+  /// Throws InvalidArgument unless the scheme satisfies the assumptions
+  /// the DP recurrences rely on (positive match, non-positive mismatch,
+  /// positive gap penalties).
+  void validate() const {
+    MGPUSW_REQUIRE(match > 0, "match score must be positive");
+    MGPUSW_REQUIRE(mismatch <= 0, "mismatch score must be non-positive");
+    MGPUSW_REQUIRE(gap_open >= 0, "gap_open must be non-negative");
+    MGPUSW_REQUIRE(gap_extend > 0, "gap_extend must be positive");
+  }
+};
+
+/// Matrix coordinates of a DP cell, 0-based over the sequences: row r and
+/// column c mean the cell where query[r] is aligned against subject[c].
+struct CellPos {
+  std::int64_t row = -1;
+  std::int64_t col = -1;
+
+  bool operator==(const CellPos&) const = default;
+};
+
+/// Stage-1 output: the optimal local alignment score and where it ends.
+struct ScoreResult {
+  Score score = 0;
+  CellPos end;  // (-1,-1) when score == 0 (empty alignment)
+
+  bool operator==(const ScoreResult&) const = default;
+};
+
+/// Tie-breaking reduction shared by all implementations: higher score
+/// wins; on equal score the smaller row, then the smaller column wins.
+[[nodiscard]] inline bool improves(const ScoreResult& candidate,
+                                   const ScoreResult& best) {
+  if (candidate.score != best.score) return candidate.score > best.score;
+  if (candidate.score == 0) return false;
+  if (candidate.end.row != best.end.row) {
+    return candidate.end.row < best.end.row;
+  }
+  return candidate.end.col < best.end.col;
+}
+
+}  // namespace mgpusw::sw

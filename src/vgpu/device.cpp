@@ -1,0 +1,182 @@
+#include "vgpu/device.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "base/error.hpp"
+#include "base/time.hpp"
+
+namespace mgpusw::vgpu {
+
+namespace {
+
+int resolve_workers(const DeviceSpec& spec, const DeviceOptions& options) {
+  if (options.worker_threads > 0) return options.worker_threads;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<int>(
+      std::min<unsigned>(static_cast<unsigned>(spec.sm_count), hw));
+}
+
+}  // namespace
+
+Device::Device(DeviceSpec spec, DeviceOptions options)
+    : spec_(std::move(spec)), options_(options) {
+  MGPUSW_REQUIRE(options_.slowdown >= 1.0,
+                 "slowdown must be >= 1.0, got " << options_.slowdown);
+  pool_ = std::make_unique<base::ThreadPool>(
+      static_cast<std::size_t>(resolve_workers(spec_, options_)));
+}
+
+Device::~Device() { pool_->shutdown(); }
+
+int Device::worker_count() const { return static_cast<int>(pool_->size()); }
+
+void Device::execute(std::function<void()> task) {
+  pool_->submit(std::move(task));
+}
+
+void Device::synchronize() { pool_->wait_idle(); }
+
+void Device::account_kernel(std::int64_t busy_ns, std::int64_t cells) {
+  kernels_.fetch_add(1, std::memory_order_relaxed);
+  cells_.fetch_add(cells, std::memory_order_relaxed);
+  std::int64_t total_ns = busy_ns;
+  if (options_.slowdown > 1.0) {
+    const auto penalty =
+        static_cast<std::int64_t>((options_.slowdown - 1.0) *
+                                  static_cast<double>(busy_ns));
+    // Busy-wait: sleeping would release the core to other virtual
+    // devices, inflating aggregate throughput beyond what a slower
+    // physical device would deliver.
+    base::WallTimer timer;
+    while (timer.elapsed_ns() < penalty) {
+    }
+    total_ns += penalty;
+  }
+  busy_ns_.fetch_add(total_ns, std::memory_order_relaxed);
+}
+
+DeviceBuffer Device::allocate(std::int64_t bytes) {
+  MGPUSW_REQUIRE(bytes >= 0, "allocation size must be non-negative");
+  const std::int64_t used =
+      memory_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (used > spec_.memory_bytes) {
+    memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw Error(spec_.name + ": device out of memory (requested " +
+                std::to_string(bytes) + " bytes, " +
+                std::to_string(spec_.memory_bytes - (used - bytes)) +
+                " available)");
+  }
+  return DeviceBuffer(this, bytes);
+}
+
+void Device::release(std::int64_t bytes) {
+  memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Event
+
+struct Event::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool recorded = false;
+  bool done = false;
+};
+
+Event::Event() : state_(std::make_shared<State>()) {}
+
+void Event::wait() {
+  std::unique_lock lock(state_->mu);
+  state_->cv.wait(lock,
+                  [this] { return !state_->recorded || state_->done; });
+}
+
+bool Event::ready() const {
+  std::lock_guard lock(state_->mu);
+  return !state_->recorded || state_->done;
+}
+
+// ---------------------------------------------------------------------------
+// Stream
+
+struct Stream::Impl {
+  explicit Impl(Device& device) : device(device) {}
+
+  Device& device;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> pending;
+  bool running = false;   // a task from this stream is on the device
+  std::int64_t completed = 0;
+  std::int64_t enqueued = 0;
+
+  /// Launches the next pending task if none is in flight (FIFO order).
+  /// The worker lambda holds a shared_ptr to the Impl so a Stream may be
+  /// destroyed while its final completion bookkeeping is still running
+  /// on a device thread.
+  static void pump(const std::shared_ptr<Impl>& self) {
+    std::function<void()> task;
+    {
+      std::lock_guard lock(self->mu);
+      if (self->running || self->pending.empty()) return;
+      task = std::move(self->pending.front());
+      self->pending.pop_front();
+      self->running = true;
+    }
+    self->device.execute([self, task = std::move(task)] {
+      task();
+      {
+        std::lock_guard lock(self->mu);
+        self->running = false;
+        ++self->completed;
+        self->cv.notify_all();
+      }
+      pump(self);
+    });
+  }
+};
+
+Stream::Stream(Device& device) : impl_(std::make_shared<Impl>(device)) {}
+
+Stream::~Stream() {
+  if (impl_ != nullptr) synchronize();
+}
+
+void Stream::record(Event& event) {
+  auto state = event.state_;
+  {
+    std::lock_guard lock(state->mu);
+    state->recorded = true;
+    state->done = false;
+  }
+  enqueue([state] {
+    {
+      std::lock_guard lock(state->mu);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+}
+
+void Stream::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->pending.push_back(std::move(task));
+    ++impl_->enqueued;
+  }
+  Impl::pump(impl_);
+}
+
+void Stream::synchronize() {
+  std::unique_lock lock(impl_->mu);
+  impl_->cv.wait(lock, [this] {
+    return impl_->completed == impl_->enqueued && !impl_->running &&
+           impl_->pending.empty();
+  });
+}
+
+}  // namespace mgpusw::vgpu

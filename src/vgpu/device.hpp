@@ -1,0 +1,171 @@
+// Virtual GPU runtime.
+//
+// A Device stands in for one CUDA device: it owns a worker pool (its
+// "SMs"), a tracked memory arena (cudaMalloc stand-in), FIFO streams and
+// events, and an optional speed throttle. The multi-device engine treats
+// a Device exactly as CUDAlign's host code treats a GPU — it launches
+// block kernels and synchronizes — so every scheduling and communication
+// concern of the paper's design is exercised for real.
+//
+// The throttle is how heterogeneity is realized in *real* execution mode
+// on a homogeneous host: a device with slowdown s busy-waits (s-1)x the
+// measured kernel time after each kernel, making its effective cell rate
+// 1/s of the untrottled rate. Model-mode experiments instead use the
+// spec's GCUPS figure directly (see src/sim).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "base/thread_pool.hpp"
+#include "vgpu/spec.hpp"
+
+namespace mgpusw::vgpu {
+
+struct DeviceOptions {
+  /// Host worker threads emulating the SMs. 0 = one per SM capped by the
+  /// machine's hardware concurrency.
+  int worker_threads = 1;
+  /// Speed throttle >= 1.0; 1.0 = full host speed.
+  double slowdown = 1.0;
+};
+
+/// RAII handle for a tracked device allocation.
+class DeviceBuffer;
+
+class Device {
+ public:
+  Device(DeviceSpec spec, DeviceOptions options = {});
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] int worker_count() const;
+  [[nodiscard]] double slowdown() const { return options_.slowdown; }
+
+  /// Submits a task to the device's workers (kernel launch stand-in).
+  void execute(std::function<void()> task);
+
+  /// Blocks until all submitted tasks completed (cudaDeviceSynchronize).
+  void synchronize();
+
+  /// Busy-waits the throttle penalty for a kernel that took busy_ns of
+  /// host time, and accounts the kernel into the device counters.
+  void account_kernel(std::int64_t busy_ns, std::int64_t cells);
+
+  /// Allocates tracked device memory; throws Error when the spec's
+  /// capacity would be exceeded (as cudaMalloc would fail).
+  [[nodiscard]] DeviceBuffer allocate(std::int64_t bytes);
+
+  [[nodiscard]] std::int64_t memory_used() const {
+    return memory_used_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t kernels_launched() const {
+    return kernels_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t busy_ns() const {
+    return busy_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t cells_computed() const {
+    return cells_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class DeviceBuffer;
+  void release(std::int64_t bytes);
+
+  const DeviceSpec spec_;
+  const DeviceOptions options_;
+  std::unique_ptr<base::ThreadPool> pool_;
+  std::atomic<std::int64_t> memory_used_{0};
+  std::atomic<std::int64_t> kernels_{0};
+  std::atomic<std::int64_t> busy_ns_{0};
+  std::atomic<std::int64_t> cells_{0};
+};
+
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(Device* device, std::int64_t bytes)
+      : device_(device), bytes_(bytes) {}
+  ~DeviceBuffer() { reset(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      device_ = other.device_;
+      bytes_ = other.bytes_;
+      other.device_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::int64_t size() const { return bytes_; }
+  [[nodiscard]] bool valid() const { return device_ != nullptr; }
+
+  void reset() {
+    if (device_ != nullptr) {
+      device_->release(bytes_);
+      device_ = nullptr;
+      bytes_ = 0;
+    }
+  }
+
+ private:
+  Device* device_ = nullptr;
+  std::int64_t bytes_ = 0;
+};
+
+/// Completion marker within a stream (cudaEvent_t stand-in): records a
+/// point in a stream's FIFO order; wait() blocks until every task
+/// enqueued before the record has executed.
+class Event {
+ public:
+  Event();
+
+  /// Blocks until the recorded point has been reached. Waiting on a
+  /// never-recorded event returns immediately (CUDA semantics).
+  void wait();
+
+  /// True once the recorded point has passed (or nothing was recorded).
+  [[nodiscard]] bool ready() const;
+
+ private:
+  friend class Stream;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// FIFO stream over a device: tasks enqueued to one stream execute in
+/// order; distinct streams may interleave (cudaStream_t stand-in).
+class Stream {
+ public:
+  explicit Stream(Device& device);
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  void enqueue(std::function<void()> task);
+
+  /// Marks the current tail of the stream in `event` (re-recording moves
+  /// the marker).
+  void record(Event& event);
+
+  void synchronize();
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;  // shared with in-flight worker lambdas
+};
+
+}  // namespace mgpusw::vgpu

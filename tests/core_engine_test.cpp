@@ -1,0 +1,525 @@
+// End-to-end tests of the multi-device engine: the central correctness
+// claim is that splitting the matrix across devices and exchanging
+// borders through circular buffers changes nothing about the result.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/error.hpp"
+#include "core/balance.hpp"
+#include "core/engine.hpp"
+#include "core/special_rows.hpp"
+#include "sw/linear.hpp"
+#include "tests/test_util.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/spec.hpp"
+
+namespace mgpusw {
+namespace {
+
+using core::BalanceMode;
+using core::EngineConfig;
+using core::EngineResult;
+using core::MultiDeviceEngine;
+using core::Transport;
+using seq::Sequence;
+
+/// Owns N toy devices and hands out raw pointers.
+class DeviceFleet {
+ public:
+  explicit DeviceFleet(int count, double base_gcups = 10.0,
+                       double gcups_step = 0.0) {
+    for (int d = 0; d < count; ++d) {
+      devices_.push_back(std::make_unique<vgpu::Device>(
+          vgpu::toy_device(base_gcups + gcups_step * d)));
+    }
+  }
+
+  [[nodiscard]] std::vector<vgpu::Device*> pointers() const {
+    std::vector<vgpu::Device*> out;
+    for (const auto& device : devices_) out.push_back(device.get());
+    return out;
+  }
+
+ private:
+  std::vector<std::unique_ptr<vgpu::Device>> devices_;
+};
+
+EngineConfig small_config() {
+  EngineConfig config;
+  config.block_rows = 32;
+  config.block_cols = 32;
+  config.buffer_capacity = 4;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// construction validation
+
+TEST(EngineConfigTest, RejectsBadConfigs) {
+  DeviceFleet fleet(1);
+  {
+    EngineConfig config = small_config();
+    config.block_rows = 0;
+    EXPECT_THROW(MultiDeviceEngine(config, fleet.pointers()),
+                 InvalidArgument);
+  }
+  {
+    EngineConfig config = small_config();
+    config.buffer_capacity = 0;
+    EXPECT_THROW(MultiDeviceEngine(config, fleet.pointers()),
+                 InvalidArgument);
+  }
+  {
+    EngineConfig config = small_config();
+    EXPECT_THROW(MultiDeviceEngine(config, {}), InvalidArgument);
+  }
+  {
+    EngineConfig config = small_config();
+    config.balance = BalanceMode::kCustomWeights;
+    config.custom_weights = {1.0, 2.0};  // one device only
+    EXPECT_THROW(MultiDeviceEngine(config, fleet.pointers()),
+                 InvalidArgument);
+  }
+  {
+    EngineConfig config = small_config();
+    config.special_row_interval = 2;  // no store provided
+    EXPECT_THROW(MultiDeviceEngine(config, fleet.pointers()),
+                 InvalidArgument);
+  }
+}
+
+TEST(EngineTest, RejectsEmptySequences) {
+  DeviceFleet fleet(1);
+  MultiDeviceEngine engine(small_config(), fleet.pointers());
+  const Sequence s("s", "ACGT");
+  EXPECT_THROW((void)engine.run(Sequence{}, s), InvalidArgument);
+  EXPECT_THROW((void)engine.run(s, Sequence{}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// single-device correctness
+
+TEST(EngineTest, SingleDeviceEqualsLinearScan) {
+  DeviceFleet fleet(1);
+  MultiDeviceEngine engine(small_config(), fleet.pointers());
+  auto [a, b] = testutil::related_pair(300, 5);
+  const EngineResult result = engine.run(a, b);
+  EXPECT_EQ(result.best, linear_score(sw::ScoreScheme{}, a, b));
+  EXPECT_EQ(result.matrix_cells, a.size() * b.size());
+  EXPECT_EQ(result.computed_cells, a.size() * b.size());
+  ASSERT_EQ(result.devices.size(), 1u);
+  EXPECT_EQ(result.devices[0].chunks_sent, 0);
+  EXPECT_GT(result.devices[0].blocks, 0);
+  EXPECT_GT(result.gcups(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// multi-device correctness properties
+
+struct MultiDeviceCase {
+  int devices;
+  std::int64_t block_rows;
+  std::int64_t block_cols;
+  std::int64_t buffer_capacity;
+};
+
+class MultiDeviceProperty
+    : public ::testing::TestWithParam<std::tuple<MultiDeviceCase, int>> {};
+
+TEST_P(MultiDeviceProperty, EqualsLinearScan) {
+  const auto [test_case, seed] = GetParam();
+  DeviceFleet fleet(test_case.devices, 8.0, 4.0);  // heterogeneous specs
+  EngineConfig config;
+  config.block_rows = test_case.block_rows;
+  config.block_cols = test_case.block_cols;
+  config.buffer_capacity = test_case.buffer_capacity;
+  MultiDeviceEngine engine(config, fleet.pointers());
+
+  auto [a, b] = testutil::related_pair(
+      260 + seed * 17, static_cast<std::uint64_t>(seed) + 500);
+  const auto expected = linear_score(config.scheme, a, b);
+  const EngineResult result = engine.run(a, b);
+  EXPECT_EQ(result.best, expected)
+      << test_case.devices << " devices, blocks " << test_case.block_rows
+      << "x" << test_case.block_cols << ", buffer "
+      << test_case.buffer_capacity;
+  EXPECT_EQ(result.computed_cells, a.size() * b.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, MultiDeviceProperty,
+    ::testing::Combine(
+        ::testing::Values(
+            MultiDeviceCase{2, 32, 32, 4},
+            MultiDeviceCase{2, 16, 64, 1},   // minimal buffer
+            MultiDeviceCase{3, 32, 32, 2},
+            MultiDeviceCase{3, 8, 8, 16},    // many tiny blocks
+            MultiDeviceCase{4, 64, 16, 3},
+            MultiDeviceCase{5, 16, 16, 1}),  // deep pipeline, tight buffer
+        ::testing::Range(0, 4)));
+
+// Both block schedules must produce identical results; kDiagonal also
+// exercises the device worker pool (blocks of one diagonal run
+// concurrently).
+class ScheduleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleProperty, DiagonalEqualsRowMajorEqualsLinear) {
+  const int seed = GetParam();
+  auto [a, b] = testutil::related_pair(
+      280 + seed * 23, static_cast<std::uint64_t>(seed) + 900);
+  DeviceFleet fleet(3, 8.0, 4.0);
+  EngineConfig config = small_config();
+  const auto expected = linear_score(config.scheme, a, b);
+
+  config.schedule = core::Schedule::kRowMajor;
+  MultiDeviceEngine row_major(config, fleet.pointers());
+  EXPECT_EQ(row_major.run(a, b).best, expected);
+
+  config.schedule = core::Schedule::kDiagonal;
+  MultiDeviceEngine diagonal(config, fleet.pointers());
+  EXPECT_EQ(diagonal.run(a, b).best, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleProperty, ::testing::Range(0, 5));
+
+TEST(EngineTest, DiagonalScheduleWithWorkerPool) {
+  // Multi-threaded device workers: blocks of one diagonal in parallel.
+  auto device = std::make_unique<vgpu::Device>(
+      vgpu::toy_device(10.0), vgpu::DeviceOptions{.worker_threads = 3});
+  EngineConfig config = small_config();
+  config.schedule = core::Schedule::kDiagonal;
+  MultiDeviceEngine engine(config, {device.get()});
+  auto [a, b] = testutil::related_pair(400, 31);
+  EXPECT_EQ(engine.run(a, b).best, linear_score(config.scheme, a, b));
+  EXPECT_GT(device->kernels_launched(), 0);
+}
+
+TEST(EngineTest, EqualBalanceMatchesToo) {
+  DeviceFleet fleet(3);
+  EngineConfig config = small_config();
+  config.balance = BalanceMode::kEqual;
+  MultiDeviceEngine engine(config, fleet.pointers());
+  auto [a, b] = testutil::related_pair(400, 9);
+  EXPECT_EQ(engine.run(a, b).best, linear_score(config.scheme, a, b));
+}
+
+TEST(EngineTest, CustomWeightsRespectedInPartition) {
+  DeviceFleet fleet(2);
+  EngineConfig config = small_config();
+  config.balance = BalanceMode::kCustomWeights;
+  config.custom_weights = {1.0, 3.0};
+  MultiDeviceEngine engine(config, fleet.pointers());
+  const auto ranges = engine.plan_partition(3200);
+  EXPECT_NEAR(static_cast<double>(ranges[1].cols) /
+                  static_cast<double>(ranges[0].cols),
+              3.0, 0.5);
+  auto [a, b] = testutil::related_pair(350, 10);
+  EXPECT_EQ(engine.run(a, b).best, linear_score(config.scheme, a, b));
+}
+
+TEST(EngineTest, TcpTransportEqualsInProcess) {
+  DeviceFleet fleet(3);
+  EngineConfig config = small_config();
+  config.transport = Transport::kTcp;
+  MultiDeviceEngine engine(config, fleet.pointers());
+  auto [a, b] = testutil::related_pair(300, 11);
+  const auto expected = linear_score(config.scheme, a, b);
+  const EngineResult result = engine.run(a, b);
+  EXPECT_EQ(result.best, expected);
+  EXPECT_GT(result.devices[0].bytes_sent, 0);
+}
+
+TEST(EngineTest, ThrottledDevicesStillCorrect) {
+  // Heterogeneity realized through the real-mode throttle.
+  std::vector<std::unique_ptr<vgpu::Device>> devices;
+  devices.push_back(std::make_unique<vgpu::Device>(vgpu::toy_device(10.0)));
+  devices.push_back(std::make_unique<vgpu::Device>(
+      vgpu::toy_device(5.0), vgpu::DeviceOptions{.slowdown = 2.0}));
+  MultiDeviceEngine engine(small_config(),
+                           {devices[0].get(), devices[1].get()});
+  auto [a, b] = testutil::related_pair(250, 12);
+  EXPECT_EQ(engine.run(a, b).best,
+            linear_score(sw::ScoreScheme{}, a, b));
+}
+
+TEST(EngineTest, NonDefaultSchemePropagates) {
+  DeviceFleet fleet(2);
+  EngineConfig config = small_config();
+  config.scheme = sw::ScoreScheme{2, -1, 1, 1};
+  MultiDeviceEngine engine(config, fleet.pointers());
+  auto [a, b] = testutil::related_pair(280, 13);
+  EXPECT_EQ(engine.run(a, b).best, linear_score(config.scheme, a, b));
+}
+
+TEST(EngineTest, RepeatedRunsAreDeterministic) {
+  DeviceFleet fleet(3);
+  MultiDeviceEngine engine(small_config(), fleet.pointers());
+  auto [a, b] = testutil::related_pair(300, 14);
+  const auto first = engine.run(a, b);
+  const auto second = engine.run(a, b);
+  EXPECT_EQ(first.best, second.best);
+}
+
+TEST(EngineTest, MatrixSmallerThanOneBlock) {
+  DeviceFleet fleet(1);
+  EngineConfig config;
+  config.block_rows = 512;
+  config.block_cols = 512;
+  MultiDeviceEngine engine(config, fleet.pointers());
+  auto [a, b] = testutil::related_pair(40, 15);
+  EXPECT_EQ(engine.run(a, b).best, linear_score(config.scheme, a, b));
+}
+
+TEST(EngineTest, TooManyDevicesForMatrixThrows) {
+  DeviceFleet fleet(4);
+  EngineConfig config;
+  config.block_cols = 512;  // 40-column subject -> one block column
+  MultiDeviceEngine engine(config, fleet.pointers());
+  auto [a, b] = testutil::related_pair(40, 16);
+  EXPECT_THROW((void)engine.run(a, b), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// statistics
+
+TEST(EngineTest, StatsAreCoherent) {
+  DeviceFleet fleet(3, 10.0, 5.0);
+  EngineConfig config = small_config();
+  MultiDeviceEngine engine(config, fleet.pointers());
+  auto [a, b] = testutil::related_pair(500, 17);
+  const EngineResult result = engine.run(a, b);
+
+  ASSERT_EQ(result.devices.size(), 3u);
+  std::int64_t total_cells = 0;
+  for (std::size_t d = 0; d < 3; ++d) {
+    const auto& stats = result.devices[d];
+    total_cells += stats.cells;
+    EXPECT_GT(stats.blocks, 0);
+    EXPECT_GT(stats.busy_ns, 0);
+    EXPECT_GT(stats.wall_ns, 0);
+    EXPECT_EQ(stats.cells, stats.slice.cols * a.size());
+  }
+  EXPECT_EQ(total_cells, a.size() * b.size());
+
+  // Border traffic: device d sends one chunk per block row to d+1.
+  const std::int64_t block_rows_count =
+      (a.size() + config.block_rows - 1) / config.block_rows;
+  EXPECT_EQ(result.devices[0].chunks_sent, block_rows_count);
+  EXPECT_EQ(result.devices[1].chunks_received, block_rows_count);
+  EXPECT_EQ(result.devices[1].chunks_sent, block_rows_count);
+  EXPECT_EQ(result.devices[2].chunks_received, block_rows_count);
+  EXPECT_EQ(result.devices[2].chunks_sent, 0);
+  EXPECT_GT(result.devices[0].bytes_sent, 0);
+}
+
+// Randomised configuration fuzzing: draw engine configurations and
+// sequence shapes from a seeded RNG and check exactness for each. This
+// catches interactions the hand-picked parameter grids miss.
+TEST(EngineFuzzTest, RandomConfigurationsAreExact) {
+  base::Rng rng(20260706);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto schemes = testutil::test_schemes();
+    EngineConfig config;
+    config.scheme = schemes[rng.next_below(schemes.size())];
+    config.block_rows = rng.next_range(1, 96);
+    config.block_cols = rng.next_range(1, 96);
+    config.buffer_capacity = rng.next_range(1, 8);
+    config.schedule = rng.next_bool(0.5) ? core::Schedule::kRowMajor
+                                         : core::Schedule::kDiagonal;
+    const std::uint64_t kernel_pick = rng.next_below(3);
+    config.kernel = kernel_pick == 0   ? core::KernelKind::kRowScan
+                    : kernel_pick == 1 ? core::KernelKind::kAntiDiag
+                                       : core::KernelKind::kStripMined;
+    config.balance = rng.next_bool(0.5) ? BalanceMode::kSpecGcups
+                                        : BalanceMode::kEqual;
+
+    const auto device_count = static_cast<int>(rng.next_range(1, 4));
+    DeviceFleet fleet(device_count, 5.0 + rng.next_double() * 20.0,
+                      rng.next_double() * 10.0);
+
+    const std::int64_t rows = rng.next_range(1, 400);
+    // Ensure at least one block column per device.
+    const std::int64_t min_cols = config.block_cols * device_count;
+    const std::int64_t cols = min_cols + rng.next_range(0, 300);
+    const seq::Sequence a = testutil::random_sequence(
+        rows, rng.next_u64(), "fuzz-a");
+    const seq::Sequence b = testutil::random_sequence(
+        cols, rng.next_u64(), "fuzz-b");
+
+    MultiDeviceEngine engine(config, fleet.pointers());
+    const auto expected = linear_score(config.scheme, a, b);
+    EXPECT_EQ(engine.run(a, b).best, expected)
+        << "trial " << trial << ": " << device_count << " devices, blocks "
+        << config.block_rows << "x" << config.block_cols << ", buffer "
+        << config.buffer_capacity << ", rows " << rows << ", cols "
+        << cols;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// failure propagation: an error inside one device's worker must surface
+// as an exception from run() without hanging the other devices.
+
+TEST(EngineFailureTest, DeviceOutOfMemoryPropagates) {
+  vgpu::DeviceSpec tiny_spec = vgpu::toy_device(10.0);
+  tiny_spec.memory_bytes = 16;  // border allocation cannot fit
+  vgpu::Device tiny(tiny_spec);
+  MultiDeviceEngine engine(small_config(), {&tiny});
+  auto [a, b] = testutil::related_pair(200, 21);
+  EXPECT_THROW((void)engine.run(a, b), Error);
+}
+
+TEST(EngineFailureTest, MiddleDeviceFailureUnblocksNeighbours) {
+  // Device 1 of 3 cannot allocate its borders; devices 0 and 2 must not
+  // deadlock on their channels, and run() must rethrow.
+  vgpu::Device left(vgpu::toy_device(10.0));
+  vgpu::DeviceSpec tiny_spec = vgpu::toy_device(10.0);
+  tiny_spec.memory_bytes = 16;
+  vgpu::Device middle(tiny_spec);
+  vgpu::Device right(vgpu::toy_device(10.0));
+  EngineConfig config = small_config();
+  config.buffer_capacity = 1;  // maximal back-pressure on device 0
+  MultiDeviceEngine engine(config, {&left, &middle, &right});
+  auto [a, b] = testutil::related_pair(400, 22);
+  EXPECT_THROW((void)engine.run(a, b), Error);
+}
+
+TEST(EngineFailureTest, LastDeviceFailureUnblocksUpstream) {
+  vgpu::Device left(vgpu::toy_device(10.0));
+  vgpu::DeviceSpec tiny_spec = vgpu::toy_device(10.0);
+  tiny_spec.memory_bytes = 16;
+  vgpu::Device broken(tiny_spec);
+  EngineConfig config = small_config();
+  config.buffer_capacity = 1;
+  MultiDeviceEngine engine(config, {&left, &broken});
+  auto [a, b] = testutil::related_pair(400, 23);
+  EXPECT_THROW((void)engine.run(a, b), Error);
+}
+
+TEST(EngineFailureTest, DeviceUsableAfterFailedRun) {
+  // A failed run must not poison the device for later runs.
+  vgpu::Device good(vgpu::toy_device(10.0));
+  vgpu::DeviceSpec tiny_spec = vgpu::toy_device(10.0);
+  tiny_spec.memory_bytes = 16;
+  vgpu::Device broken(tiny_spec);
+  auto [a, b] = testutil::related_pair(200, 24);
+  {
+    MultiDeviceEngine engine(small_config(), {&good, &broken});
+    EXPECT_THROW((void)engine.run(a, b), Error);
+  }
+  MultiDeviceEngine engine(small_config(), {&good});
+  EXPECT_EQ(engine.run(a, b).best,
+            linear_score(sw::ScoreScheme{}, a, b));
+}
+
+// ---------------------------------------------------------------------------
+// block pruning (extension)
+
+TEST(EnginePruningTest, SelfComparisonPrunesAndKeepsScore) {
+  const Sequence s = testutil::random_sequence(1200, 18);
+  DeviceFleet fleet(1);
+  EngineConfig config = small_config();
+  MultiDeviceEngine plain(config, fleet.pointers());
+  const auto expected = plain.run(s, s);
+
+  config.enable_pruning = true;
+  MultiDeviceEngine pruned(config, fleet.pointers());
+  const auto result = pruned.run(s, s);
+
+  EXPECT_EQ(result.best.score, expected.best.score);
+  std::int64_t pruned_blocks = 0;
+  for (const auto& stats : result.devices) {
+    pruned_blocks += stats.pruned_blocks;
+  }
+  // Self-comparison finds the maximum early (main diagonal); a large part
+  // of the off-diagonal matrix must get pruned.
+  EXPECT_GT(pruned_blocks, 0);
+  EXPECT_LT(result.computed_cells, result.matrix_cells);
+}
+
+TEST(EnginePruningTest, MultiDevicePruningKeepsScore) {
+  const Sequence s = testutil::random_sequence(900, 19);
+  DeviceFleet fleet(3);
+  EngineConfig config = small_config();
+  config.enable_pruning = true;
+  MultiDeviceEngine engine(config, fleet.pointers());
+  const auto expected = linear_score(config.scheme, s, s);
+  EXPECT_EQ(engine.run(s, s).best.score, expected.score);
+}
+
+TEST(EnginePruningTest, RandomPairsScoreExactUnderPruning) {
+  for (int seed = 0; seed < 5; ++seed) {
+    auto [a, b] = testutil::related_pair(
+        300, static_cast<std::uint64_t>(seed) + 700);
+    DeviceFleet fleet(2);
+    EngineConfig config = small_config();
+    config.enable_pruning = true;
+    MultiDeviceEngine engine(config, fleet.pointers());
+    EXPECT_EQ(engine.run(a, b).best.score,
+              linear_score(config.scheme, a, b).score)
+        << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// special rows (extension)
+
+TEST(EngineSpecialRowsTest, SavesEveryKthBlockRowAcrossDevices) {
+  DeviceFleet fleet(2);
+  core::SpecialRowStore store;
+  EngineConfig config = small_config();  // block_rows = 32
+  config.special_row_interval = 2;       // every 64 matrix rows
+  config.special_rows = &store;
+  MultiDeviceEngine engine(config, fleet.pointers());
+  // 320 query rows = exactly 10 blocks of 32 rows, so every saved row
+  // sits at a 64-row boundary.
+  auto [a, b] = testutil::related_pair(320, 20);
+  (void)engine.run(a, b);
+
+  const auto rows = store.rows();
+  ASSERT_FALSE(rows.empty());
+  for (const std::int64_t row : rows) {
+    EXPECT_EQ((row + 1) % 64, 0) << "row " << row;
+    const auto h = store.assemble_row(row, b.size());
+    EXPECT_EQ(static_cast<std::int64_t>(h.size()), b.size());
+    for (const sw::Score value : h) {
+      EXPECT_GE(value, 0);  // local-alignment H is non-negative
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// balance / calibration
+
+TEST(BalanceTest, SpecWeights) {
+  DeviceFleet fleet(2, 10.0, 30.0);
+  const auto weights = core::spec_weights(fleet.pointers());
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights[0], 10.0);
+  EXPECT_DOUBLE_EQ(weights[1], 40.0);
+}
+
+TEST(BalanceTest, CalibrationReturnsPositiveRates) {
+  DeviceFleet fleet(2);
+  const auto weights = core::calibrate_weights(
+      fleet.pointers(), sw::ScoreScheme{}, 256, 256);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_GT(weights[0], 0.0);
+  EXPECT_GT(weights[1], 0.0);
+}
+
+TEST(BalanceTest, ThrottledDeviceMeasuresSlower) {
+  // The 4x-throttled device should measure ~4x slower; a loaded
+  // single-core host adds scheduler noise, so require only a clear
+  // separation (>1.7x) over a large enough sample to dominate jitter.
+  vgpu::Device fast(vgpu::toy_device(10.0));
+  vgpu::Device slow(vgpu::toy_device(10.0),
+                    vgpu::DeviceOptions{.slowdown = 4.0});
+  const auto weights = core::calibrate_weights(
+      {&fast, &slow}, sw::ScoreScheme{}, 1024, 1024);
+  EXPECT_GT(weights[0], weights[1] * 1.7);
+}
+
+}  // namespace
+}  // namespace mgpusw

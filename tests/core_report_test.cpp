@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "sw/linear.hpp"
+#include "tests/test_util.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/spec.hpp"
+
+namespace mgpusw {
+namespace {
+
+/// Structural sanity: balanced braces/brackets, no raw control chars.
+void expect_wellformed(const std::string& json) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t k = 0; k < json.size(); ++k) {
+    const char c = json[k];
+    if (in_string) {
+      if (c == '\\') {
+        ++k;
+      } else if (c == '"') {
+        in_string = false;
+      } else {
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20)
+            << "raw control char at " << k;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ReportTest, EngineResultJson) {
+  vgpu::Device d0(vgpu::toy_device(10.0));
+  vgpu::Device d1(vgpu::toy_device(20.0));
+  core::EngineConfig config;
+  config.block_rows = 32;
+  config.block_cols = 32;
+  core::MultiDeviceEngine engine(config, {&d0, &d1});
+  auto [a, b] = testutil::related_pair(300, 300);
+  const auto result = engine.run(a, b);
+
+  const std::string json = core::to_json(result);
+  expect_wellformed(json);
+  EXPECT_NE(json.find("\"score\": " + std::to_string(result.best.score)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"devices\": ["), std::string::npos);
+  EXPECT_NE(json.find("toy-"), std::string::npos);
+  EXPECT_NE(json.find("\"chunks_sent\""), std::string::npos);
+}
+
+TEST(ReportTest, SimResultJson) {
+  sim::SimConfig config;
+  config.rows = config.cols = 1 << 18;
+  config.block_rows = config.block_cols = 4096;
+  config.devices = vgpu::environment1();
+  const auto result = sim::simulate_pipeline(config);
+
+  const std::string json = core::to_json(result);
+  expect_wellformed(json);
+  EXPECT_NE(json.find("\"makespan_ns\""), std::string::npos);
+  EXPECT_NE(json.find("GTX 580"), std::string::npos);
+  EXPECT_NE(json.find("\"finish_ns\""), std::string::npos);
+}
+
+TEST(ReportTest, EscapesSpecialCharacters) {
+  sim::SimResult result;
+  sim::SimDeviceStats stats;
+  stats.device_name = "weird\"name\\with\nnewline";
+  result.devices.push_back(stats);
+  const std::string json = core::to_json(result);
+  expect_wellformed(json);
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nnewline"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mgpusw

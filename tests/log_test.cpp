@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "base/log.hpp"
+
+namespace mgpusw {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(base::log_level()) {}
+  ~LogLevelGuard() { base::set_log_level(saved_); }
+
+ private:
+  base::LogLevel saved_;
+};
+
+TEST(LogTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  base::set_log_level(base::LogLevel::kDebug);
+  EXPECT_EQ(base::log_level(), base::LogLevel::kDebug);
+  base::set_log_level(base::LogLevel::kError);
+  EXPECT_EQ(base::log_level(), base::LogLevel::kError);
+}
+
+TEST(LogTest, MacroStreamsAndFilters) {
+  LogLevelGuard guard;
+  base::set_log_level(base::LogLevel::kError);
+  // Below the threshold: the stream expression must not be evaluated.
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  MGPUSW_LOG(kDebug) << "value " << count();
+  EXPECT_EQ(evaluations, 0);
+  // At the threshold: evaluated (and written to stderr).
+  MGPUSW_LOG(kError) << "value " << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogTest, DirectEmissionDoesNotCrash) {
+  LogLevelGuard guard;
+  base::set_log_level(base::LogLevel::kDebug);
+  base::log_message(base::LogLevel::kInfo, "info line");
+  base::log_message(base::LogLevel::kWarn, "warn line");
+}
+
+}  // namespace
+}  // namespace mgpusw

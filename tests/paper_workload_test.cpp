@@ -1,0 +1,102 @@
+// End-to-end runs of the paper's actual workload shape at reduced scale:
+// all four chromosome pairs, heterogeneous 3-device environment-1
+// profiles, verified against the serial oracle — the closest this host
+// gets to executing the paper's evaluation for real.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.hpp"
+#include "seq/synth.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "sw/linear.hpp"
+#include "tests/test_util.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/spec.hpp"
+
+namespace mgpusw {
+namespace {
+
+class PaperPair : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperPair, ScaledRealRunMatchesOracle) {
+  const auto& pair = seq::paper_chromosome_pairs()[
+      static_cast<std::size_t>(GetParam())];
+  const seq::HomologPair homologs =
+      seq::make_homolog_pair(seq::scaled_pair(pair, 16384), 77);
+
+  std::vector<std::unique_ptr<vgpu::Device>> devices;
+  std::vector<vgpu::Device*> pointers;
+  for (const vgpu::DeviceSpec& spec : vgpu::environment1()) {
+    devices.push_back(std::make_unique<vgpu::Device>(spec));
+    pointers.push_back(devices.back().get());
+  }
+
+  core::EngineConfig config;
+  config.block_rows = 64;
+  config.block_cols = 64;
+  core::MultiDeviceEngine engine(config, pointers);
+  const auto result = engine.run(homologs.query, homologs.subject);
+  EXPECT_EQ(result.best, sw::linear_score(config.scheme, homologs.query,
+                                          homologs.subject));
+  // Homologs must align strongly: a large fraction of the shorter side.
+  EXPECT_GT(result.best.score,
+            std::min(homologs.query.size(), homologs.subject.size()) / 3);
+
+  // The split follows the env-1 speed ratios.
+  const double total = sim::aggregate_gcups(vgpu::environment1());
+  for (std::size_t d = 0; d < 3; ++d) {
+    const double share =
+        static_cast<double>(result.devices[d].slice.cols) /
+        static_cast<double>(homologs.subject.size());
+    const double expected =
+        vgpu::environment1()[d].sw_gcups / total;
+    EXPECT_NEAR(share, expected, 0.06) << "device " << d;
+  }
+}
+
+TEST_P(PaperPair, ModelModeAtFullScaleHitsAggregate) {
+  const auto& pair = seq::paper_chromosome_pairs()[
+      static_cast<std::size_t>(GetParam())];
+  sim::SimConfig config;
+  config.rows = pair.human_length;
+  config.cols = pair.chimp_length;
+  config.devices = vgpu::environment1();
+  const auto result = sim::simulate_pipeline(config);
+  const double aggregate = sim::aggregate_gcups(config.devices);
+  EXPECT_GT(result.gcups(), aggregate * 0.99);
+  EXPECT_LE(result.gcups(), aggregate * 1.001);
+  // Paper headline: ~140.36 GCUPS with 3 heterogeneous GPUs.
+  EXPECT_NEAR(result.gcups(), 140.36, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, PaperPair, ::testing::Range(0, 4));
+
+TEST(SimKnobsTest, DispatchWidthOverrideChangesNarrowSliceCost) {
+  sim::SimConfig config;
+  config.rows = config.cols = 1 << 16;
+  config.block_rows = config.block_cols = 4096;  // 16 block cols total
+  config.devices = {vgpu::tesla_m2090(), vgpu::tesla_m2090()};
+  config.dispatch_width = 1;  // always saturated
+  const double saturated = sim::simulate_pipeline(config).gcups();
+  config.dispatch_width = 32;  // 8-col slices can't fill 32
+  const double starved = sim::simulate_pipeline(config).gcups();
+  EXPECT_GT(saturated, starved * 2.0);
+}
+
+TEST(SimKnobsTest, SlowerInterconnectNeverHelps) {
+  sim::SimConfig fast;
+  fast.rows = fast.cols = 1 << 20;
+  fast.block_rows = fast.block_cols = 1024;
+  fast.devices = vgpu::environment1();
+  sim::SimConfig slow = fast;
+  for (auto& spec : slow.devices) {
+    spec.pcie_latency_us *= 1000.0;
+    spec.pcie_gbytes_per_s /= 100.0;
+  }
+  EXPECT_LE(sim::simulate_pipeline(slow).gcups(),
+            sim::simulate_pipeline(fast).gcups() + 0.01);
+}
+
+}  // namespace
+}  // namespace mgpusw

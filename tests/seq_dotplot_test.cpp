@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "base/error.hpp"
+#include "seq/dotplot.hpp"
+#include "seq/synth.hpp"
+#include "tests/test_util.hpp"
+
+namespace mgpusw {
+namespace {
+
+using seq::DotplotConfig;
+using seq::Sequence;
+
+DotplotConfig small_config() {
+  DotplotConfig config;
+  config.k = 12;  // large enough that random 4 kbp pairs barely collide
+  config.width = 32;
+  config.height = 32;
+  return config;
+}
+
+TEST(DotplotTest, SelfComparisonIsDiagonal) {
+  const Sequence s = testutil::random_sequence(4000, 7);
+  const auto plot = seq::make_dotplot(s, s, small_config());
+  EXPECT_GT(plot.max_count(), 0);
+  EXPECT_GT(plot.diagonal_fraction(1), 0.95);
+}
+
+TEST(DotplotTest, HomologsShowDiagonalStructure) {
+  const auto spec = seq::scaled_pair(seq::paper_chromosome_pairs()[2], 8192);
+  const auto homologs = seq::make_homolog_pair(spec, 5);
+  const auto plot =
+      seq::make_dotplot(homologs.query, homologs.subject, small_config());
+  EXPECT_GT(plot.diagonal_fraction(2), 0.8);
+}
+
+TEST(DotplotTest, UnrelatedSequencesAreFlat) {
+  const Sequence a = testutil::random_sequence(8000, 8);
+  const Sequence b = testutil::random_sequence(8000, 9);
+  // Use a small word so random collisions produce plenty of hits; they
+  // must spread uniformly, so the diagonal band holds only its area
+  // share (~5 of 32 columns).
+  DotplotConfig config = small_config();
+  config.k = 8;
+  const auto plot = seq::make_dotplot(a, b, config);
+  EXPECT_GT(plot.max_count(), 0);
+  EXPECT_LT(plot.diagonal_fraction(2), 0.4);
+}
+
+TEST(DotplotTest, EmptyAndShortInputs) {
+  const Sequence empty;
+  const Sequence s = testutil::random_sequence(100, 10);
+  const auto plot = seq::make_dotplot(empty, s, small_config());
+  EXPECT_EQ(plot.max_count(), 0);
+  const Sequence tiny("t", "ACG");  // shorter than k
+  EXPECT_EQ(seq::make_dotplot(tiny, s, small_config()).max_count(), 0);
+}
+
+TEST(DotplotTest, ConfigValidation) {
+  const Sequence s = testutil::random_sequence(100, 11);
+  DotplotConfig config = small_config();
+  config.k = 2;
+  EXPECT_THROW((void)seq::make_dotplot(s, s, config), InvalidArgument);
+  config = small_config();
+  config.width = 0;
+  EXPECT_THROW((void)seq::make_dotplot(s, s, config), InvalidArgument);
+}
+
+TEST(DotplotTest, RepeatWordsAreSkipped) {
+  // A homopolymer sequence is one giant repeat word; the cap must kick
+  // in instead of producing a quadratic blowup of hits.
+  const Sequence poly("p", std::string(2000, 'A'));
+  DotplotConfig config = small_config();
+  config.max_word_hits = 8;
+  const auto plot = seq::make_dotplot(poly, poly, config);
+  EXPECT_EQ(plot.max_count(), 0);  // the single word exceeded the cap
+}
+
+TEST(DotplotTest, PgmRoundTripHeader) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path =
+      dir / ("mgpusw_dotplot_" + std::to_string(::getpid()) + ".pgm");
+  const Sequence s = testutil::random_sequence(2000, 12);
+  const auto plot = seq::make_dotplot(s, s, small_config());
+  seq::write_pgm(plot, path.string());
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::string magic;
+  std::int64_t width = 0, height = 0, maxval = 0;
+  in >> magic >> width >> height >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(width, 32);
+  EXPECT_EQ(height, 32);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> pixels(32 * 32);
+  in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_TRUE(static_cast<bool>(in));
+  std::remove(path.string().c_str());
+}
+
+TEST(DotplotTest, WritePgmBadPathThrows) {
+  seq::Dotplot plot;
+  plot.width = plot.height = 4;
+  plot.counts.assign(16, 0);
+  EXPECT_THROW(seq::write_pgm(plot, "/nonexistent/dir/plot.pgm"), IoError);
+}
+
+}  // namespace
+}  // namespace mgpusw

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "base/error.hpp"
+#include "seq/stats.hpp"
+#include "seq/synth.hpp"
+#include "tests/test_util.hpp"
+
+namespace mgpusw {
+namespace {
+
+using seq::Sequence;
+
+TEST(SeqStatsTest, GcContent) {
+  EXPECT_DOUBLE_EQ(seq::gc_content(Sequence("s", "GGCC")), 1.0);
+  EXPECT_DOUBLE_EQ(seq::gc_content(Sequence("s", "AATT")), 0.0);
+  EXPECT_DOUBLE_EQ(seq::gc_content(Sequence("s", "ACGT")), 0.5);
+  EXPECT_DOUBLE_EQ(seq::gc_content(Sequence()), 0.0);
+}
+
+TEST(SeqStatsTest, GcWindows) {
+  const Sequence s("s", "GGGGAAAATT");
+  const auto windows = seq::gc_windows(s, 4);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_DOUBLE_EQ(windows[0], 1.0);
+  EXPECT_DOUBLE_EQ(windows[1], 0.0);
+  EXPECT_DOUBLE_EQ(windows[2], 0.0);  // partial final window "TT"
+  EXPECT_THROW((void)seq::gc_windows(s, 0), InvalidArgument);
+}
+
+TEST(SeqStatsTest, KmerSpectrumCountsAllKmers) {
+  const Sequence s("s", "ACGTACGT");
+  const auto spectrum = seq::kmer_spectrum(s, 2);
+  ASSERT_EQ(spectrum.size(), 16u);
+  const std::int64_t total =
+      std::accumulate(spectrum.begin(), spectrum.end(), std::int64_t{0});
+  EXPECT_EQ(total, 7);  // n - k + 1
+  // "AC" = A<<2|C = 0b0001 = 1, occurs twice.
+  EXPECT_EQ(spectrum[1], 2);
+  // "TA" = T<<2|A = 0b1100 = 12, occurs once.
+  EXPECT_EQ(spectrum[12], 1);
+}
+
+TEST(SeqStatsTest, KmerSpectrumEdgeCases) {
+  EXPECT_THROW((void)seq::kmer_spectrum(Sequence("s", "ACGT"), 0),
+               InvalidArgument);
+  EXPECT_THROW((void)seq::kmer_spectrum(Sequence("s", "ACGT"), 13),
+               InvalidArgument);
+  // Sequence shorter than k: all-zero spectrum.
+  const auto spectrum = seq::kmer_spectrum(Sequence("s", "AC"), 3);
+  for (const auto count : spectrum) EXPECT_EQ(count, 0);
+}
+
+TEST(SeqStatsTest, EntropyOrdersRandomVsRepetitive) {
+  const Sequence random = testutil::random_sequence(20'000, 5);
+  std::string repeat;
+  for (int i = 0; i < 5000; ++i) repeat += "ACGG";
+  const Sequence repetitive("r", repeat);
+  const double random_entropy = seq::kmer_entropy(random, 6);
+  const double repeat_entropy = seq::kmer_entropy(repetitive, 6);
+  EXPECT_GT(random_entropy, 11.0);  // close to the 12-bit maximum
+  EXPECT_LT(repeat_entropy, 3.0);   // only 4 distinct 6-mers
+}
+
+TEST(SeqStatsTest, HomopolymerRun) {
+  EXPECT_EQ(seq::longest_homopolymer(Sequence("s", "ACGT")), 1);
+  EXPECT_EQ(seq::longest_homopolymer(Sequence("s", "AAACGGGGT")), 4);
+  EXPECT_EQ(seq::longest_homopolymer(Sequence()), 0);
+}
+
+TEST(SeqStatsTest, SampledIdentitySeparatesHomologsFromRandom) {
+  // Positional identity is only meaningful without frame shifts, so use
+  // a substitution-only divergence model (indels destroy the register,
+  // which a separate assertion documents below).
+  const Sequence ancestor = seq::generate_chromosome("a", 12'000, 3);
+  seq::MutationModel snp_only;
+  snp_only.snp_rate = 0.02;
+  snp_only.indel_rate = 0.0;
+  snp_only.segment_rate = 0.0;
+  const Sequence homolog =
+      seq::mutate_homolog(ancestor, snp_only, 4, "h");
+  const Sequence random = testutil::random_sequence(ancestor.size(), 99);
+
+  const double related = seq::sampled_identity(ancestor, homolog, 7);
+  const double unrelated = seq::sampled_identity(ancestor, random, 7);
+  EXPECT_GT(related, 0.95);
+  EXPECT_NEAR(unrelated, 0.25, 0.05);
+
+  // With indels the register is lost and positional identity collapses
+  // toward the random baseline — which is exactly why alignment (not
+  // positional comparison) is needed for real homologs.
+  seq::MutationModel with_indels = snp_only;
+  with_indels.indel_rate = 0.002;
+  const Sequence shifted =
+      seq::mutate_homolog(ancestor, with_indels, 5, "h2");
+  EXPECT_LT(seq::sampled_identity(ancestor, shifted, 7), 0.6);
+
+  EXPECT_THROW((void)seq::sampled_identity(random, random, 0),
+               InvalidArgument);
+}
+
+TEST(SeqStatsTest, SyntheticChromosomeLooksRandomEnough) {
+  // The generator must not produce pathological repeats that would make
+  // alignment scores meaningless.
+  const Sequence chromosome = seq::generate_chromosome("c", 50'000, 11);
+  EXPECT_LT(seq::longest_homopolymer(chromosome), 20);
+  EXPECT_GT(seq::kmer_entropy(chromosome, 8), 14.0);
+}
+
+}  // namespace
+}  // namespace mgpusw

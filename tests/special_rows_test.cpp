@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "base/error.hpp"
+#include "core/special_rows.hpp"
+
+namespace mgpusw {
+namespace {
+
+TEST(SpecialRowsTest, SaveAndAssembleSingleSegment) {
+  core::SpecialRowStore store;
+  store.save_segment(63, 0, {1, 2, 3, 4});
+  const auto row = store.assemble_row(63, 4);
+  EXPECT_EQ(row, (std::vector<sw::Score>{1, 2, 3, 4}));
+}
+
+TEST(SpecialRowsTest, SegmentsStitchInAnyOrder) {
+  core::SpecialRowStore store;
+  store.save_segment(10, 3, {30, 40});
+  store.save_segment(10, 0, {0, 10, 20});
+  store.save_segment(10, 5, {50});
+  const auto row = store.assemble_row(10, 6);
+  EXPECT_EQ(row, (std::vector<sw::Score>{0, 10, 20, 30, 40, 50}));
+}
+
+TEST(SpecialRowsTest, RowsSortedAndBytesTracked) {
+  core::SpecialRowStore store;
+  store.save_segment(7, 0, {1});
+  store.save_segment(3, 0, {1, 2});
+  EXPECT_EQ(store.rows(), (std::vector<std::int64_t>{3, 7}));
+  EXPECT_EQ(store.bytes(),
+            static_cast<std::int64_t>(3 * sizeof(sw::Score)));
+  store.clear();
+  EXPECT_TRUE(store.rows().empty());
+  EXPECT_EQ(store.bytes(), 0);
+}
+
+TEST(SpecialRowsTest, GapDetected) {
+  core::SpecialRowStore store;
+  store.save_segment(5, 0, {1, 2});
+  store.save_segment(5, 3, {4});  // column 2 missing
+  EXPECT_THROW(store.assemble_row(5, 4), InternalError);
+}
+
+TEST(SpecialRowsTest, WrongTotalDetected) {
+  core::SpecialRowStore store;
+  store.save_segment(5, 0, {1, 2});
+  EXPECT_THROW(store.assemble_row(5, 3), InternalError);
+}
+
+TEST(SpecialRowsTest, MissingRowDetected) {
+  core::SpecialRowStore store;
+  EXPECT_THROW(store.assemble_row(1, 1), InternalError);
+}
+
+TEST(SpecialRowsTest, ConcurrentSavesSafe) {
+  core::SpecialRowStore store;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int row = 0; row < 50; ++row) {
+        store.save_segment(row, t * 10,
+                           std::vector<sw::Score>(10, static_cast<sw::Score>(t)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int row = 0; row < 50; ++row) {
+    const auto assembled = store.assemble_row(row, 40);
+    EXPECT_EQ(assembled.size(), 40u);
+  }
+}
+
+}  // namespace
+}  // namespace mgpusw

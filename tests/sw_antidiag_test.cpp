@@ -1,0 +1,188 @@
+// The anti-diagonal kernel must be bit-identical to the row-scan kernel:
+// same borders out, same block best (including tie-breaking), same
+// border_max — for every geometry including the delegated degenerate
+// shapes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sw/block.hpp"
+#include "sw/block_antidiag.hpp"
+#include "sw/block_strip.hpp"
+#include "sw/linear.hpp"
+#include "tests/test_util.hpp"
+
+namespace mgpusw {
+namespace {
+
+using seq::Nt;
+using sw::BlockArgs;
+using sw::Score;
+using sw::ScoreScheme;
+
+struct KernelIo {
+  std::vector<Score> row_h, row_f, col_h, col_e;
+  sw::BlockResult result;
+};
+
+enum class Kernel { kRowScan, kAntiDiag, kStripMined };
+
+KernelIo run_kernel(Kernel kind, const ScoreScheme& scheme,
+                    const std::vector<Nt>& query,
+                    const std::vector<Nt>& subject, Score corner,
+                    std::int64_t global_row = 0,
+                    std::int64_t global_col = 0) {
+  KernelIo io;
+  const auto rows = static_cast<std::int64_t>(query.size());
+  const auto cols = static_cast<std::int64_t>(subject.size());
+  // Non-trivial borders: pseudo-random non-negative H, mixed E/F.
+  io.row_h.resize(static_cast<std::size_t>(cols));
+  io.row_f.resize(static_cast<std::size_t>(cols));
+  io.col_h.resize(static_cast<std::size_t>(rows));
+  io.col_e.resize(static_cast<std::size_t>(rows));
+  for (std::int64_t j = 0; j < cols; ++j) {
+    io.row_h[static_cast<std::size_t>(j)] = static_cast<Score>((j * 7) % 13);
+    io.row_f[static_cast<std::size_t>(j)] =
+        j % 3 == 0 ? sw::kNegInf : static_cast<Score>((j * 5) % 11 - 8);
+  }
+  for (std::int64_t i = 0; i < rows; ++i) {
+    io.col_h[static_cast<std::size_t>(i)] = static_cast<Score>((i * 3) % 17);
+    io.col_e[static_cast<std::size_t>(i)] =
+        i % 4 == 0 ? sw::kNegInf : static_cast<Score>((i * 9) % 7 - 6);
+  }
+
+  BlockArgs args;
+  args.query = query.data();
+  args.subject = subject.data();
+  args.rows = rows;
+  args.cols = cols;
+  args.global_row = global_row;
+  args.global_col = global_col;
+  args.corner_h = corner;
+  args.top_h = io.row_h.data();
+  args.top_f = io.row_f.data();
+  args.left_h = io.col_h.data();
+  args.left_e = io.col_e.data();
+  args.bottom_h = io.row_h.data();
+  args.bottom_f = io.row_f.data();
+  args.right_h = io.col_h.data();
+  args.right_e = io.col_e.data();
+  switch (kind) {
+    case Kernel::kAntiDiag:
+      io.result = compute_block_antidiag(scheme, args);
+      break;
+    case Kernel::kStripMined:
+      io.result = compute_block_strip(scheme, args);
+      break;
+    case Kernel::kRowScan:
+      io.result = compute_block(scheme, args);
+      break;
+  }
+  return io;
+}
+
+class AntidiagEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(AntidiagEquivalence, IdenticalToRowScan) {
+  const auto [rows, cols, seed] = GetParam();
+  const ScoreScheme scheme = testutil::test_schemes()[
+      static_cast<std::size_t>(seed) % testutil::test_schemes().size()];
+  std::vector<Nt> query(static_cast<std::size_t>(rows));
+  std::vector<Nt> subject(static_cast<std::size_t>(cols));
+  base::Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+  for (auto& nt : query) nt = static_cast<Nt>(rng.next_below(4));
+  for (auto& nt : subject) nt = static_cast<Nt>(rng.next_below(4));
+
+  const KernelIo scan =
+      run_kernel(Kernel::kRowScan, scheme, query, subject, 3);
+  for (const Kernel kind : {Kernel::kAntiDiag, Kernel::kStripMined}) {
+    const KernelIo other = run_kernel(kind, scheme, query, subject, 3);
+    EXPECT_EQ(other.result.best, scan.result.best);
+    EXPECT_EQ(other.result.border_max, scan.result.border_max);
+    EXPECT_EQ(other.row_h, scan.row_h);
+    EXPECT_EQ(other.row_f, scan.row_f);
+    EXPECT_EQ(other.col_h, scan.col_h);
+    EXPECT_EQ(other.col_e, scan.col_e);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AntidiagEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 17, 64),
+                       ::testing::Values(1, 2, 3, 7, 33, 64),
+                       ::testing::Range(0, 4)));
+
+TEST(AntidiagTest, GlobalCoordsReported) {
+  // Zero borders, identical sequences: the best cell is the bottom-right
+  // corner of the block, reported in global coordinates.
+  std::vector<Nt> same(16, Nt::G);
+  std::vector<Score> row_h(16, 0), row_f(16, sw::kNegInf);
+  std::vector<Score> col_h(16, 0), col_e(16, sw::kNegInf);
+  BlockArgs args;
+  args.query = same.data();
+  args.subject = same.data();
+  args.rows = 16;
+  args.cols = 16;
+  args.global_row = 100;
+  args.global_col = 200;
+  args.top_h = row_h.data();
+  args.top_f = row_f.data();
+  args.left_h = col_h.data();
+  args.left_e = col_e.data();
+  args.bottom_h = row_h.data();
+  args.bottom_f = row_f.data();
+  args.right_h = col_h.data();
+  args.right_e = col_e.data();
+  const auto result = compute_block_antidiag(ScoreScheme{}, args);
+  EXPECT_EQ(result.best.score, 16);
+  EXPECT_EQ(result.best.end.row, 115);
+  EXPECT_EQ(result.best.end.col, 215);
+}
+
+TEST(AntidiagTest, TieBreakMatchesRowScanOrder) {
+  // Two equal optima in one block: both kernels must report the same
+  // (row-major first) cell.
+  const seq::Sequence a("a", "ACAC");
+  const seq::Sequence b("b", "ACGGAC");
+  std::vector<Nt> qa(4), qb(6);
+  a.extract(0, 4, qa.data());
+  b.extract(0, 6, qb.data());
+  std::vector<Score> zero_h(6, 0), neg_f(6, sw::kNegInf);
+  std::vector<Score> zero_hc(4, 0), neg_e(4, sw::kNegInf);
+  for (const Kernel kind :
+       {Kernel::kRowScan, Kernel::kAntiDiag, Kernel::kStripMined}) {
+    std::vector<Score> row_h = zero_h, row_f = neg_f;
+    std::vector<Score> col_h = zero_hc, col_e = neg_e;
+    BlockArgs args;
+    args.query = qa.data();
+    args.subject = qb.data();
+    args.rows = 4;
+    args.cols = 6;
+    args.top_h = row_h.data();
+    args.top_f = row_f.data();
+    args.left_h = col_h.data();
+    args.left_e = col_e.data();
+    args.bottom_h = row_h.data();
+    args.bottom_f = row_f.data();
+    args.right_h = col_h.data();
+    args.right_e = col_e.data();
+    sw::BlockResult result;
+    switch (kind) {
+      case Kernel::kAntiDiag:
+        result = compute_block_antidiag(ScoreScheme{}, args);
+        break;
+      case Kernel::kStripMined:
+        result = compute_block_strip(ScoreScheme{}, args);
+        break;
+      case Kernel::kRowScan:
+        result = compute_block(ScoreScheme{}, args);
+        break;
+    }
+    EXPECT_EQ(result.best.end, (sw::CellPos{1, 1}))
+        << static_cast<int>(kind);
+  }
+}
+
+}  // namespace
+}  // namespace mgpusw

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "sw/banded.hpp"
+#include "sw/linear.hpp"
+#include "sw/reference.hpp"
+#include "tests/test_util.hpp"
+
+namespace mgpusw {
+namespace {
+
+using seq::Sequence;
+using sw::ScoreScheme;
+
+const ScoreScheme kDefault{};
+
+TEST(BandedTest, FullWidthBandEqualsReference) {
+  const auto a = testutil::random_sequence(80, 1);
+  const auto b = testutil::random_sequence(60, 2);
+  const auto banded = banded_score(kDefault, a, b, /*radius=*/200);
+  EXPECT_EQ(banded, reference_score(kDefault, a, b));
+}
+
+TEST(BandedTest, ZeroRadiusIsMainDiagonalOnly) {
+  const Sequence s("s", "ACGTACGT");
+  const auto result = banded_score(kDefault, s, s, 0);
+  EXPECT_EQ(result.score, 8);  // self comparison lives on the diagonal
+}
+
+TEST(BandedTest, NarrowBandMissesOffDiagonalAlignment) {
+  // Match sits far off the main diagonal: a small band cannot see it.
+  const Sequence a("a", "TTTTTTTTTTTTTTTTACGTACGT");
+  const Sequence b("b", "ACGTACGTCCCCCCCCCCCCCCCC");
+  const auto wide = banded_score(kDefault, a, b, 100);
+  const auto narrow = banded_score(kDefault, a, b, 2);
+  EXPECT_EQ(wide.score, 8);
+  EXPECT_LT(narrow.score, wide.score);
+}
+
+TEST(BandedTest, OffsetRecoversOffDiagonalAlignment) {
+  const Sequence a("a", "TTTTTTTTTTTTTTTTACGTACGT");
+  const Sequence b("b", "ACGTACGTCCCCCCCCCCCCCCCC");
+  // The alignment sits near row-col offset +16.
+  const auto result = banded_score(kDefault, a, b, 4, /*offset=*/16);
+  EXPECT_EQ(result.score, 8);
+}
+
+TEST(BandedTest, NegativeRadiusThrows) {
+  const Sequence s("s", "ACGT");
+  EXPECT_THROW((void)banded_score(kDefault, s, s, -1), InvalidArgument);
+}
+
+TEST(BandedTest, EmptyInputs) {
+  const Sequence empty;
+  const Sequence s("s", "ACGT");
+  EXPECT_EQ(banded_score(kDefault, empty, s, 5).score, 0);
+  EXPECT_EQ(banded_score(kDefault, s, empty, 5).score, 0);
+}
+
+// Property: for related pairs (alignments near the diagonal) a moderate
+// band reproduces the exact score, and any band result is a lower bound.
+class BandedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BandedProperty, ExactWithinBandAndLowerBoundAlways) {
+  const int seed = GetParam();
+  auto [a, b] =
+      testutil::related_pair(200, static_cast<std::uint64_t>(seed) + 7);
+  const auto exact = linear_score(kDefault, a, b);
+  const auto wide = banded_score(kDefault, a, b, 64);
+  EXPECT_EQ(wide.score, exact.score) << "seed " << seed;
+  for (const std::int64_t radius : {1, 4, 16}) {
+    EXPECT_LE(banded_score(kDefault, a, b, radius).score, exact.score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandedProperty, ::testing::Range(0, 10));
+
+TEST(AdaptiveBandedTest, ConvergesToExactScore) {
+  for (int seed = 0; seed < 6; ++seed) {
+    auto [a, b] =
+        testutil::related_pair(150, static_cast<std::uint64_t>(seed) + 31);
+    const auto exact = linear_score(kDefault, a, b);
+    const auto adaptive = adaptive_banded_score(kDefault, a, b, 2);
+    EXPECT_EQ(adaptive.score, exact.score) << "seed " << seed;
+  }
+}
+
+TEST(AdaptiveBandedTest, BadInitialRadiusThrows) {
+  const Sequence s("s", "ACGT");
+  EXPECT_THROW((void)adaptive_banded_score(kDefault, s, s, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mgpusw

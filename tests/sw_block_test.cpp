@@ -1,0 +1,237 @@
+// Tests of the block kernel's border contract: decomposing the matrix
+// into arbitrary block grids and stitching the borders must reproduce the
+// monolithic scan exactly. This is the property the whole multi-device
+// design rests on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/math.hpp"
+#include "sw/block.hpp"
+#include "sw/linear.hpp"
+#include "sw/reference.hpp"
+#include "tests/test_util.hpp"
+
+namespace mgpusw {
+namespace {
+
+using seq::Nt;
+using seq::Sequence;
+using sw::BlockArgs;
+using sw::Score;
+using sw::ScoreScheme;
+
+const ScoreScheme kDefault{};
+
+std::vector<Nt> unpack(const Sequence& s) {
+  std::vector<Nt> out(static_cast<std::size_t>(s.size()));
+  if (s.size() > 0) s.extract(0, s.size(), out.data());
+  return out;
+}
+
+/// Serial blocked sweep with the exact border bookkeeping the engine
+/// uses (aliased in-place borders, per-column corners), in row-major
+/// block order — an independent check of compute_block's contract.
+sw::ScoreResult blocked_score(const ScoreScheme& scheme, const Sequence& qs,
+                              const Sequence& ss, std::int64_t block_rows,
+                              std::int64_t block_cols) {
+  const std::vector<Nt> query = unpack(qs);
+  const std::vector<Nt> subject = unpack(ss);
+  const auto rows = static_cast<std::int64_t>(query.size());
+  const auto cols = static_cast<std::int64_t>(subject.size());
+
+  const std::int64_t nbr = base::div_ceil(rows, block_rows);
+  const std::int64_t nbc = base::div_ceil(cols, block_cols);
+
+  std::vector<Score> row_h(static_cast<std::size_t>(cols), 0);
+  std::vector<Score> row_f(static_cast<std::size_t>(cols), sw::kNegInf);
+  std::vector<Score> col_h(static_cast<std::size_t>(rows), 0);
+  std::vector<Score> col_e(static_cast<std::size_t>(rows), sw::kNegInf);
+  std::vector<Score> corner(static_cast<std::size_t>(nbc), 0);
+
+  sw::ScoreResult best;
+  for (std::int64_t i = 0; i < nbr; ++i) {
+    for (std::int64_t j = 0; j < nbc; ++j) {
+      const std::int64_t r0 = i * block_rows;
+      const std::int64_t c0 = j * block_cols;
+      const std::int64_t bh = std::min(block_rows, rows - r0);
+      const std::int64_t bw = std::min(block_cols, cols - c0);
+
+      BlockArgs args;
+      args.query = query.data() + r0;
+      args.subject = subject.data() + c0;
+      args.rows = bh;
+      args.cols = bw;
+      args.global_row = r0;
+      args.global_col = c0;
+      args.top_h = row_h.data() + c0;
+      args.top_f = row_f.data() + c0;
+      args.left_h = col_h.data() + r0;
+      args.left_e = col_e.data() + r0;
+      args.corner_h = j == 0 ? Score{0}
+                             : corner[static_cast<std::size_t>(j)];
+      corner[static_cast<std::size_t>(j)] = col_h[static_cast<std::size_t>(
+          r0 + bh - 1)];
+      args.bottom_h = row_h.data() + c0;
+      args.bottom_f = row_f.data() + c0;
+      args.right_h = col_h.data() + r0;
+      args.right_e = col_e.data() + r0;
+
+      const auto result = compute_block(scheme, args);
+      if (sw::improves(result.best, best)) best = result.best;
+    }
+  }
+  return best;
+}
+
+TEST(BlockKernelTest, SingleBlockEqualsLinear) {
+  const auto a = testutil::random_sequence(90, 1);
+  const auto b = testutil::random_sequence(70, 2);
+  EXPECT_EQ(blocked_score(kDefault, a, b, 90, 70),
+            linear_score(kDefault, a, b));
+}
+
+TEST(BlockKernelTest, BorderMaxReported) {
+  const Sequence s("s", "ACGTACGT");
+  const std::vector<Nt> q = unpack(s);
+  std::vector<Score> row_h(8, 0), row_f(8, sw::kNegInf);
+  std::vector<Score> col_h(8, 0), col_e(8, sw::kNegInf);
+  BlockArgs args;
+  args.query = q.data();
+  args.subject = q.data();
+  args.rows = 8;
+  args.cols = 8;
+  args.top_h = row_h.data();
+  args.top_f = row_f.data();
+  args.left_h = col_h.data();
+  args.left_e = col_e.data();
+  args.bottom_h = row_h.data();
+  args.bottom_f = row_f.data();
+  args.right_h = col_h.data();
+  args.right_e = col_e.data();
+  const auto result = compute_block(kDefault, args);
+  EXPECT_EQ(result.best.score, 8);
+  EXPECT_EQ(result.border_max, 8);  // diagonal ends in the corner
+}
+
+// Property: every block geometry reproduces the monolithic result —
+// including geometries that do not divide the matrix evenly, single-row
+// blocks, single-column blocks, and blocks larger than the matrix.
+class BlockGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlockGeometry, EqualsLinearScan) {
+  const auto [block_rows, block_cols, seed] = GetParam();
+  const auto a = testutil::random_sequence(
+      97, static_cast<std::uint64_t>(seed) * 7 + 1);
+  const auto b = testutil::random_sequence(
+      83, static_cast<std::uint64_t>(seed) * 7 + 2);
+  const auto expected = linear_score(kDefault, a, b);
+  EXPECT_EQ(blocked_score(kDefault, a, b, block_rows, block_cols), expected)
+      << "geometry " << block_rows << "x" << block_cols;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BlockGeometry,
+    ::testing::Combine(::testing::Values(1, 2, 7, 16, 97, 200),
+                       ::testing::Values(1, 3, 8, 83, 100),
+                       ::testing::Values(0, 1, 2)));
+
+// Border oracle: compute the full H/E/F matrices directly from the
+// recurrences, then check that a 2x2 block decomposition's border arrays
+// carry exactly the matrix values at the cut lines. This pins down the
+// border *semantics* (H+F across rows, H+E across columns), not just the
+// final score.
+TEST(BlockKernelTest, BordersMatchFullMatrixAtCuts) {
+  const ScoreScheme scheme{2, -2, 2, 1};
+  const auto qs = testutil::random_sequence(24, 41);
+  const auto ss = testutil::random_sequence(30, 42);
+  const std::vector<Nt> q = unpack(qs);
+  const std::vector<Nt> s = unpack(ss);
+  const std::int64_t m = 24, n = 30;
+
+  // Full matrices, 1-based with boundary row/col 0.
+  auto idx = [&](std::int64_t i, std::int64_t j) {
+    return static_cast<std::size_t>(i * (n + 1) + j);
+  };
+  std::vector<Score> H(static_cast<std::size_t>((m + 1) * (n + 1)), 0);
+  std::vector<Score> E(H.size(), sw::kNegInf);
+  std::vector<Score> F(H.size(), sw::kNegInf);
+  for (std::int64_t i = 1; i <= m; ++i) {
+    for (std::int64_t j = 1; j <= n; ++j) {
+      E[idx(i, j)] = std::max<Score>(E[idx(i, j - 1)] - scheme.gap_extend,
+                                     H[idx(i, j - 1)] - scheme.gap_first());
+      F[idx(i, j)] = std::max<Score>(F[idx(i - 1, j)] - scheme.gap_extend,
+                                     H[idx(i - 1, j)] - scheme.gap_first());
+      H[idx(i, j)] = std::max(
+          {Score{0},
+           H[idx(i - 1, j - 1)] +
+               scheme.substitution(q[static_cast<std::size_t>(i - 1)],
+                                   s[static_cast<std::size_t>(j - 1)]),
+           E[idx(i, j)], F[idx(i, j)]});
+    }
+  }
+
+  // Blocked sweep with a cut at row 16 and column 20; capture the border
+  // arrays right after the top-left block.
+  const std::int64_t cut_row = 16, cut_col = 20;
+  std::vector<Score> row_h(static_cast<std::size_t>(n), 0);
+  std::vector<Score> row_f(static_cast<std::size_t>(n), sw::kNegInf);
+  std::vector<Score> col_h(static_cast<std::size_t>(m), 0);
+  std::vector<Score> col_e(static_cast<std::size_t>(m), sw::kNegInf);
+
+  BlockArgs args;
+  args.query = q.data();
+  args.subject = s.data();
+  args.rows = cut_row;
+  args.cols = cut_col;
+  args.top_h = row_h.data();
+  args.top_f = row_f.data();
+  args.left_h = col_h.data();
+  args.left_e = col_e.data();
+  args.bottom_h = row_h.data();
+  args.bottom_f = row_f.data();
+  args.right_h = col_h.data();
+  args.right_e = col_e.data();
+  (void)compute_block(scheme, args);
+
+  // Bottom border = matrix row `cut_row` (1-based), columns 1..cut_col.
+  for (std::int64_t j = 0; j < cut_col; ++j) {
+    EXPECT_EQ(row_h[static_cast<std::size_t>(j)], H[idx(cut_row, j + 1)])
+        << "H bottom at col " << j;
+    EXPECT_EQ(row_f[static_cast<std::size_t>(j)], F[idx(cut_row, j + 1)])
+        << "F bottom at col " << j;
+  }
+  // Right border = matrix column `cut_col`, rows 1..cut_row.
+  for (std::int64_t i = 0; i < cut_row; ++i) {
+    EXPECT_EQ(col_h[static_cast<std::size_t>(i)], H[idx(i + 1, cut_col)])
+        << "H right at row " << i;
+    EXPECT_EQ(col_e[static_cast<std::size_t>(i)], E[idx(i + 1, cut_col)])
+        << "E right at row " << i;
+  }
+}
+
+// Property over scoring schemes with related (gap-rich) pairs.
+class BlockSchemes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BlockSchemes, EqualsLinearScan) {
+  const auto [scheme_index, seed] = GetParam();
+  const ScoreScheme scheme = testutil::test_schemes()[
+      static_cast<std::size_t>(scheme_index)];
+  auto [a, b] = testutil::related_pair(
+      160, static_cast<std::uint64_t>(seed) + 100);
+  const auto expected = linear_score(scheme, a, b);
+  for (const auto& geometry : {std::pair{5, 5}, {32, 17}, {64, 64}}) {
+    EXPECT_EQ(blocked_score(scheme, a, b, geometry.first, geometry.second),
+              expected)
+        << "scheme " << scheme_index << " geometry " << geometry.first
+        << "x" << geometry.second;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSeeds, BlockSchemes,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 6)));
+
+}  // namespace
+}  // namespace mgpusw

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "seq/synth.hpp"
+#include "sw/heuristic.hpp"
+#include "sw/linear.hpp"
+#include "sw/reference.hpp"
+#include "tests/test_util.hpp"
+
+namespace mgpusw {
+namespace {
+
+using seq::Sequence;
+using sw::ScoreScheme;
+
+const ScoreScheme kDefault{};
+
+TEST(UngappedExtendTest, PerfectMatchExtendsFully) {
+  const Sequence s("s", "ACGTACGTACGT");
+  const auto extension = ungapped_extend(kDefault, s, s, 5, 5);
+  EXPECT_EQ(extension.score, 12);
+  EXPECT_EQ(extension.query_begin, 0);
+  EXPECT_EQ(extension.query_end, 12);
+  EXPECT_EQ(extension.subject_begin, 0);
+  EXPECT_EQ(extension.subject_end, 12);
+}
+
+TEST(UngappedExtendTest, StopsAtXdrop) {
+  // Match island of 6 bases surrounded by mismatches on both sides.
+  const Sequence a("a", "TTTTTTACGTACTTTTTT");
+  const Sequence b("b", "GGGGGGACGTACGGGGGG");
+  const auto extension =
+      ungapped_extend(kDefault, a, b, 8, 8, /*xdrop=*/5);
+  EXPECT_EQ(extension.score, 6);
+  EXPECT_EQ(extension.query_begin, 6);
+  EXPECT_EQ(extension.query_end, 12);
+}
+
+TEST(UngappedExtendTest, AnchorOnMismatchCanRecover) {
+  // The anchor pair itself mismatches but matches surround it.
+  const Sequence a("a", "ACGTACGTA");
+  const Sequence b("b", "ACGTTCGTA");  // centre differs
+  const auto extension = ungapped_extend(kDefault, a, b, 4, 4, 10);
+  EXPECT_EQ(extension.score, 8 - 3);  // 8 matches, 1 mismatch
+}
+
+TEST(UngappedExtendTest, ValidatesArguments) {
+  const Sequence s("s", "ACGT");
+  EXPECT_THROW((void)ungapped_extend(kDefault, s, s, 4, 0),
+               InvalidArgument);
+  EXPECT_THROW((void)ungapped_extend(kDefault, s, s, 0, -1),
+               InvalidArgument);
+  EXPECT_THROW((void)ungapped_extend(kDefault, s, s, 0, 0, 0),
+               InvalidArgument);
+}
+
+TEST(SeedExtendTest, FindsEmbeddedIdenticalRegion) {
+  const Sequence a("a", "TTTTTTTTTTTTTTTTACGTACGTACGTACGTTTTTTTTTTTTTTTT");
+  const Sequence b("b", "GGGGGGGGGGGGGGGGACGTACGTACGTACGTGGGGGGGGGGGGGGG");
+  sw::SeedExtendConfig config;
+  config.word = 8;
+  const auto extension = seed_and_extend(kDefault, a, b, config);
+  EXPECT_EQ(extension.score, 16);
+  EXPECT_EQ(extension.query_begin, 16);
+  EXPECT_EQ(extension.query_end, 32);
+}
+
+TEST(SeedExtendTest, NoSeedsMeansZero) {
+  const Sequence a("a", std::string(100, 'A'));
+  const Sequence b("b", std::string(100, 'T'));
+  sw::SeedExtendConfig config;
+  config.word = 8;
+  EXPECT_EQ(seed_and_extend(kDefault, a, b, config).score, 0);
+}
+
+TEST(SeedExtendTest, ShortInputsReturnZero) {
+  const Sequence a("a", "ACG");
+  const Sequence b = testutil::random_sequence(100, 1);
+  EXPECT_EQ(seed_and_extend(kDefault, a, b).score, 0);
+}
+
+// Property: the heuristic can never beat exact Smith-Waterman, and on
+// gap-free matches it ties.
+TEST(SeedExtendTest, NeverBeatsExactAndTiesWithoutGaps) {
+  for (int seed = 0; seed < 8; ++seed) {
+    auto [a, b] = testutil::related_pair(
+        300, static_cast<std::uint64_t>(seed) + 400);
+    const auto exact = sw::linear_score(kDefault, a, b);
+    sw::SeedExtendConfig config;
+    config.word = 8;
+    const auto heuristic = seed_and_extend(kDefault, a, b, config);
+    EXPECT_LE(heuristic.score, exact.score) << "seed " << seed;
+  }
+  // Gap-free case: identical sequences.
+  const Sequence s = testutil::random_sequence(400, 500);
+  sw::SeedExtendConfig config;
+  config.word = 12;
+  config.xdrop = 100;
+  EXPECT_EQ(seed_and_extend(kDefault, s, s, config).score, 400);
+}
+
+// The paper's motivation in miniature: on indel-rich homologs the
+// ungapped heuristic is structurally unable to cross gaps, so exact SW
+// recovers a strictly better alignment.
+TEST(SeedExtendTest, ExactBeatsHeuristicOnIndelRichHomologs) {
+  const seq::Sequence ancestor = seq::generate_chromosome("a", 4000, 7);
+  seq::MutationModel model;
+  model.snp_rate = 0.01;
+  model.indel_rate = 0.01;  // plenty of gaps
+  model.segment_rate = 0.0;
+  const seq::Sequence homolog =
+      seq::mutate_homolog(ancestor, model, 8, "h");
+
+  const auto exact = sw::linear_score(kDefault, ancestor, homolog);
+  sw::SeedExtendConfig config;
+  config.word = 12;
+  const auto heuristic =
+      seed_and_extend(kDefault, ancestor, homolog, config);
+  EXPECT_LT(heuristic.score, exact.score / 2)
+      << "heuristic should be far below exact on gapped homologs";
+  EXPECT_GT(heuristic.score, 0);
+}
+
+}  // namespace
+}  // namespace mgpusw

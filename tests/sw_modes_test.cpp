@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sw/modes.hpp"
+#include "sw/reference.hpp"
+#include "tests/test_util.hpp"
+
+namespace mgpusw {
+namespace {
+
+using seq::Sequence;
+using sw::Score;
+using sw::ScoreScheme;
+
+const ScoreScheme kDefault{};
+
+// Full-matrix oracle with mode-dependent boundaries; deliberately written
+// independently of src/sw/modes.cpp.
+struct Oracle {
+  bool free_top;
+  bool free_left;
+  bool best_last_row;
+  bool best_last_col;
+
+  sw::ScoreResult run(const ScoreScheme& s, const Sequence& q,
+                      const Sequence& b) const {
+    const std::int64_t m = q.size();
+    const std::int64_t n = b.size();
+    const auto idx = [n](std::int64_t i, std::int64_t j) {
+      return static_cast<std::size_t>(i * (n + 1) + j);
+    };
+    std::vector<Score> h(static_cast<std::size_t>((m + 1) * (n + 1)));
+    std::vector<Score> e(h.size(), sw::kNegInf);
+    std::vector<Score> f(h.size(), sw::kNegInf);
+    h[idx(0, 0)] = 0;
+    for (std::int64_t j = 1; j <= n; ++j) {
+      h[idx(0, j)] = free_top
+                         ? 0
+                         : -(s.gap_open + static_cast<Score>(j) * s.gap_extend);
+      e[idx(0, j)] = h[idx(0, j)];
+    }
+    for (std::int64_t i = 1; i <= m; ++i) {
+      h[idx(i, 0)] = free_left
+                         ? 0
+                         : -(s.gap_open + static_cast<Score>(i) * s.gap_extend);
+      f[idx(i, 0)] = h[idx(i, 0)];
+    }
+    for (std::int64_t i = 1; i <= m; ++i) {
+      for (std::int64_t j = 1; j <= n; ++j) {
+        e[idx(i, j)] = std::max<Score>(e[idx(i, j - 1)] - s.gap_extend,
+                                       h[idx(i, j - 1)] - s.gap_first());
+        f[idx(i, j)] = std::max<Score>(f[idx(i - 1, j)] - s.gap_extend,
+                                       h[idx(i - 1, j)] - s.gap_first());
+        h[idx(i, j)] = std::max(
+            {h[idx(i - 1, j - 1)] + s.substitution(q.at(i - 1), b.at(j - 1)),
+             e[idx(i, j)], f[idx(i, j)]});
+      }
+    }
+    sw::ScoreResult best{sw::kNegInf, {-1, -1}};
+    auto consider = [&](std::int64_t i, std::int64_t j) {
+      const Score score = h[idx(i, j)];
+      const sw::CellPos pos{i - 1, j - 1};
+      if (score > best.score ||
+          (score == best.score &&
+           (pos.row < best.end.row ||
+            (pos.row == best.end.row && pos.col < best.end.col)))) {
+        best = sw::ScoreResult{score, pos};
+      }
+    };
+    if (!best_last_row && !best_last_col) {
+      consider(m, n);
+    } else {
+      if (best_last_row) {
+        for (std::int64_t j = 1; j <= n; ++j) consider(m, j);
+      }
+      if (best_last_col) {
+        for (std::int64_t i = 1; i <= m; ++i) consider(i, n);
+      }
+    }
+    return best;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// global_score
+
+TEST(GlobalScoreTest, MatchesReferenceGlobal) {
+  for (int seed = 0; seed < 8; ++seed) {
+    auto [a, b] = testutil::related_pair(
+        150, static_cast<std::uint64_t>(seed) + 5);
+    for (const ScoreScheme& scheme : testutil::test_schemes()) {
+      EXPECT_EQ(global_score(scheme, a, b),
+                reference_global_score(scheme, a, b))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(GlobalScoreTest, EmptyCases) {
+  const Sequence empty;
+  const Sequence s("s", "ACGT");
+  EXPECT_EQ(global_score(kDefault, empty, empty), 0);
+  EXPECT_EQ(global_score(kDefault, s, empty), -(3 + 4 * 2));
+  EXPECT_EQ(global_score(kDefault, empty, s), -(3 + 4 * 2));
+}
+
+// ---------------------------------------------------------------------------
+// semi_global_score
+
+TEST(SemiGlobalTest, FindsContainedQuery) {
+  const Sequence query("q", "ACGTACG");
+  const Sequence subject("s", "TTTTACGTACGTTTT");
+  const auto result = semi_global_score(kDefault, query, subject);
+  EXPECT_EQ(result.score, 7);  // full-length exact placement
+  EXPECT_EQ(result.end.row, 6);
+  EXPECT_EQ(result.end.col, 10);
+}
+
+TEST(SemiGlobalTest, PaysForQueryOverhang) {
+  // The query must be consumed entirely, so a query longer than the
+  // subject pays gap costs.
+  const Sequence query("q", "AAAACGTAAAA");
+  const Sequence subject("s", "ACGT");
+  const auto result = semi_global_score(kDefault, query, subject);
+  EXPECT_LT(result.score, 4);
+}
+
+TEST(SemiGlobalTest, EmptyInputs) {
+  const Sequence empty;
+  const Sequence s("s", "ACGT");
+  EXPECT_EQ(semi_global_score(kDefault, empty, s).score, 0);
+  // Non-empty query vs empty subject: all deletions.
+  EXPECT_EQ(semi_global_score(kDefault, s, empty).score, -(3 + 4 * 2));
+}
+
+class SemiGlobalProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SemiGlobalProperty, MatchesOracle) {
+  const auto [scheme_index, seed] = GetParam();
+  const ScoreScheme scheme = testutil::test_schemes()[
+      static_cast<std::size_t>(scheme_index)];
+  const auto query = testutil::random_sequence(
+      20 + seed * 5, static_cast<std::uint64_t>(seed) * 3 + 1);
+  const auto subject = testutil::random_sequence(
+      60 + seed * 9, static_cast<std::uint64_t>(seed) * 3 + 2);
+  const Oracle oracle{true, false, true, false};
+  EXPECT_EQ(semi_global_score(scheme, query, subject),
+            oracle.run(scheme, query, subject));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSeeds, SemiGlobalProperty,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 8)));
+
+// ---------------------------------------------------------------------------
+// overlap_score
+
+TEST(OverlapTest, DetectsSuffixPrefixOverlap) {
+  // query suffix "GGGCCC" == subject prefix.
+  const Sequence query("q", "AAAATTTTGGGCCC");
+  const Sequence subject("s", "GGGCCCTTAAAGGG");
+  const auto result = overlap_score(kDefault, query, subject);
+  EXPECT_EQ(result.score, 6);
+  EXPECT_EQ(result.end.row, 13);  // query consumed to its end
+  EXPECT_EQ(result.end.col, 5);   // subject position after the overlap
+}
+
+TEST(OverlapTest, ContainmentScoresFullInnerSequence) {
+  const Sequence inner("q", "ACGTACG");
+  const Sequence outer("s", "TTTTACGTACGTTTT");
+  EXPECT_EQ(overlap_score(kDefault, inner, outer).score, 7);
+  EXPECT_EQ(overlap_score(kDefault, outer, inner).score, 7);
+}
+
+TEST(OverlapTest, EmptyInputs) {
+  const Sequence empty;
+  const Sequence s("s", "ACGT");
+  EXPECT_EQ(overlap_score(kDefault, empty, s).score, 0);
+  EXPECT_EQ(overlap_score(kDefault, s, empty).score, 0);
+}
+
+class OverlapProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OverlapProperty, MatchesOracle) {
+  const auto [scheme_index, seed] = GetParam();
+  const ScoreScheme scheme = testutil::test_schemes()[
+      static_cast<std::size_t>(scheme_index)];
+  const auto query = testutil::random_sequence(
+      30 + seed * 7, static_cast<std::uint64_t>(seed) * 5 + 11);
+  const auto subject = testutil::random_sequence(
+      40 + seed * 5, static_cast<std::uint64_t>(seed) * 5 + 12);
+  const Oracle oracle{true, true, true, true};
+  EXPECT_EQ(overlap_score(scheme, query, subject),
+            oracle.run(scheme, query, subject));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSeeds, OverlapProperty,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 8)));
+
+// Mode ordering sanity: local >= overlap >= semi-global >= global for
+// any input (each mode is a restriction of the previous one).
+TEST(ModesTest, ModeOrdering) {
+  for (int seed = 0; seed < 6; ++seed) {
+    auto [a, b] = testutil::related_pair(
+        120, static_cast<std::uint64_t>(seed) + 90);
+    const Score local = reference_score(kDefault, a, b).score;
+    const Score overlap = overlap_score(kDefault, a, b).score;
+    const Score semi = semi_global_score(kDefault, a, b).score;
+    const Score global = global_score(kDefault, a, b);
+    EXPECT_GE(local, overlap) << "seed " << seed;
+    EXPECT_GE(overlap, semi) << "seed " << seed;
+    EXPECT_GE(semi, global) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mgpusw

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "sw/linear.hpp"
+#include "sw/myers_miller.hpp"
+#include "sw/reference.hpp"
+#include "tests/test_util.hpp"
+
+namespace mgpusw {
+namespace {
+
+using seq::Sequence;
+using sw::ScoreScheme;
+
+const ScoreScheme kDefault{};
+
+// ---------------------------------------------------------------------------
+// global_align
+
+TEST(GlobalAlignTest, IdenticalSequences) {
+  const Sequence s("s", "ACGTACGTACGT");
+  const auto alignment = global_align(kDefault, s, s);
+  EXPECT_EQ(alignment.ops, std::string(12, '='));
+  EXPECT_EQ(alignment.score, 12);
+  sw::validate_alignment(kDefault, s, s, alignment);
+}
+
+TEST(GlobalAlignTest, EmptyAgainstNonEmpty) {
+  const Sequence empty;
+  const Sequence s("s", "ACGT");
+  const auto alignment = global_align(kDefault, empty, s);
+  EXPECT_EQ(alignment.ops, "IIII");
+  EXPECT_EQ(alignment.score, -(3 + 4 * 2));
+  const auto alignment2 = global_align(kDefault, s, empty);
+  EXPECT_EQ(alignment2.ops, "DDDD");
+}
+
+TEST(GlobalAlignTest, BothEmpty) {
+  const Sequence empty;
+  const auto alignment = global_align(kDefault, empty, empty);
+  EXPECT_TRUE(alignment.ops.empty());
+  EXPECT_EQ(alignment.score, 0);
+}
+
+TEST(GlobalAlignTest, SingleCharCases) {
+  const Sequence a("a", "G");
+  const Sequence same("b", "G");
+  const Sequence diff("c", "T");
+  EXPECT_EQ(global_align(kDefault, a, same).score, 1);
+  EXPECT_EQ(global_align(kDefault, a, diff).score, -3);
+}
+
+TEST(GlobalAlignTest, DeletionRunStaysAffine) {
+  // A 4-base deletion must be charged one open, not four.
+  const ScoreScheme scheme{2, -2, 5, 1};
+  const Sequence a("a", "AAAATTTTGGGG");
+  const Sequence b("b", "AAAAGGGG");
+  const auto alignment = global_align(scheme, a, b);
+  sw::validate_alignment(scheme, a, b, alignment);
+  EXPECT_EQ(alignment.score, 8 * 2 - (5 + 4 * 1));
+  EXPECT_EQ(reference_global_score(scheme, a, b), alignment.score);
+}
+
+// Property: Myers–Miller (linear space) reproduces the full-matrix global
+// score exactly, and its ops always validate — across schemes, random
+// pairs, related pairs and skewed shapes. This is the strongest evidence
+// that the divide-and-conquer gap-splitting logic is right.
+class MmProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MmProperty, RandomPairs) {
+  const auto [scheme_index, seed] = GetParam();
+  const ScoreScheme scheme = testutil::test_schemes()[
+      static_cast<std::size_t>(scheme_index)];
+  const auto a = testutil::random_sequence(
+      60 + seed * 9, static_cast<std::uint64_t>(seed) * 5 + 1);
+  const auto b = testutil::random_sequence(
+      50 + seed * 11, static_cast<std::uint64_t>(seed) * 5 + 2);
+  const auto alignment = global_align(scheme, a, b);
+  sw::validate_alignment(scheme, a, b, alignment);
+  EXPECT_EQ(alignment.score, reference_global_score(scheme, a, b));
+}
+
+TEST_P(MmProperty, RelatedPairs) {
+  const auto [scheme_index, seed] = GetParam();
+  const ScoreScheme scheme = testutil::test_schemes()[
+      static_cast<std::size_t>(scheme_index)];
+  auto [a, b] = testutil::related_pair(
+      140, static_cast<std::uint64_t>(seed) + 77);
+  const auto alignment = global_align(scheme, a, b);
+  sw::validate_alignment(scheme, a, b, alignment);
+  EXPECT_EQ(alignment.score, reference_global_score(scheme, a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSeeds, MmProperty,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 10)));
+
+TEST(GlobalAlignTest, SkewedShapes) {
+  for (const ScoreScheme& scheme : testutil::test_schemes()) {
+    const auto a = testutil::random_sequence(3, 1);
+    const auto b = testutil::random_sequence(90, 2);
+    const auto alignment = global_align(scheme, a, b);
+    sw::validate_alignment(scheme, a, b, alignment);
+    EXPECT_EQ(alignment.score, reference_global_score(scheme, a, b));
+    const auto alignment2 = global_align(scheme, b, a);
+    sw::validate_alignment(scheme, b, a, alignment2);
+    EXPECT_EQ(alignment2.score, reference_global_score(scheme, b, a));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// local_align (three-stage pipeline)
+
+TEST(LocalAlignTest, RecoversEmbeddedMatch) {
+  const Sequence a("a", "TTTTTACGTACGTT");
+  const Sequence b("b", "GGGACGTACGGG");
+  const auto alignment = local_align(kDefault, a, b);
+  EXPECT_EQ(alignment.score, 7);
+  EXPECT_EQ(alignment.query_begin, 5);
+  EXPECT_EQ(alignment.subject_begin, 3);
+  sw::validate_alignment(kDefault, a, b, alignment);
+}
+
+TEST(LocalAlignTest, EmptyWhenNoAlignment) {
+  const Sequence a("a", "AAAA");
+  const Sequence b("b", "TTTT");
+  const auto alignment = local_align(kDefault, a, b);
+  EXPECT_EQ(alignment.score, 0);
+  EXPECT_TRUE(alignment.ops.empty());
+}
+
+// Property: the pipeline's alignment scores exactly the stage-1 optimum
+// and validates structurally, matching the full-matrix traceback score.
+class LocalAlignProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LocalAlignProperty, MatchesReference) {
+  const auto [scheme_index, seed] = GetParam();
+  const ScoreScheme scheme = testutil::test_schemes()[
+      static_cast<std::size_t>(scheme_index)];
+  auto [a, b] = testutil::related_pair(
+      130, static_cast<std::uint64_t>(seed) + 13);
+  const auto expected = reference_score(scheme, a, b);
+  const auto alignment = local_align(scheme, a, b);
+  EXPECT_EQ(alignment.score, expected.score);
+  if (expected.score > 0) {
+    sw::validate_alignment(scheme, a, b, alignment);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSeeds, LocalAlignProperty,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 8)));
+
+}  // namespace
+}  // namespace mgpusw

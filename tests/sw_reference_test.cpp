@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "sw/alignment.hpp"
+#include "sw/reference.hpp"
+#include "sw/scoring.hpp"
+#include "tests/test_util.hpp"
+
+namespace mgpusw {
+namespace {
+
+using seq::Sequence;
+using sw::ScoreScheme;
+
+const ScoreScheme kDefault{};  // match 1, mismatch -3, open 3, extend 2
+
+// ---------------------------------------------------------------------------
+// ScoreScheme
+
+TEST(ScoreSchemeTest, GapFirst) {
+  EXPECT_EQ(kDefault.gap_first(), 5);
+}
+
+TEST(ScoreSchemeTest, Substitution) {
+  EXPECT_EQ(kDefault.substitution(seq::Nt::A, seq::Nt::A), 1);
+  EXPECT_EQ(kDefault.substitution(seq::Nt::A, seq::Nt::C), -3);
+}
+
+TEST(ScoreSchemeTest, ValidateRejectsBadSchemes) {
+  EXPECT_THROW((ScoreScheme{0, -1, 1, 1}.validate()), InvalidArgument);
+  EXPECT_THROW((ScoreScheme{1, 1, 1, 1}.validate()), InvalidArgument);
+  EXPECT_THROW((ScoreScheme{1, -1, -1, 1}.validate()), InvalidArgument);
+  EXPECT_THROW((ScoreScheme{1, -1, 1, 0}.validate()), InvalidArgument);
+}
+
+TEST(ScoreSchemeTest, ImprovesTieBreaking) {
+  const sw::ScoreResult a{10, {2, 5}};
+  const sw::ScoreResult b{10, {3, 1}};
+  const sw::ScoreResult c{10, {2, 7}};
+  const sw::ScoreResult d{11, {9, 9}};
+  EXPECT_FALSE(sw::improves(b, a));  // larger row loses the tie
+  EXPECT_TRUE(sw::improves(a, b));
+  EXPECT_FALSE(sw::improves(c, a));  // larger col loses the tie
+  EXPECT_TRUE(sw::improves(d, a));   // higher score always wins
+}
+
+// ---------------------------------------------------------------------------
+// reference_score on hand-checkable inputs
+
+TEST(ReferenceScoreTest, IdenticalSequences) {
+  const Sequence s("s", "ACGTACGTAC");
+  const auto result = reference_score(kDefault, s, s);
+  EXPECT_EQ(result.score, 10);  // all matches
+  EXPECT_EQ(result.end.row, 9);
+  EXPECT_EQ(result.end.col, 9);
+}
+
+TEST(ReferenceScoreTest, NoSimilarity) {
+  // One isolated match is the best any single-char alignment achieves.
+  const Sequence a("a", "AAAA");
+  const Sequence b("b", "TTTT");
+  const auto result = reference_score(kDefault, a, b);
+  EXPECT_EQ(result.score, 0);
+  EXPECT_EQ(result.end, (sw::CellPos{-1, -1}));
+}
+
+TEST(ReferenceScoreTest, SingleMatch) {
+  const Sequence a("a", "AAGAA");
+  const Sequence b("b", "TTGTT");
+  const auto result = reference_score(kDefault, a, b);
+  EXPECT_EQ(result.score, 1);
+  EXPECT_EQ(result.end.row, 2);
+  EXPECT_EQ(result.end.col, 2);
+}
+
+TEST(ReferenceScoreTest, SubstringMatch) {
+  const Sequence a("a", "TTTTACGTACGTTTTT");
+  const Sequence b("b", "ACGTACG");
+  const auto result = reference_score(kDefault, a, b);
+  EXPECT_EQ(result.score, 7);
+}
+
+TEST(ReferenceScoreTest, GapCosts) {
+  // ACGT vs ACT: best local alignment "AC" (score 2)? Or ACGT/AC-T with
+  // one gap: 3 matches - (3+2) = -2 < 2... but match=2 scheme changes it.
+  const ScoreScheme cheap{2, -1, 1, 1};
+  const Sequence a("a", "ACGT");
+  const Sequence b("b", "ACT");
+  // ACGT vs AC-T: 3 matches * 2 - (1+1) = 4.
+  const auto result = reference_score(cheap, a, b);
+  EXPECT_EQ(result.score, 4);
+}
+
+TEST(ReferenceScoreTest, AffineGapPreferredOverTwoOpens) {
+  // One gap of length 2 must beat two gaps of length 1 when open > 0.
+  const ScoreScheme scheme{3, -2, 4, 1};
+  // Query has 2 extra bases in one run.
+  const Sequence a("a", "AAAACCGGGG");
+  const Sequence b("b", "AAAAGGGG");
+  // Alignment: AAAA CC GGGG vs AAAA -- GGGG: 8*3 - (4+2*1) = 18.
+  const auto result = reference_score(scheme, a, b);
+  EXPECT_EQ(result.score, 18);
+}
+
+TEST(ReferenceScoreTest, TieBreaksToFirstCell) {
+  // Two identical disjoint matches: report the first in row-major order.
+  const Sequence a("a", "ACAC");
+  const Sequence b("b", "AC");
+  const auto result = reference_score(kDefault, a, b);
+  EXPECT_EQ(result.score, 2);
+  EXPECT_EQ(result.end.row, 1);
+  EXPECT_EQ(result.end.col, 1);
+}
+
+TEST(ReferenceScoreTest, EmptySequences) {
+  const Sequence empty;
+  const Sequence s("s", "ACGT");
+  EXPECT_EQ(reference_score(kDefault, empty, s).score, 0);
+  EXPECT_EQ(reference_score(kDefault, s, empty).score, 0);
+}
+
+TEST(ReferenceScoreTest, SizeGuard) {
+  const Sequence a = testutil::random_sequence(3000, 1);
+  const Sequence b = testutil::random_sequence(3000, 2);
+  EXPECT_THROW((void)reference_score(kDefault, a, b, /*max_cells=*/1'000'000),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// reference_local_alignment (traceback)
+
+TEST(ReferenceAlignTest, PerfectMatchOps) {
+  const Sequence s("s", "ACGTAC");
+  const auto alignment = reference_local_alignment(kDefault, s, s);
+  EXPECT_EQ(alignment.score, 6);
+  EXPECT_EQ(alignment.ops, "======");
+  EXPECT_EQ(alignment.query_begin, 0);
+  EXPECT_EQ(alignment.query_end, 6);
+  sw::validate_alignment(kDefault, s, s, alignment);
+}
+
+TEST(ReferenceAlignTest, AlignmentWithMismatch) {
+  const ScoreScheme scheme{2, -1, 2, 1};
+  const Sequence a("a", "ACGTACGT");
+  const Sequence b("b", "ACGAACGT");
+  const auto alignment = reference_local_alignment(scheme, a, b);
+  EXPECT_EQ(alignment.score, 7 * 2 - 1);
+  sw::validate_alignment(scheme, a, b, alignment);
+  EXPECT_NE(alignment.ops.find('X'), std::string::npos);
+}
+
+TEST(ReferenceAlignTest, AlignmentWithGap) {
+  const ScoreScheme scheme{2, -3, 1, 1};
+  const Sequence a("a", "AACCGGTT");
+  const Sequence b("b", "AACCGGAGTT");  // 'AG' inserted
+  const auto alignment = reference_local_alignment(scheme, a, b);
+  sw::validate_alignment(scheme, a, b, alignment);
+  EXPECT_EQ(alignment.score, 8 * 2 - (1 + 2 * 1));
+  EXPECT_NE(alignment.ops.find('I'), std::string::npos);
+}
+
+TEST(ReferenceAlignTest, EmptyWhenNoPositiveScore) {
+  const Sequence a("a", "AAAA");
+  const Sequence b("b", "TTTT");
+  const auto alignment = reference_local_alignment(kDefault, a, b);
+  EXPECT_EQ(alignment.score, 0);
+  EXPECT_TRUE(alignment.ops.empty());
+}
+
+// Property: traceback alignment always validates and matches the score
+// reported by reference_score, across schemes and random related pairs.
+class ReferenceAlignProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReferenceAlignProperty, TracebackConsistent) {
+  const auto [scheme_index, seed] = GetParam();
+  const ScoreScheme scheme = testutil::test_schemes()[
+      static_cast<std::size_t>(scheme_index)];
+  auto [a, b] = testutil::related_pair(120, static_cast<std::uint64_t>(seed));
+  const auto score = reference_score(scheme, a, b);
+  const auto alignment = reference_local_alignment(scheme, a, b);
+  EXPECT_EQ(alignment.score, score.score);
+  if (score.score > 0) {
+    EXPECT_EQ(alignment.query_end - 1, score.end.row);
+    EXPECT_EQ(alignment.subject_end - 1, score.end.col);
+    sw::validate_alignment(scheme, a, b, alignment);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSeeds, ReferenceAlignProperty,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 12)));
+
+// ---------------------------------------------------------------------------
+// score_of_ops / validate_alignment
+
+TEST(AlignmentOpsTest, ScoreOfOps) {
+  const ScoreScheme scheme{1, -3, 3, 2};
+  EXPECT_EQ(sw::score_of_ops(scheme, "===="), 4);
+  EXPECT_EQ(sw::score_of_ops(scheme, "==X="), 3 - 3);
+  EXPECT_EQ(sw::score_of_ops(scheme, "==I=="), 4 - 5);
+  EXPECT_EQ(sw::score_of_ops(scheme, "==II=="), 4 - 7);
+  // Adjacent I then D runs both open.
+  EXPECT_EQ(sw::score_of_ops(scheme, "=ID="), 2 - 5 - 5);
+  EXPECT_EQ(sw::score_of_ops(scheme, ""), 0);
+}
+
+TEST(AlignmentOpsTest, UnknownOpThrows) {
+  EXPECT_THROW((void)sw::score_of_ops(kDefault, "=?="), InvalidArgument);
+}
+
+TEST(AlignmentOpsTest, ValidateCatchesWrongBases) {
+  const Sequence a("a", "AC");
+  const Sequence b("b", "AG");
+  sw::Alignment alignment;
+  alignment.query_end = 2;
+  alignment.subject_end = 2;
+  alignment.ops = "==";  // second pair is actually a mismatch
+  alignment.score = 2;
+  EXPECT_THROW(sw::validate_alignment(kDefault, a, b, alignment),
+               InternalError);
+}
+
+TEST(AlignmentOpsTest, ValidateCatchesWrongSpan) {
+  const Sequence a("a", "ACG");
+  const Sequence b("b", "ACG");
+  sw::Alignment alignment;
+  alignment.query_end = 3;
+  alignment.subject_end = 3;
+  alignment.ops = "==";  // consumes only 2
+  alignment.score = 2;
+  EXPECT_THROW(sw::validate_alignment(kDefault, a, b, alignment),
+               InternalError);
+}
+
+TEST(AlignmentOpsTest, IdentityFraction) {
+  sw::Alignment alignment;
+  alignment.ops = "==X=I";
+  EXPECT_DOUBLE_EQ(alignment.identity(), 3.0 / 5.0);
+}
+
+TEST(AlignmentOpsTest, RenderShowsGapsAndBars) {
+  const ScoreScheme scheme{2, -3, 1, 1};
+  const Sequence a("a", "AACCGGTT");
+  const Sequence b("b", "AACCGGAGTT");
+  const auto alignment = reference_local_alignment(scheme, a, b);
+  const std::string text = sw::render_alignment(a, b, alignment, 40);
+  EXPECT_NE(text.find('|'), std::string::npos);
+  EXPECT_NE(text.find('-'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// reference_global_score sanity
+
+TEST(ReferenceGlobalTest, IdenticalSequences) {
+  const Sequence s("s", "ACGTACGT");
+  EXPECT_EQ(reference_global_score(kDefault, s, s), 8);
+}
+
+TEST(ReferenceGlobalTest, EmptyVsNonEmptyPaysGap) {
+  const Sequence empty;
+  const Sequence s("s", "ACGT");
+  EXPECT_EQ(reference_global_score(kDefault, empty, s),
+            -(3 + 4 * 2));
+  EXPECT_EQ(reference_global_score(kDefault, s, empty),
+            -(3 + 4 * 2));
+}
+
+TEST(ReferenceGlobalTest, SingleSubstitution) {
+  const Sequence a("a", "ACGT");
+  const Sequence b("b", "AGGT");
+  EXPECT_EQ(reference_global_score(kDefault, a, b), 3 - 3);
+}
+
+}  // namespace
+}  // namespace mgpusw

@@ -1,0 +1,67 @@
+// Shared helpers for the mgpu-sw test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "seq/sequence.hpp"
+#include "sw/scoring.hpp"
+
+namespace mgpusw::testutil {
+
+/// Uniform random DNA sequence.
+inline seq::Sequence random_sequence(std::int64_t length,
+                                     std::uint64_t seed,
+                                     const std::string& name = "rand") {
+  base::Rng rng(seed);
+  std::vector<seq::Nt> bases(static_cast<std::size_t>(length));
+  for (auto& base : bases) base = static_cast<seq::Nt>(rng.next_below(4));
+  return seq::Sequence(name, bases);
+}
+
+/// A pair of related sequences: the second is the first with point
+/// mutations and indels, so alignments have realistic structure (long
+/// matching runs) instead of the short high-entropy matches random pairs
+/// produce.
+inline std::pair<seq::Sequence, seq::Sequence> related_pair(
+    std::int64_t length, std::uint64_t seed, double divergence = 0.08) {
+  base::Rng rng(seed);
+  std::vector<seq::Nt> a(static_cast<std::size_t>(length));
+  for (auto& base : a) base = static_cast<seq::Nt>(rng.next_below(4));
+  std::vector<seq::Nt> b;
+  b.reserve(a.size());
+  for (const seq::Nt base : a) {
+    const double roll = rng.next_double();
+    if (roll < divergence * 0.5) {
+      // substitution
+      b.push_back(static_cast<seq::Nt>(
+          (static_cast<std::uint64_t>(base) + 1 + rng.next_below(3)) & 3));
+    } else if (roll < divergence * 0.75) {
+      // deletion: skip
+    } else if (roll < divergence) {
+      // insertion + keep
+      b.push_back(static_cast<seq::Nt>(rng.next_below(4)));
+      b.push_back(base);
+    } else {
+      b.push_back(base);
+    }
+  }
+  if (b.empty()) b.push_back(seq::Nt::A);
+  return {seq::Sequence("A", a), seq::Sequence("B", b)};
+}
+
+/// Scoring schemes exercised by the property tests: the CUDAlign default
+/// plus variants stressing each parameter.
+inline std::vector<sw::ScoreScheme> test_schemes() {
+  return {
+      sw::ScoreScheme{1, -3, 3, 2},   // CUDAlign default
+      sw::ScoreScheme{2, -1, 1, 1},   // cheap gaps
+      sw::ScoreScheme{1, -1, 0, 1},   // linear gaps (open = 0)
+      sw::ScoreScheme{5, -4, 10, 1},  // expensive open
+      sw::ScoreScheme{3, -2, 2, 3},   // extend > open
+  };
+}
+
+}  // namespace mgpusw::testutil
