@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
     for (const bool pruning : {false, true}) {
       vgpu::Device device(vgpu::toy_device(10.0));
       core::EngineConfig config;
+      config.kernel = flags.get_string("kernel");
       config.block_rows = 64;
       config.block_cols = 64;
       config.enable_pruning = pruning;

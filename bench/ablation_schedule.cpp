@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
        {core::Schedule::kRowMajor, core::Schedule::kDiagonal}) {
     for (const int devices : {2, 3}) {
       core::EngineConfig config;
+      config.kernel = flags.get_string("kernel");
       config.block_rows = 32;
       config.block_cols = 32;
       config.buffer_capacity = 8;

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
 
   for (int count = 1; count <= 3; ++count) {
     core::EngineConfig config;
+    config.kernel = flags.get_string("kernel");
     config.block_rows = 128;
     config.block_cols = 128;
     const bench::RealRun run =

@@ -20,6 +20,7 @@
 #include "core/engine.hpp"
 #include "seq/synth.hpp"
 #include "sim/pipeline_sim.hpp"
+#include "sw/kernel.hpp"
 #include "sw/linear.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/spec.hpp"
@@ -103,6 +104,13 @@ inline base::FlagSet standard_flags(const std::string& description) {
   flags.add_int("buffer", 64, "circular buffer capacity in chunks");
   flags.add_bool("real", true, "also run real-mode scaled execution");
   flags.add_string("csv", "", "write the primary data series to this CSV");
+  std::vector<std::string> kernels;
+  for (const sw::KernelInfo& info : sw::kernel_registry()) {
+    kernels.push_back(info.name);
+  }
+  flags.add_choice("kernel", std::string(sw::kDefaultKernel),
+                   std::move(kernels),
+                   "block kernel for real-mode runs (sw::kernel_registry)");
   return flags;
 }
 

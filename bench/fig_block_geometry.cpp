@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
     base::TextTable real({"tile", "host GCUPS", "score ok"});
     for (const std::int64_t tile : {16L, 64L, 256L, 1024L}) {
       core::EngineConfig config;
+      config.kernel = flags.get_string("kernel");
       config.block_rows = tile;
       config.block_cols = tile;
       const bench::RealRun run =

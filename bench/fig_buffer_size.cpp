@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
     base::TextTable real({"capacity", "score ok", "recv stall", "send stall"});
     for (const std::int64_t capacity : {1, 4, 32}) {
       core::EngineConfig config;
+      config.kernel = flags.get_string("kernel");
       config.block_rows = 64;
       config.block_cols = 64;
       config.buffer_capacity = capacity;

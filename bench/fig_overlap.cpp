@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
     std::printf("Real-mode breakdown (scaled chr21, 3 devices, host "
                 "threads time-share one core):\n");
     core::EngineConfig config;
+    config.kernel = flags.get_string("kernel");
     config.block_rows = 64;
     config.block_cols = 64;
     const bench::RealRun run =

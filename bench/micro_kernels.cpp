@@ -1,20 +1,32 @@
 // R-B2: microbenchmarks of the computational kernels (google-benchmark).
 //
-// Measures the raw cell-update rate of the block kernel across tile
-// sizes, the serial scan, banded scan, chunk serialization and channel
-// round-trips. These host rates are what the `toy_device` profiles and
-// the real-mode GCUPS numbers trace back to.
+// Measures the raw cell-update rate of every registered block kernel
+// (sw::kernel_registry — the benchmark set grows automatically with the
+// registry) across tile sizes, plus the serial scan, banded scan, chunk
+// serialization and channel round-trips. These host rates are what the
+// `toy_device` profiles and the real-mode GCUPS numbers trace back to.
+//
+// After the google-benchmark run, a summary pass times each kernel on a
+// 1024x1024 block, prints a per-kernel GCUPS table with the speedup over
+// the scalar `row` reference, and records the run in a JSON file
+// (--kernels_json=PATH, default BENCH_kernels.json; empty disables).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "base/format.hpp"
 #include "base/rng.hpp"
+#include "base/time.hpp"
 #include "comm/channel.hpp"
 #include "comm/serialize.hpp"
 #include "sw/banded.hpp"
 #include "sw/block.hpp"
-#include "sw/block_antidiag.hpp"
-#include "sw/block_strip.hpp"
+#include "sw/block_simd.hpp"
+#include "sw/kernel.hpp"
 #include "sw/linear.hpp"
 #include "sw/myers_miller.hpp"
 
@@ -29,47 +41,58 @@ std::vector<seq::Nt> random_bases(std::int64_t length, std::uint64_t seed) {
   return out;
 }
 
-template <int Kind>  // 0 = row scan, 1 = anti-diagonal, 2 = strip-mined
-void BM_BlockKernel(benchmark::State& state) {
-  const std::int64_t tile = state.range(0);
-  const auto query = random_bases(tile, 1);
-  const auto subject = random_bases(tile, 2);
-  std::vector<sw::Score> row_h(static_cast<std::size_t>(tile), 0);
-  std::vector<sw::Score> row_f(static_cast<std::size_t>(tile), sw::kNegInf);
-  std::vector<sw::Score> col_h(static_cast<std::size_t>(tile), 0);
-  std::vector<sw::Score> col_e(static_cast<std::size_t>(tile), sw::kNegInf);
-  const sw::ScoreScheme scheme;
+/// Reusable square-block harness; borders are reset per run because the
+/// kernel overwrites them in place.
+class BlockHarness {
+ public:
+  explicit BlockHarness(std::int64_t tile)
+      : tile_(tile),
+        query_(random_bases(tile, 1)),
+        subject_(random_bases(tile, 2)),
+        row_h_(static_cast<std::size_t>(tile)),
+        row_f_(static_cast<std::size_t>(tile)),
+        col_h_(static_cast<std::size_t>(tile)),
+        col_e_(static_cast<std::size_t>(tile)) {}
 
-  for (auto _ : state) {
+  sw::BlockResult run(sw::BlockKernelFn fn, const sw::ScoreScheme& scheme) {
+    std::fill(row_h_.begin(), row_h_.end(), 0);
+    std::fill(row_f_.begin(), row_f_.end(), sw::kNegInf);
+    std::fill(col_h_.begin(), col_h_.end(), 0);
+    std::fill(col_e_.begin(), col_e_.end(), sw::kNegInf);
     sw::BlockArgs args;
-    args.query = query.data();
-    args.subject = subject.data();
-    args.rows = tile;
-    args.cols = tile;
-    args.top_h = row_h.data();
-    args.top_f = row_f.data();
-    args.left_h = col_h.data();
-    args.left_e = col_e.data();
-    args.bottom_h = row_h.data();
-    args.bottom_f = row_f.data();
-    args.right_h = col_h.data();
-    args.right_e = col_e.data();
-    if constexpr (Kind == 1) {
-      benchmark::DoNotOptimize(sw::compute_block_antidiag(scheme, args));
-    } else if constexpr (Kind == 2) {
-      benchmark::DoNotOptimize(sw::compute_block_strip(scheme, args));
-    } else {
-      benchmark::DoNotOptimize(sw::compute_block(scheme, args));
-    }
+    args.query = query_.data();
+    args.subject = subject_.data();
+    args.rows = tile_;
+    args.cols = tile_;
+    args.top_h = row_h_.data();
+    args.top_f = row_f_.data();
+    args.left_h = col_h_.data();
+    args.left_e = col_e_.data();
+    args.bottom_h = row_h_.data();
+    args.bottom_f = row_f_.data();
+    args.right_h = col_h_.data();
+    args.right_e = col_e_.data();
+    return fn(scheme, args);
+  }
+
+ private:
+  std::int64_t tile_;
+  std::vector<seq::Nt> query_, subject_;
+  std::vector<sw::Score> row_h_, row_f_, col_h_, col_e_;
+};
+
+void BM_BlockKernel(benchmark::State& state, sw::BlockKernelFn fn) {
+  const std::int64_t tile = state.range(0);
+  BlockHarness harness(tile);
+  const sw::ScoreScheme scheme;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness.run(fn, scheme));
   }
   state.counters["cells/s"] = benchmark::Counter(
       static_cast<double>(tile) * static_cast<double>(tile) *
           static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_BlockKernel<0>)->Arg(64)->Arg(256)->Arg(1024);
-BENCHMARK(BM_BlockKernel<1>)->Arg(256)->Arg(1024);
-BENCHMARK(BM_BlockKernel<2>)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_LinearScan(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -150,6 +173,117 @@ void BM_RingChannelRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_RingChannelRoundTrip);
 
+// ---------------------------------------------------------------------------
+// per-kernel GCUPS summary + JSON record
+
+struct KernelRate {
+  std::string name;
+  double gcups = 0.0;
+};
+
+/// Best-of-reps cell rate on a summary block (timer noise shrinks the
+/// measured rate, never inflates it, so "best of" is the stable choice).
+double measure_gcups(sw::BlockKernelFn fn, std::int64_t tile, int reps) {
+  BlockHarness harness(tile);
+  const sw::ScoreScheme scheme;
+  double best_seconds = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    base::WallTimer timer;
+    benchmark::DoNotOptimize(harness.run(fn, scheme));
+    best_seconds = std::min(best_seconds, timer.elapsed_seconds());
+  }
+  return static_cast<double>(tile) * static_cast<double>(tile) /
+         best_seconds / 1e9;
+}
+
+void write_kernels_json(const std::string& path, std::int64_t tile,
+                        const std::vector<KernelRate>& rates,
+                        double row_gcups) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(file, "{\n");
+  std::fprintf(file, "  \"bench\": \"micro_kernels\",\n");
+  std::fprintf(file, "  \"block\": %lld,\n", static_cast<long long>(tile));
+  std::fprintf(file, "  \"simd_isa\": \"%s\",\n",
+               sw::simd_isa_name(sw::detected_simd_isa()));
+  std::fprintf(file, "  \"simd_backend\": \"%s\",\n",
+               sw::active_simd_backend());
+  std::fprintf(file, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    std::fprintf(file,
+                 "    {\"name\": \"%s\", \"gcups\": %.4f, "
+                 "\"speedup_vs_row\": %.3f}%s\n",
+                 rates[i].name.c_str(), rates[i].gcups,
+                 row_gcups > 0.0 ? rates[i].gcups / row_gcups : 0.0,
+                 i + 1 < rates.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("(kernel rates written to %s)\n", path.c_str());
+}
+
+void run_kernel_summary(const std::string& json_path) {
+  const std::int64_t tile = 1024;
+  const int reps = 5;
+  std::vector<KernelRate> rates;
+  double row_gcups = 0.0;
+  for (const sw::KernelInfo& info : sw::kernel_registry()) {
+    const double gcups = measure_gcups(info.fn, tile, reps);
+    rates.push_back({info.name, gcups});
+    if (info.name == sw::kDefaultKernel) row_gcups = gcups;
+  }
+
+  std::printf("\nPer-kernel GCUPS, %lld x %lld block (simd dispatches to "
+              "%s; detected ISA %s):\n",
+              static_cast<long long>(tile), static_cast<long long>(tile),
+              sw::active_simd_backend(),
+              sw::simd_isa_name(sw::detected_simd_isa()));
+  base::TextTable table({"kernel", "GCUPS", "vs row"});
+  for (const KernelRate& rate : rates) {
+    table.add_row({rate.name, base::format_double(rate.gcups, 3),
+                   base::format_double(
+                       row_gcups > 0.0 ? rate.gcups / row_gcups : 0.0, 2) +
+                       "x"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  if (!json_path.empty()) {
+    write_kernels_json(json_path, tile, rates, row_gcups);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull out our own flag before google-benchmark sees the arguments.
+  std::string json_path = "BENCH_kernels.json";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--kernels_json=", 15) == 0) {
+      json_path = argv[i] + 15;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  // One benchmark per registered kernel — the set follows the registry.
+  for (const sw::KernelInfo& info : sw::kernel_registry()) {
+    benchmark::RegisterBenchmark(("BM_BlockKernel/" + info.name).c_str(),
+                                 BM_BlockKernel, info.fn)
+        ->Arg(64)
+        ->Arg(256)
+        ->Arg(1024);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  run_kernel_summary(json_path);
+  return 0;
+}

@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
     std::printf("\nReal-mode cross-check (scaled chr21, every cell computed "
                 "on this host):\n");
     core::EngineConfig config;
+    config.kernel = flags.get_string("kernel");
     config.block_rows = 64;
     config.block_cols = 64;
     config.buffer_capacity = buffer;

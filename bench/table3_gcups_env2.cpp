@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
     std::printf("\nReal-mode cross-check (scaled chr22, homogeneous toy "
                 "devices):\n");
     core::EngineConfig config;
+    config.kernel = flags.get_string("kernel");
     config.block_rows = 64;
     config.block_cols = 64;
     config.balance = core::BalanceMode::kEqual;

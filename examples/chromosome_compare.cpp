@@ -30,7 +30,19 @@ int main(int argc, char** argv) {
   flags.add_int("block_cols", 128, "block width");
   flags.add_int("buffer", 16, "circular buffer capacity (chunks)");
   flags.add_string("transport", "ring", "border transport: ring or tcp");
+  {
+    std::vector<std::string> kernels;
+    for (const sw::KernelInfo& info : sw::kernel_registry()) {
+      kernels.push_back(info.name);
+    }
+    flags.add_choice("kernel", std::string(sw::kDefaultKernel),
+                     std::move(kernels),
+                     "block kernel (simd uses the strongest CPU ISA; cap "
+                     "with MGPUSW_SIMD=scalar|sse4.2)");
+  }
   flags.add_bool("pruning", false, "enable block pruning");
+  flags.add_bool("verbose", false,
+                 "info-level logs (kernel dispatch, engine startup)");
   flags.add_bool("verify", true, "cross-check against the serial scan");
   flags.add_int("seed", 42, "synthetic genome seed");
   flags.add_string("dotplot", "",
@@ -39,6 +51,7 @@ int main(int argc, char** argv) {
   flags.add_bool("modes", false,
                  "also report global/semi-global/overlap scores (serial)");
   if (!flags.parse(argc, argv)) return 0;
+  if (flags.get_bool("verbose")) base::set_log_level(base::LogLevel::kInfo);
 
   // --- sequences -----------------------------------------------------
   seq::Sequence query;
@@ -99,6 +112,7 @@ int main(int argc, char** argv) {
   config.block_cols = flags.get_int("block_cols");
   config.buffer_capacity = flags.get_int("buffer");
   config.enable_pruning = flags.get_bool("pruning");
+  config.kernel = flags.get_string("kernel");
   config.transport = flags.get_string("transport") == "tcp"
                          ? core::Transport::kTcp
                          : core::Transport::kInProcess;

@@ -1,5 +1,6 @@
 #include "base/flags.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -15,8 +16,18 @@ const char* kind_name(int kind) {
     case 0: return "int";
     case 1: return "double";
     case 2: return "bool";
+    case 4: return "choice";
     default: return "string";
   }
+}
+
+std::string join_choices(const std::vector<std::string>& choices) {
+  std::string out;
+  for (const std::string& choice : choices) {
+    if (!out.empty()) out += "|";
+    out += choice;
+  }
+  return out;
 }
 
 }  // namespace
@@ -47,6 +58,22 @@ void FlagSet::add_string(const std::string& name,
                          const std::string& default_value,
                          const std::string& help) {
   Flag flag{Kind::kString, help, default_value, default_value};
+  flags_.emplace(name, std::move(flag));
+}
+
+void FlagSet::add_choice(const std::string& name,
+                         const std::string& default_value,
+                         std::vector<std::string> choices,
+                         const std::string& help) {
+  MGPUSW_REQUIRE(!choices.empty(), "flag --" << name << " needs choices");
+  const bool default_ok =
+      std::find(choices.begin(), choices.end(), default_value) !=
+      choices.end();
+  MGPUSW_REQUIRE(default_ok, "flag --" << name << ": default '"
+                                       << default_value
+                                       << "' is not among its choices");
+  Flag flag{Kind::kChoice, help, default_value, default_value,
+            std::move(choices)};
   flags_.emplace(name, std::move(flag));
 }
 
@@ -81,6 +108,14 @@ bool FlagSet::parse(int argc, char** argv) {
           throw InvalidArgument("flag --" + name + " requires a value");
         }
         value = argv[++i];
+      }
+    }
+    if (it->second.kind == Kind::kChoice) {
+      const auto& choices = it->second.choices;
+      if (std::find(choices.begin(), choices.end(), value) ==
+          choices.end()) {
+        throw InvalidArgument("flag --" + name + ": '" + value +
+                              "' is not one of " + join_choices(choices));
       }
     }
     it->second.value = std::move(value);
@@ -136,15 +171,25 @@ bool FlagSet::get_bool(const std::string& name) const {
 }
 
 const std::string& FlagSet::get_string(const std::string& name) const {
-  return find(name, Kind::kString).value;
+  auto it = flags_.find(name);
+  MGPUSW_REQUIRE(it != flags_.end(), "flag --" << name << " not registered");
+  MGPUSW_REQUIRE(
+      it->second.kind == Kind::kString || it->second.kind == Kind::kChoice,
+      "flag --" << name << " is not of type string");
+  return it->second.value;
 }
 
 std::string FlagSet::usage() const {
   std::ostringstream os;
   os << description_ << "\n\nFlags:\n";
   for (const auto& [name, flag] : flags_) {
-    os << "  --" << name << " (" << kind_name(static_cast<int>(flag.kind))
-       << ", default " << flag.default_value << ")\n      " << flag.help
+    os << "  --" << name << " (";
+    if (flag.kind == Kind::kChoice) {
+      os << join_choices(flag.choices);
+    } else {
+      os << kind_name(static_cast<int>(flag.kind));
+    }
+    os << ", default " << flag.default_value << ")\n      " << flag.help
        << "\n";
   }
   return os.str();

@@ -26,6 +26,13 @@ class FlagSet {
   void add_string(const std::string& name, const std::string& default_value,
                   const std::string& help);
 
+  /// A string flag restricted to an enumerated set of values. The value
+  /// is validated at parse time (and the default at registration time),
+  /// so an invalid choice fails loudly with the allowed set; usage()
+  /// lists the choices. Read the value with get_string().
+  void add_choice(const std::string& name, const std::string& default_value,
+                  std::vector<std::string> choices, const std::string& help);
+
   /// Parses argv. Returns false (after printing usage) when --help was
   /// given. Throws InvalidArgument on unknown flags or malformed values.
   bool parse(int argc, char** argv);
@@ -43,13 +50,14 @@ class FlagSet {
   [[nodiscard]] std::string usage() const;
 
  private:
-  enum class Kind { kInt, kDouble, kBool, kString };
+  enum class Kind { kInt, kDouble, kBool, kString, kChoice };
 
   struct Flag {
     Kind kind;
     std::string help;
     std::string value;  // textual representation, parsed on get
     std::string default_value;
+    std::vector<std::string> choices;  // kChoice only
   };
 
   const Flag& find(const std::string& name, Kind kind) const;

@@ -21,10 +21,12 @@ std::vector<double> spec_weights(const std::vector<vgpu::Device*>& devices) {
 
 std::vector<double> calibrate_weights(
     const std::vector<vgpu::Device*>& devices, const sw::ScoreScheme& scheme,
-    std::int64_t sample_rows, std::int64_t sample_cols, std::uint64_t seed) {
+    std::int64_t sample_rows, std::int64_t sample_cols, std::uint64_t seed,
+    const std::string& kernel) {
   MGPUSW_REQUIRE(sample_rows > 0 && sample_cols > 0,
                  "sample dimensions must be positive");
   scheme.validate();
+  const sw::BlockKernelFn default_fn = sw::find_kernel(kernel);
 
   base::Rng rng(seed);
   std::vector<seq::Nt> query(static_cast<std::size_t>(sample_rows));
@@ -60,10 +62,13 @@ std::vector<double> calibrate_weights(
     args.right_h = col_h.data();
     args.right_e = col_e.data();
 
+    const sw::BlockKernelFn fn =
+        device->spec().kernel.empty() ? default_fn
+                                      : sw::find_kernel(device->spec().kernel);
     base::WallTimer timer;
     device->execute([&] {
       base::WallTimer kernel_timer;
-      (void)sw::compute_block(scheme, args);
+      (void)fn(scheme, args);
       device->account_kernel(kernel_timer.elapsed_ns(),
                              sample_rows * sample_cols);
     });

@@ -7,11 +7,12 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "base/log.hpp"
 #include "base/math.hpp"
 #include "base/time.hpp"
 #include "sw/block.hpp"
-#include "sw/block_antidiag.hpp"
-#include "sw/block_strip.hpp"
+#include "sw/block_simd.hpp"
+#include "sw/kernel.hpp"
 
 namespace mgpusw::core {
 
@@ -38,8 +39,9 @@ struct TaskOutcome {
 /// exchange, pruning and special-row checkpointing.
 class DeviceWorker {
  public:
-  DeviceWorker(const EngineConfig& config, vgpu::Device& device,
-               int device_index, const std::vector<seq::Nt>& query,
+  DeviceWorker(const EngineConfig& config, sw::BlockKernelFn kernel,
+               vgpu::Device& device, int device_index,
+               const std::vector<seq::Nt>& query,
                const std::vector<seq::Nt>& subject, ColumnRange slice,
                comm::BorderSource* in, comm::BorderSink* out,
                std::atomic<sw::Score>& global_best,
@@ -47,6 +49,7 @@ class DeviceWorker {
                const sw::Score* seed_h = nullptr,
                const sw::Score* seed_f = nullptr)
       : config_(config),
+        kernel_(kernel),
         device_index_(device_index),
         device_(device),
         query_(query),
@@ -326,17 +329,7 @@ class DeviceWorker {
     args.right_e = left_e;
 
     base::WallTimer timer;
-    switch (config_.kernel) {
-      case KernelKind::kAntiDiag:
-        outcome.block = sw::compute_block_antidiag(config_.scheme, args);
-        break;
-      case KernelKind::kStripMined:
-        outcome.block = sw::compute_block_strip(config_.scheme, args);
-        break;
-      case KernelKind::kRowScan:
-        outcome.block = sw::compute_block(config_.scheme, args);
-        break;
-    }
+    outcome.block = kernel_(config_.scheme, args);
     device_.account_kernel(timer.elapsed_ns(), sw::block_cells(bh, bw));
     outcome.cells = sw::block_cells(bh, bw);
     outcome.valid = true;
@@ -385,6 +378,7 @@ class DeviceWorker {
   }
 
   const EngineConfig& config_;
+  const sw::BlockKernelFn kernel_;
   const int device_index_ = 0;
   vgpu::Device& device_;
   const std::vector<seq::Nt>& query_;
@@ -435,6 +429,21 @@ MultiDeviceEngine::MultiDeviceEngine(EngineConfig config,
     MGPUSW_REQUIRE(config_.special_rows != nullptr,
                    "special_row_interval set but special_rows is null");
   }
+  // Resolve every kernel name now (find_kernel throws on unknown names),
+  // so a typo fails at construction instead of mid-run, and log the
+  // choice once per engine.
+  (void)sw::find_kernel(config_.kernel);
+  bool any_override = false;
+  for (const vgpu::Device* device : devices_) {
+    if (!device->spec().kernel.empty()) {
+      (void)sw::find_kernel(device->spec().kernel);
+      any_override = true;
+    }
+  }
+  MGPUSW_LOG(kInfo) << "engine kernel=" << config_.kernel
+                    << (any_override ? " (per-device overrides present)" : "")
+                    << " simd_isa=" << sw::simd_isa_name(sw::detected_simd_isa())
+                    << " simd_backend=" << sw::active_simd_backend();
 }
 
 std::vector<ColumnRange> MultiDeviceEngine::plan_partition(
@@ -523,8 +532,11 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
     const std::int64_t start_block_row =
         seed == nullptr ? 0
                         : (seed->checkpoint_row + 1) / config_.block_rows;
+    const std::string& device_kernel = devices_[d]->spec().kernel;
+    const sw::BlockKernelFn kernel = sw::find_kernel(
+        device_kernel.empty() ? config_.kernel : device_kernel);
     workers.push_back(std::make_unique<DeviceWorker>(
-        config_, *devices_[d], static_cast<int>(d), query_bases,
+        config_, kernel, *devices_[d], static_cast<int>(d), query_bases,
         subject_bases, ranges[d], in, out, global_best, start_block_row,
         seed == nullptr ? nullptr : seed->h.data(),
         seed == nullptr ? nullptr : seed->f.data()));
@@ -560,6 +572,8 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
   }
 
   EngineResult result;
+  result.kernel = config_.kernel;
+  result.simd_isa = sw::simd_isa_name(sw::detected_simd_isa());
   const std::int64_t resumed_rows =
       seed == nullptr ? query.size()
                       : query.size() - (seed->checkpoint_row + 1);

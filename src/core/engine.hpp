@@ -24,12 +24,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/channel.hpp"
 #include "core/partition.hpp"
 #include "core/special_rows.hpp"
 #include "seq/sequence.hpp"
+#include "sw/kernel.hpp"
 #include "sw/scoring.hpp"
 #include "vgpu/device.hpp"
 
@@ -67,14 +69,6 @@ enum class Schedule {
   kDiagonal,
 };
 
-/// Which block kernel computes the cells. Results are identical; the
-/// traversal differs (see sw/block_antidiag.hpp).
-enum class KernelKind {
-  kRowScan,     // row sweep, one row at a time (fastest on this host)
-  kAntiDiag,    // lockstep anti-diagonal sweep (the GPU traversal)
-  kStripMined,  // 4-row strips (less array traffic, longer F chain)
-};
-
 /// Progress notification, emitted by each device's driver thread after
 /// every completed scheduling unit (block row in kRowMajor, external
 /// diagonal in kDiagonal).
@@ -92,7 +86,12 @@ struct EngineConfig {
   std::int64_t buffer_capacity = 16;  // circular buffer size, in chunks
   Transport transport = Transport::kInProcess;
   Schedule schedule = Schedule::kRowMajor;
-  KernelKind kernel = KernelKind::kRowScan;
+
+  /// Block kernel, by registry name (sw::kernel_registry(); e.g. "row",
+  /// "antidiag", "strip4", "simd"). Every kernel produces bit-identical
+  /// results; they differ in traversal and speed. A device whose spec
+  /// names its own kernel overrides this default for its slice.
+  std::string kernel{sw::kDefaultKernel};
   BalanceMode balance = BalanceMode::kSpecGcups;
   std::vector<double> custom_weights;  // used when balance == kCustomWeights
 
@@ -134,6 +133,8 @@ struct DeviceRunStats {
 
 struct EngineResult {
   sw::ScoreResult best;
+  std::string kernel;    // engine-default kernel the run used
+  std::string simd_isa;  // strongest SIMD ISA detected on the host
   std::int64_t matrix_cells = 0;  // rows * cols of the full matrix
   std::int64_t computed_cells = 0;  // < matrix_cells when pruning fired
   double wall_seconds = 0.0;

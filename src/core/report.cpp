@@ -38,6 +38,8 @@ std::string to_json(const EngineResult& result) {
   os << "  \"score\": " << result.best.score << ",\n";
   os << "  \"end_row\": " << result.best.end.row << ",\n";
   os << "  \"end_col\": " << result.best.end.col << ",\n";
+  os << "  \"kernel\": \"" << json_escape(result.kernel) << "\",\n";
+  os << "  \"simd_isa\": \"" << json_escape(result.simd_isa) << "\",\n";
   os << "  \"matrix_cells\": " << result.matrix_cells << ",\n";
   os << "  \"computed_cells\": " << result.computed_cells << ",\n";
   os << "  \"wall_seconds\": " << result.wall_seconds << ",\n";

@@ -39,6 +39,8 @@
 #include "sim/pipeline_sim.hpp"   // IWYU pragma: export
 #include "sw/alignment.hpp"   // IWYU pragma: export
 #include "sw/banded.hpp"      // IWYU pragma: export
+#include "sw/block_simd.hpp"  // IWYU pragma: export
+#include "sw/kernel.hpp"      // IWYU pragma: export
 #include "sw/linear.hpp"      // IWYU pragma: export
 #include "sw/modes.hpp"       // IWYU pragma: export
 #include "sw/myers_miller.hpp"    // IWYU pragma: export

@@ -32,6 +32,7 @@ BlockResult compute_block(const ScoreScheme& scheme, const BlockArgs& args) {
   Score* const row_f = args.bottom_f;
 
   ScoreResult best;  // score 0, empty alignment
+  Score border_max = 0;
   Score diag_carry = args.corner_h;
 
   for (std::int64_t i = 0; i < args.rows; ++i) {
@@ -72,6 +73,12 @@ BlockResult compute_block(const ScoreScheme& scheme, const BlockArgs& args) {
     args.right_e[i] = e_left;
     diag_carry = next_diag;
 
+    // Border maxima without a second border pass: the right-column value
+    // is this row's final H, and the bottom row's maximum is the last
+    // row's running maximum (H >= 0, so best_h_row covers it exactly).
+    border_max = std::max(border_max, h_left);
+    if (i == args.rows - 1) border_max = std::max(border_max, best_h_row);
+
     // Row-major tie-breaking: an earlier row always wins ties, so only a
     // strictly larger row maximum updates the block best.
     if (best_h_row > best.score) {
@@ -82,13 +89,6 @@ BlockResult compute_block(const ScoreScheme& scheme, const BlockArgs& args) {
 
   BlockResult result;
   result.best = best;
-  Score border_max = 0;
-  for (std::int64_t j = 0; j < args.cols; ++j) {
-    border_max = std::max(border_max, args.bottom_h[j]);
-  }
-  for (std::int64_t i = 0; i < args.rows; ++i) {
-    border_max = std::max(border_max, args.right_h[i]);
-  }
   result.border_max = border_max;
   return result;
 }

@@ -49,6 +49,7 @@ BlockResult compute_block_antidiag(const ScoreScheme& scheme,
   scratch.resize(args.rows);
 
   ScoreResult best;
+  Score border_max = 0;
   const std::int64_t diagonals = args.rows + args.cols - 1;
   for (std::int64_t d = 0; d < diagonals; ++d) {
     const std::int64_t i_lo =
@@ -95,10 +96,12 @@ BlockResult compute_block_antidiag(const ScoreScheme& scheme,
       if (i == args.rows - 1) {
         args.bottom_h[j] = h;
         args.bottom_f[j] = f;
+        border_max = std::max(border_max, h);
       }
       if (j == args.cols - 1) {
         args.right_h[i] = h;
         args.right_e[i] = e;
+        border_max = std::max(border_max, h);
       }
 
       const ScoreResult candidate{
@@ -113,13 +116,6 @@ BlockResult compute_block_antidiag(const ScoreScheme& scheme,
 
   BlockResult result;
   result.best = best;
-  Score border_max = 0;
-  for (std::int64_t j = 0; j < args.cols; ++j) {
-    border_max = std::max(border_max, args.bottom_h[j]);
-  }
-  for (std::int64_t i = 0; i < args.rows; ++i) {
-    border_max = std::max(border_max, args.right_h[i]);
-  }
   result.border_max = border_max;
   return result;
 }

@@ -1,0 +1,103 @@
+// Runtime dispatcher for the SIMD block kernel.
+//
+// The three backend TUs each compiled block_simd_impl.hpp with different
+// -m flags; this TU (compiled with the portable baseline flags only)
+// checks the CPU once and routes compute_block_simd to the strongest
+// backend that is both (a) supported by the running CPU per cpuid and
+// (b) actually compiled with vector instructions — a backend TU built on
+// a non-x86 host reports "scalar" and is treated as such.
+#include "sw/block_simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mgpusw::sw {
+
+namespace {
+
+/// cpuid-based feature detection. GCC/Clang resolve the builtin on x86;
+/// every other architecture reports scalar.
+SimdIsa cpu_isa() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  if (__builtin_cpu_supports("avx2")) return SimdIsa::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return SimdIsa::kSse42;
+#endif
+  return SimdIsa::kScalar;
+}
+
+/// Optional cap from the MGPUSW_SIMD environment variable.
+SimdIsa apply_env_cap(SimdIsa isa) {
+  const char* cap = std::getenv("MGPUSW_SIMD");
+  if (cap == nullptr) return isa;
+  if (std::strcmp(cap, "scalar") == 0) return SimdIsa::kScalar;
+  if (std::strcmp(cap, "sse4.2") == 0 || std::strcmp(cap, "sse42") == 0) {
+    return isa < SimdIsa::kSse42 ? isa : SimdIsa::kSse42;
+  }
+  return isa;  // "avx2" or unrecognised: no cap below detection
+}
+
+/// What the backend TU for `level` was actually compiled with.
+SimdIsa compiled_isa(SimdIsa level) {
+  const char* name = level == SimdIsa::kAvx2    ? simd_avx2::backend_name()
+                     : level == SimdIsa::kSse42 ? simd_sse42::backend_name()
+                                                : simd_scalar::backend_name();
+  if (std::strcmp(name, "avx2") == 0) return SimdIsa::kAvx2;
+  if (std::strcmp(name, "sse4.2") == 0) return SimdIsa::kSse42;
+  return SimdIsa::kScalar;
+}
+
+struct Dispatch {
+  BlockResult (*fn)(const ScoreScheme&, const BlockArgs&);
+  const char* backend;
+};
+
+Dispatch resolve() {
+  const SimdIsa isa = detected_simd_isa();
+  // Strongest backend whose compiled code the CPU can run. A backend TU
+  // that degraded at compile time (non-x86 host, unsupported -m flag)
+  // reports the weaker level and is still safe to call.
+  if (isa >= SimdIsa::kAvx2 && compiled_isa(SimdIsa::kAvx2) <= isa) {
+    return {&simd_avx2::compute_block_simd_impl,
+            simd_avx2::backend_name()};
+  }
+  if (isa >= SimdIsa::kSse42 && compiled_isa(SimdIsa::kSse42) <= isa) {
+    return {&simd_sse42::compute_block_simd_impl,
+            simd_sse42::backend_name()};
+  }
+  return {&simd_scalar::compute_block_simd_impl,
+          simd_scalar::backend_name()};
+}
+
+const Dispatch& dispatch() {
+  static const Dispatch d = resolve();
+  return d;
+}
+
+}  // namespace
+
+SimdIsa detected_simd_isa() {
+  static const SimdIsa isa = apply_env_cap(cpu_isa());
+  return isa;
+}
+
+const char* simd_isa_name(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kAvx2: return "avx2";
+    case SimdIsa::kSse42: return "sse4.2";
+    case SimdIsa::kScalar: return "scalar";
+  }
+  return "scalar";
+}
+
+const char* active_simd_backend() { return dispatch().backend; }
+
+bool simd_backend_runnable(SimdIsa backend) {
+  return compiled_isa(backend) <= detected_simd_isa();
+}
+
+BlockResult compute_block_simd(const ScoreScheme& scheme,
+                               const BlockArgs& args) {
+  return dispatch().fn(scheme, args);
+}
+
+}  // namespace mgpusw::sw

@@ -1,0 +1,61 @@
+// SIMD anti-diagonal block kernel with runtime ISA dispatch.
+//
+// compute_block_simd is bit-identical to sw::compute_block (same border
+// contract, same best cell and tie-breaking, same border_max) but updates
+// eight cells per step along the intra-block anti-diagonal using 8x32-bit
+// integer lanes. The kernel source (block_simd_impl.hpp) is compiled
+// three times against the sw/simd.hpp shim — AVX2, SSE4.2 and scalar
+// translation units, each with its own -m flags — and a cpuid check picks
+// the strongest backend the running CPU supports, so one portable binary
+// never executes an instruction the host lacks.
+//
+// The MGPUSW_SIMD environment variable ("avx2", "sse4.2", "scalar")
+// caps the dispatch below the detected level — useful for ablation runs
+// and for exercising the fallback paths on capable hardware.
+#pragma once
+
+#include "sw/block.hpp"
+
+namespace mgpusw::sw {
+
+/// ISA levels the dispatcher distinguishes, weakest first.
+enum class SimdIsa { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+/// Drop-in alternative to compute_block; dispatches on first use.
+BlockResult compute_block_simd(const ScoreScheme& scheme,
+                               const BlockArgs& args);
+
+/// Highest ISA level the running CPU supports (cpuid-based; honours the
+/// MGPUSW_SIMD cap). kScalar on non-x86 hosts.
+[[nodiscard]] SimdIsa detected_simd_isa();
+
+/// "avx2", "sse4.2" or "scalar".
+[[nodiscard]] const char* simd_isa_name(SimdIsa isa);
+
+/// Backend compute_block_simd actually dispatches to — the detected ISA
+/// level further capped by what the backend TU was compiled with (on a
+/// non-x86 build every backend degrades to "scalar").
+[[nodiscard]] const char* active_simd_backend();
+
+// Pinned per-backend entry points (used by the kernel registry to expose
+// individually benchmarkable/parity-testable variants). Each is safe to
+// call only when the matching backend's compiled code runs on this CPU —
+// compute_block_simd_backend_safe reports that.
+namespace simd_avx2 {
+BlockResult compute_block_simd_impl(const ScoreScheme&, const BlockArgs&);
+const char* backend_name();
+}  // namespace simd_avx2
+namespace simd_sse42 {
+BlockResult compute_block_simd_impl(const ScoreScheme&, const BlockArgs&);
+const char* backend_name();
+}  // namespace simd_sse42
+namespace simd_scalar {
+BlockResult compute_block_simd_impl(const ScoreScheme&, const BlockArgs&);
+const char* backend_name();
+}  // namespace simd_scalar
+
+/// True when the named pinned backend ("avx2", "sse4.2", "scalar") can
+/// execute on the running CPU.
+[[nodiscard]] bool simd_backend_runnable(SimdIsa backend);
+
+}  // namespace mgpusw::sw

@@ -1,0 +1,313 @@
+// SIMD block kernel — the implementation, instantiated once per backend.
+//
+// Included exactly once by each backend translation unit
+// (block_simd_{avx2,sse42,scalar}.cpp) after defining MGPUSW_SIMD_NS; the
+// TU's compile flags decide which sw/simd.hpp backend the code runs on.
+//
+// Traversal: horizontal strips of kSimdLanes (8) query rows, skewed so
+// that at step t lane r holds cell (i0 + r, t - r) — all eight cells sit
+// on one intra-block anti-diagonal, the only dependence-free direction of
+// the Gotoh recurrences. Lane r's inputs are then:
+//
+//   left  (H, E)  = lane r   at step t-1  (same lane, previous step)
+//   up    (H, F)  = lane r-1 at step t-1  (one-lane shift-in)
+//   diag  (H)     = lane r-1 at step t-2  (one-lane shift-in)
+//
+// with lane 0 fed from the strip-above rolling row (row_h/row_f) and the
+// j == 0 column fed from the block's left border. The strip's triangular
+// fill (t < 8) and drain (t >= cols-1) run scalar on the same lane-state
+// arrays; the rectangular steady state runs eight cells per iteration on
+// the Vec8 shim. The subject character for lane r is subject[t - r] —
+// a reversed window maintained with the same shift-in rotation — so the
+// per-cell `match or mismatch` branch becomes cmpeq + blend against the
+// per-strip query vector (the 2-bit query profile reduces to this exact
+// lane-select for a 4-letter alphabet, no gather needed).
+//
+// Best-cell tracking and border_max fold into the loops: per-lane running
+// row maxima use strict '>' (keeping the smallest column), the cross-row
+// reduction walks lanes in ascending row order (keeping the smallest
+// row), and the bottom-row maximum of the last strip is the last lane's
+// row maximum — bit-identical to sw::compute_block, including ties.
+//
+// Geometry guard: blocks narrower/shorter than the lane count (plus row
+// remainders < 8) delegate to compute_block, which is the parity oracle,
+// so every geometry stays exact.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "base/error.hpp"
+#include "sw/block.hpp"
+#include "sw/simd.hpp"
+
+namespace mgpusw::sw::MGPUSW_SIMD_NS {
+
+namespace {
+
+constexpr int kL = kSimdLanes;
+
+/// One full 8-row strip: scalar fill, vector steady state, scalar drain.
+/// rev_subject[k] == subject[cols-1-k], so the steady state's reversed
+/// subject window (lane r wants subject[t-r]) is a plain vector load.
+void process_strip(const ScoreScheme& scheme, const BlockArgs& args,
+                   const Score* rev_subject, std::int64_t i0, Score* row_h,
+                   Score* row_f, Score strip_diag0, bool last_strip,
+                   ScoreResult& best, Score& border_max) {
+  const std::int64_t cols = args.cols;
+  const Score gap_first = scheme.gap_first();
+  const Score gap_ext = scheme.gap_extend;
+  const Score match = scheme.match;
+  const Score mismatch = scheme.mismatch;
+
+  // Left border and query codes captured before the drain overwrites the
+  // (possibly aliased) left/right arrays.
+  alignas(32) Score left_h_b[kL];
+  alignas(32) Score left_e_b[kL];
+  alignas(32) Score qcode[kL];
+  for (int r = 0; r < kL; ++r) {
+    left_h_b[r] = args.left_h[i0 + r];
+    left_e_b[r] = args.left_e[i0 + r];
+    qcode[r] = static_cast<Score>(args.query[i0 + r]);
+  }
+
+  // Rolling lane state: lane r holds its values from the previous step
+  // (h/e/f_prev) and the step before (h_prev2). Zero-initialised so the
+  // not-yet-active lanes never read indeterminate values.
+  alignas(32) Score h_prev[kL] = {};
+  alignas(32) Score h_prev2[kL] = {};
+  alignas(32) Score e_prev[kL] = {};
+  alignas(32) Score f_prev[kL] = {};
+  alignas(32) Score best_h[kL];
+  alignas(32) Score best_j[kL];
+  for (int r = 0; r < kL; ++r) {
+    best_h[r] = -1;  // strictly below any reachable H (H >= 0)
+    best_j[r] = -1;
+  }
+
+  // One skewed step for lanes [r_lo, r_hi], scalar. Descending r keeps
+  // the in-place lane rotation safe: lane r reads lane r-1's previous-
+  // step values before lane r-1 overwrites them.
+  const auto scalar_step = [&](std::int64_t t, int r_lo, int r_hi) {
+    for (int r = r_hi; r >= r_lo; --r) {
+      const std::int64_t j = t - r;
+      const Score lh = j == 0 ? left_h_b[r] : h_prev[r];
+      const Score le = j == 0 ? left_e_b[r] : e_prev[r];
+      const Score uh = r == 0 ? row_h[j] : h_prev[r - 1];
+      const Score uf = r == 0 ? row_f[j] : f_prev[r - 1];
+      Score dg;
+      if (r == 0) {
+        dg = j == 0 ? strip_diag0 : row_h[j - 1];
+      } else {
+        dg = j == 0 ? left_h_b[r - 1] : h_prev2[r - 1];
+      }
+
+      const Score e = std::max<Score>(le - gap_ext, lh - gap_first);
+      const Score f = std::max<Score>(uf - gap_ext, uh - gap_first);
+      Score h = dg + (qcode[r] == static_cast<Score>(args.subject[j])
+                          ? match
+                          : mismatch);
+      if (h < e) h = e;
+      if (h < f) h = f;
+      if (h < 0) h = 0;
+
+      h_prev2[r] = h_prev[r];
+      h_prev[r] = h;
+      e_prev[r] = e;
+      f_prev[r] = f;
+
+      if (r == kL - 1) {  // strip bottom row -> rolling row arrays
+        row_h[j] = h;
+        row_f[j] = f;
+      }
+      if (j == cols - 1) {  // block right border
+        args.right_h[i0 + r] = h;
+        args.right_e[i0 + r] = e;
+        border_max = std::max(border_max, h);
+      }
+      if (h > best_h[r]) {
+        best_h[r] = h;
+        best_j[r] = static_cast<Score>(j);
+      }
+    }
+  };
+
+  // --- fill: steps 0 .. kL-1, lane r activates at t == r -------------
+  for (std::int64_t t = 0; t < kL; ++t) {
+    scalar_step(t, 0, static_cast<int>(t));
+  }
+
+  // --- steady state: steps kL .. cols-2, all lanes interior ----------
+  Vec8 vh_prev = v_load(h_prev);
+  Vec8 vh_prev2 = v_load(h_prev2);
+  Vec8 ve_prev = v_load(e_prev);
+  Vec8 vf_prev = v_load(f_prev);
+  Vec8 vbest_h = v_load(best_h);
+  Vec8 vbest_j = v_load(best_j);
+  const Vec8 vq = v_load(qcode);
+  alignas(32) Score scratch[kL];
+  for (int r = 0; r < kL; ++r) scratch[r] = kL - 1 - r;  // j at step kL-1
+  Vec8 vj = v_load(scratch);
+  // diag(t) equals up_h(t-1) — vh_prev(t-1) is vh_prev2(t) — so the
+  // diagonal shift-in is carried from the previous iteration instead of
+  // recomputed; only the seed needs an explicit shift.
+  Vec8 vdiag_carry = v_shift_in(vh_prev2, row_h[kL - 1]);
+
+  const Vec8 v_gap_ext = v_broadcast(gap_ext);
+  const Vec8 v_gap_first = v_broadcast(gap_first);
+  const Vec8 v_match = v_broadcast(match);
+  const Vec8 v_mismatch = v_broadcast(mismatch);
+  const Vec8 v_zero = v_broadcast(0);
+  const Vec8 v_one = v_broadcast(1);
+
+  for (std::int64_t t = kL; t <= cols - 2; ++t) {
+    // Strip-above row values at column t / t-1; the lane-7 writes below
+    // trail the lane-0 reads by kL-1 columns, so these are still the
+    // previous strip's values.
+    const Vec8 vup_h = v_shift_in(vh_prev, row_h[t]);
+    const Vec8 vup_f = v_shift_in(vf_prev, row_f[t]);
+    const Vec8 vdiag = vdiag_carry;
+    const Vec8 ve =
+        v_max(v_sub(ve_prev, v_gap_ext), v_sub(vh_prev, v_gap_first));
+    const Vec8 vf =
+        v_max(v_sub(vup_f, v_gap_ext), v_sub(vup_h, v_gap_first));
+    const Vec8 vs = v_load(rev_subject + (cols - 1 - t));
+    const Vec8 vsub = v_blend(v_mismatch, v_match, v_cmpeq(vq, vs));
+    Vec8 vh = v_add(vdiag, vsub);
+    vh = v_max(vh, ve);
+    vh = v_max(vh, vf);
+    vh = v_max(vh, v_zero);
+
+    row_h[t - (kL - 1)] = v_extract_last(vh);
+    row_f[t - (kL - 1)] = v_extract_last(vf);
+
+    vj = v_add(vj, v_one);
+    const Vec8 vgt = v_cmpgt(vh, vbest_h);
+    vbest_h = v_blend(vbest_h, vh, vgt);
+    vbest_j = v_blend(vbest_j, vj, vgt);
+
+    vh_prev2 = vh_prev;
+    vh_prev = vh;
+    ve_prev = ve;
+    vf_prev = vf;
+    vdiag_carry = vup_h;
+  }
+
+  v_store(h_prev, vh_prev);
+  v_store(h_prev2, vh_prev2);
+  v_store(e_prev, ve_prev);
+  v_store(f_prev, vf_prev);
+  v_store(best_h, vbest_h);
+  v_store(best_j, vbest_j);
+
+  // --- drain: steps cols-1 .. cols+kL-2, lane r retires at t-r==cols -
+  for (std::int64_t t = cols - 1; t <= cols + kL - 2; ++t) {
+    scalar_step(t, static_cast<int>(std::max<std::int64_t>(0, t - (cols - 1))),
+                kL - 1);
+  }
+
+  // Cross-row reduction in ascending row order: strictly larger row
+  // maxima only, so earlier rows win ties exactly as in compute_block.
+  for (int r = 0; r < kL; ++r) {
+    if (best_h[r] > best.score) {
+      best.score = best_h[r];
+      best.end = CellPos{args.global_row + i0 + r,
+                         args.global_col + best_j[r]};
+    }
+  }
+  if (last_strip) {
+    // The block's bottom row is this strip's last lane; its running row
+    // maximum is the bottom-row border maximum (H >= 0).
+    border_max = std::max(border_max, best_h[kL - 1]);
+  }
+}
+
+}  // namespace
+
+BlockResult compute_block_simd_impl(const ScoreScheme& scheme,
+                                    const BlockArgs& args) {
+  MGPUSW_CHECK(args.rows > 0 && args.cols > 0);
+  MGPUSW_CHECK(args.query != nullptr && args.subject != nullptr);
+  MGPUSW_CHECK(args.top_h != nullptr && args.top_f != nullptr);
+  MGPUSW_CHECK(args.left_h != nullptr && args.left_e != nullptr);
+  MGPUSW_CHECK(args.bottom_h != nullptr && args.bottom_f != nullptr);
+  MGPUSW_CHECK(args.right_h != nullptr && args.right_e != nullptr);
+
+  // Blocks without a vectorisable steady state (and the pathological
+  // > 2^30 case where a column index would not fit the int32 lane type)
+  // delegate to the scalar row kernel — the parity oracle.
+  if (args.rows < kL || args.cols < 2 * kL ||
+      args.cols > (std::int64_t{1} << 30) ||
+      args.rows > (std::int64_t{1} << 30)) {
+    return compute_block(scheme, args);
+  }
+
+  // Seed the rolling row state from the top border (alias-safe: the
+  // outputs may be the same arrays).
+  if (args.bottom_h != args.top_h) {
+    std::copy(args.top_h, args.top_h + args.cols, args.bottom_h);
+  }
+  if (args.bottom_f != args.top_f) {
+    std::copy(args.top_f, args.top_f + args.cols, args.bottom_f);
+  }
+  Score* const row_h = args.bottom_h;
+  Score* const row_f = args.bottom_f;
+
+  // Subject codes reversed once per block (shared by every strip): turns
+  // the steady state's per-step window rotation into one vector load.
+  thread_local std::vector<Score> rev_subject;
+  rev_subject.resize(static_cast<std::size_t>(args.cols));
+  for (std::int64_t j = 0; j < args.cols; ++j) {
+    rev_subject[static_cast<std::size_t>(args.cols - 1 - j)] =
+        static_cast<Score>(args.subject[j]);
+  }
+
+  ScoreResult best;
+  Score border_max = 0;
+
+  // H(strip_first_row - 1, block left border): the corner for the first
+  // strip, the saved original left-border value afterwards (captured
+  // before the strip's drain overwrites the aliased left/right arrays).
+  Score strip_diag0 = args.corner_h;
+
+  std::int64_t i0 = 0;
+  for (; i0 + kL <= args.rows; i0 += kL) {
+    const Score next_strip_diag0 = args.left_h[i0 + kL - 1];
+    process_strip(scheme, args, rev_subject.data(), i0, row_h, row_f,
+                  strip_diag0, /*last_strip=*/i0 + kL == args.rows, best,
+                  border_max);
+    strip_diag0 = next_strip_diag0;
+  }
+
+  // Remainder rows (< kL): delegate the final short strip to the scalar
+  // kernel on a sub-block whose top border is the current rolling row.
+  if (i0 < args.rows) {
+    BlockArgs sub = args;
+    sub.query = args.query + i0;
+    sub.rows = args.rows - i0;
+    sub.global_row = args.global_row + i0;
+    sub.top_h = row_h;
+    sub.top_f = row_f;
+    sub.bottom_h = row_h;
+    sub.bottom_f = row_f;
+    sub.left_h = args.left_h + i0;
+    sub.left_e = args.left_e + i0;
+    sub.right_h = args.right_h + i0;
+    sub.right_e = args.right_e + i0;
+    sub.corner_h = strip_diag0;
+    const BlockResult tail = compute_block(scheme, sub);
+    // Later rows never displace an equal earlier best (row-major ties).
+    if (improves(tail.best, best)) best = tail.best;
+    // tail.border_max covers the block's bottom row plus the remainder
+    // rows' right-column values.
+    border_max = std::max(border_max, tail.border_max);
+  }
+
+  BlockResult result;
+  result.best = best;
+  result.border_max = border_max;
+  return result;
+}
+
+}  // namespace mgpusw::sw::MGPUSW_SIMD_NS

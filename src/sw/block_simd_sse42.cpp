@@ -1,0 +1,12 @@
+// SSE4.2 instantiation of the SIMD block kernel. CMake compiles this TU
+// with -msse4.2 on x86 hosts; elsewhere it degrades to scalar. See
+// block_simd_avx2.cpp for the dispatch contract.
+#define MGPUSW_SIMD_NS simd_sse42
+
+#include "sw/block_simd_impl.hpp"
+
+namespace mgpusw::sw::simd_sse42 {
+
+const char* backend_name() { return kSimdBackendName; }
+
+}  // namespace mgpusw::sw::simd_sse42

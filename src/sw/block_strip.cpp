@@ -16,7 +16,8 @@ constexpr std::int64_t kStrip = 4;
 template <int kLanes>
 void process_strip(const ScoreScheme& scheme, const BlockArgs& args,
                    std::int64_t i0, Score* row_h, Score* row_f,
-                   Score strip_diag0, ScoreResult& best) {
+                   Score strip_diag0, ScoreResult& best,
+                   Score& border_max) {
   const Score gap_first = scheme.gap_first();
   const Score gap_ext = scheme.gap_extend;
   const Score match = scheme.match;
@@ -69,9 +70,17 @@ void process_strip(const ScoreScheme& scheme, const BlockArgs& args,
     diag0 = up_h;
   }
 
+  // Border maxima fold into the epilogue: the right-column value of row
+  // i0+r is h_left[r], and when this strip carries the block's last row
+  // its bottom-row maximum is the last lane's running row maximum
+  // (H >= 0, so best_h covers it exactly).
   for (int r = 0; r < kLanes; ++r) {
     args.right_h[i0 + r] = h_left[r];
     args.right_e[i0 + r] = e_left[r];
+    border_max = std::max(border_max, h_left[r]);
+    if (i0 + r == args.rows - 1) {
+      border_max = std::max(border_max, best_h[r]);
+    }
     // Row-major tie-breaking: earlier rows win ties, so only strictly
     // larger row maxima update the block best.
     if (best_h[r] > best.score) {
@@ -98,6 +107,7 @@ BlockResult compute_block_strip(const ScoreScheme& scheme,
   Score* const row_f = args.bottom_f;
 
   ScoreResult best;
+  Score border_max = 0;
 
   // H(strip_first_row - 1, block left border): the corner for the first
   // strip, the saved original left-border value afterwards.
@@ -112,16 +122,20 @@ BlockResult compute_block_strip(const ScoreScheme& scheme,
 
     switch (lanes) {
       case 4:
-        process_strip<4>(scheme, args, i0, row_h, row_f, strip_diag0, best);
+        process_strip<4>(scheme, args, i0, row_h, row_f, strip_diag0, best,
+                         border_max);
         break;
       case 3:
-        process_strip<3>(scheme, args, i0, row_h, row_f, strip_diag0, best);
+        process_strip<3>(scheme, args, i0, row_h, row_f, strip_diag0, best,
+                         border_max);
         break;
       case 2:
-        process_strip<2>(scheme, args, i0, row_h, row_f, strip_diag0, best);
+        process_strip<2>(scheme, args, i0, row_h, row_f, strip_diag0, best,
+                         border_max);
         break;
       default:
-        process_strip<1>(scheme, args, i0, row_h, row_f, strip_diag0, best);
+        process_strip<1>(scheme, args, i0, row_h, row_f, strip_diag0, best,
+                         border_max);
         break;
     }
     strip_diag0 = next_strip_diag0;
@@ -129,13 +143,6 @@ BlockResult compute_block_strip(const ScoreScheme& scheme,
 
   BlockResult result;
   result.best = best;
-  Score border_max = 0;
-  for (std::int64_t j = 0; j < args.cols; ++j) {
-    border_max = std::max(border_max, args.bottom_h[j]);
-  }
-  for (std::int64_t i = 0; i < args.rows; ++i) {
-    border_max = std::max(border_max, args.right_h[i]);
-  }
   result.border_max = border_max;
   return result;
 }

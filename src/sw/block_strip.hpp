@@ -5,7 +5,7 @@
 // touched once per strip instead of once per row — a 4x cut in the
 // kernel's array traffic — at the price of a serialized four-deep F
 // dependency chain per column. Bit-identical to sw::compute_block (same
-// borders, same best cell, same tie-breaking); KernelKind::kStripMined
+// borders, same best cell, same tie-breaking); the "strip4" registry entry
 // selects it in the engine.
 //
 // Measured on the reproduction host (bench/micro_kernels): the plain row

@@ -1,0 +1,58 @@
+// Block-kernel registry: every way this repo can compute a block, by name.
+//
+// The engine, the vgpu executors, device calibration, the benches and the
+// CLI --kernel flags all select block kernels through this table instead
+// of hard-coding calls, so adding a kernel (a new traversal, a new ISA
+// backend, a future per-device heterogeneous choice) is one registration
+// here plus nothing anywhere else.
+//
+// Registered names:
+//   row          scalar row sweep (the reference; fastest scalar on most
+//                hosts)
+//   antidiag     scalar anti-diagonal sweep (the GPU traversal)
+//   strip4       4-row strip-mined scalar sweep
+//   simd         8-lane SIMD anti-diagonal, runtime-dispatched to the
+//                strongest ISA backend the CPU supports
+//   simd-scalar  the SIMD kernel pinned to its scalar backend (always
+//                present — the guaranteed fallback)
+//   simd-sse42 / simd-avx2
+//                pinned vector backends, registered only when the running
+//                CPU can execute them (ablation + parity testing)
+//
+// All entries satisfy the same contract and are bit-identical to `row`
+// (tests/sw_kernel_parity_test.cpp sweeps the whole table).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sw/block.hpp"
+
+namespace mgpusw::sw {
+
+/// Every block kernel is a pure function of (scheme, args).
+using BlockKernelFn = BlockResult (*)(const ScoreScheme& scheme,
+                                      const BlockArgs& args);
+
+struct KernelInfo {
+  std::string name;
+  BlockKernelFn fn = nullptr;
+  std::string description;
+};
+
+/// Name of the default kernel (the scalar row sweep).
+inline constexpr std::string_view kDefaultKernel = "row";
+
+/// All kernels runnable on this host, default first. Built once; stable
+/// for the process lifetime.
+[[nodiscard]] const std::vector<KernelInfo>& kernel_registry();
+
+/// Looks a kernel up by name; throws InvalidArgument listing the valid
+/// names for unknown ones.
+[[nodiscard]] BlockKernelFn find_kernel(std::string_view name);
+
+/// Comma-separated registered names, for --help strings and errors.
+[[nodiscard]] std::string kernel_names();
+
+}  // namespace mgpusw::sw

@@ -1,0 +1,206 @@
+// Portable 8-lane x 32-bit integer vector shim for the SIMD block kernel.
+//
+// One vector type, three backends, selected at *compile time of the
+// including translation unit* from the compiler's feature macros:
+//
+//   * AVX2    (__AVX2__)    — one __m256i, native 8-wide ops;
+//   * SSE4.2  (__SSE4_2__)  — two __m128i halves (SSE4.1 provides the
+//                             epi32 min/max/blend forms used here);
+//   * scalar  (fallback)    — a plain int32 array the autovectorizer may
+//                             still chew on; always correct, always
+//                             available, exercised on non-x86 hosts.
+//
+// Because the backend is fixed per TU, every TU that includes this header
+// must first define MGPUSW_SIMD_NS to a unique namespace token (e.g.
+// simd_avx2). The kernel implementation (block_simd_impl.hpp) is then
+// instantiated once per backend in its own namespace — three ODR-distinct
+// copies of the same source, each compiled with different -m flags — and
+// a cpuid-based dispatcher (block_simd.cpp) picks one at runtime. A TU
+// may define MGPUSW_SIMD_FORCE_SCALAR to pin the scalar backend even when
+// the compiler would allow a vector one (the dispatcher's guaranteed
+// fallback TU does this).
+//
+// The operation set is the minimum the Gotoh anti-diagonal kernel needs:
+// load/store/broadcast, add/sub/max, compares producing all-ones lane
+// masks, mask blends, a one-lane shift-in (the wavefront rotation), and a
+// last-lane extract (the strip's bottom-row output).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#ifndef MGPUSW_SIMD_NS
+#error "define MGPUSW_SIMD_NS to a unique namespace before including sw/simd.hpp"
+#endif
+
+#if defined(__AVX2__) && !defined(MGPUSW_SIMD_FORCE_SCALAR)
+#define MGPUSW_SIMD_BACKEND_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE4_2__) && !defined(MGPUSW_SIMD_FORCE_SCALAR)
+#define MGPUSW_SIMD_BACKEND_SSE42 1
+#include <nmmintrin.h>
+#include <smmintrin.h>
+#endif
+
+namespace mgpusw::sw::MGPUSW_SIMD_NS {
+
+inline constexpr int kSimdLanes = 8;
+
+#if defined(MGPUSW_SIMD_BACKEND_AVX2)
+
+inline constexpr const char* kSimdBackendName = "avx2";
+
+struct Vec8 {
+  __m256i v;
+};
+
+inline Vec8 v_load(const std::int32_t* p) {
+  return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+}
+inline void v_store(std::int32_t* p, Vec8 a) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), a.v);
+}
+inline Vec8 v_broadcast(std::int32_t x) { return {_mm256_set1_epi32(x)}; }
+inline Vec8 v_add(Vec8 a, Vec8 b) { return {_mm256_add_epi32(a.v, b.v)}; }
+inline Vec8 v_sub(Vec8 a, Vec8 b) { return {_mm256_sub_epi32(a.v, b.v)}; }
+inline Vec8 v_max(Vec8 a, Vec8 b) { return {_mm256_max_epi32(a.v, b.v)}; }
+inline Vec8 v_cmpgt(Vec8 a, Vec8 b) {
+  return {_mm256_cmpgt_epi32(a.v, b.v)};
+}
+inline Vec8 v_cmpeq(Vec8 a, Vec8 b) {
+  return {_mm256_cmpeq_epi32(a.v, b.v)};
+}
+/// Per lane: mask ? b : a (mask lanes are all-ones or all-zero).
+inline Vec8 v_blend(Vec8 a, Vec8 b, Vec8 mask) {
+  return {_mm256_blendv_epi8(a.v, b.v, mask.v)};
+}
+/// Lane 0 <- x, lane r <- a[r-1]: the anti-diagonal wavefront rotation.
+inline Vec8 v_shift_in(Vec8 a, std::int32_t x) {
+  const __m256i low_to_high = _mm256_permute2x128_si256(a.v, a.v, 0x08);
+  __m256i shifted = _mm256_alignr_epi8(a.v, low_to_high, 12);
+  return {_mm256_insert_epi32(shifted, x, 0)};
+}
+inline std::int32_t v_extract_last(Vec8 a) {
+  return _mm256_extract_epi32(a.v, 7);
+}
+
+#elif defined(MGPUSW_SIMD_BACKEND_SSE42)
+
+inline constexpr const char* kSimdBackendName = "sse4.2";
+
+struct Vec8 {
+  __m128i lo, hi;
+};
+
+inline Vec8 v_load(const std::int32_t* p) {
+  return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 4))};
+}
+inline void v_store(std::int32_t* p, Vec8 a) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), a.lo);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p + 4), a.hi);
+}
+inline Vec8 v_broadcast(std::int32_t x) {
+  const __m128i v = _mm_set1_epi32(x);
+  return {v, v};
+}
+inline Vec8 v_add(Vec8 a, Vec8 b) {
+  return {_mm_add_epi32(a.lo, b.lo), _mm_add_epi32(a.hi, b.hi)};
+}
+inline Vec8 v_sub(Vec8 a, Vec8 b) {
+  return {_mm_sub_epi32(a.lo, b.lo), _mm_sub_epi32(a.hi, b.hi)};
+}
+inline Vec8 v_max(Vec8 a, Vec8 b) {
+  return {_mm_max_epi32(a.lo, b.lo), _mm_max_epi32(a.hi, b.hi)};
+}
+inline Vec8 v_cmpgt(Vec8 a, Vec8 b) {
+  return {_mm_cmpgt_epi32(a.lo, b.lo), _mm_cmpgt_epi32(a.hi, b.hi)};
+}
+inline Vec8 v_cmpeq(Vec8 a, Vec8 b) {
+  return {_mm_cmpeq_epi32(a.lo, b.lo), _mm_cmpeq_epi32(a.hi, b.hi)};
+}
+inline Vec8 v_blend(Vec8 a, Vec8 b, Vec8 mask) {
+  return {_mm_blendv_epi8(a.lo, b.lo, mask.lo),
+          _mm_blendv_epi8(a.hi, b.hi, mask.hi)};
+}
+inline Vec8 v_shift_in(Vec8 a, std::int32_t x) {
+  const __m128i hi = _mm_alignr_epi8(a.hi, a.lo, 12);  // [lo3, hi0..hi2]
+  const __m128i lo = _mm_insert_epi32(_mm_slli_si128(a.lo, 4), x, 0);
+  return {lo, hi};
+}
+inline std::int32_t v_extract_last(Vec8 a) {
+  return _mm_extract_epi32(a.hi, 3);
+}
+
+#else  // scalar fallback
+
+inline constexpr const char* kSimdBackendName = "scalar";
+
+struct Vec8 {
+  std::int32_t lane[kSimdLanes];
+};
+
+inline Vec8 v_load(const std::int32_t* p) {
+  Vec8 r;
+  std::memcpy(r.lane, p, sizeof(r.lane));
+  return r;
+}
+inline void v_store(std::int32_t* p, Vec8 a) {
+  std::memcpy(p, a.lane, sizeof(a.lane));
+}
+inline Vec8 v_broadcast(std::int32_t x) {
+  Vec8 r;
+  for (int i = 0; i < kSimdLanes; ++i) r.lane[i] = x;
+  return r;
+}
+inline Vec8 v_add(Vec8 a, Vec8 b) {
+  Vec8 r;
+  for (int i = 0; i < kSimdLanes; ++i) r.lane[i] = a.lane[i] + b.lane[i];
+  return r;
+}
+inline Vec8 v_sub(Vec8 a, Vec8 b) {
+  Vec8 r;
+  for (int i = 0; i < kSimdLanes; ++i) r.lane[i] = a.lane[i] - b.lane[i];
+  return r;
+}
+inline Vec8 v_max(Vec8 a, Vec8 b) {
+  Vec8 r;
+  for (int i = 0; i < kSimdLanes; ++i) {
+    r.lane[i] = a.lane[i] > b.lane[i] ? a.lane[i] : b.lane[i];
+  }
+  return r;
+}
+inline Vec8 v_cmpgt(Vec8 a, Vec8 b) {
+  Vec8 r;
+  for (int i = 0; i < kSimdLanes; ++i) {
+    r.lane[i] = a.lane[i] > b.lane[i] ? -1 : 0;
+  }
+  return r;
+}
+inline Vec8 v_cmpeq(Vec8 a, Vec8 b) {
+  Vec8 r;
+  for (int i = 0; i < kSimdLanes; ++i) {
+    r.lane[i] = a.lane[i] == b.lane[i] ? -1 : 0;
+  }
+  return r;
+}
+inline Vec8 v_blend(Vec8 a, Vec8 b, Vec8 mask) {
+  Vec8 r;
+  for (int i = 0; i < kSimdLanes; ++i) {
+    r.lane[i] = mask.lane[i] != 0 ? b.lane[i] : a.lane[i];
+  }
+  return r;
+}
+inline Vec8 v_shift_in(Vec8 a, std::int32_t x) {
+  Vec8 r;
+  r.lane[0] = x;
+  for (int i = 1; i < kSimdLanes; ++i) r.lane[i] = a.lane[i - 1];
+  return r;
+}
+inline std::int32_t v_extract_last(Vec8 a) {
+  return a.lane[kSimdLanes - 1];
+}
+
+#endif
+
+}  // namespace mgpusw::sw::MGPUSW_SIMD_NS

@@ -224,6 +224,33 @@ TEST(FlagsTest, HelpReturnsFalse) {
   EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
 }
 
+TEST(FlagsTest, ChoiceAcceptsListedValue) {
+  base::FlagSet flags("test");
+  flags.add_choice("mode", "fast", {"fast", "slow"}, "speed mode");
+  const char* argv[] = {"prog", "--mode=slow"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.get_string("mode"), "slow");
+}
+
+TEST(FlagsTest, ChoiceRejectsUnlistedValueAtParseTime) {
+  base::FlagSet flags("test");
+  flags.add_choice("mode", "fast", {"fast", "slow"}, "speed mode");
+  const char* argv[] = {"prog", "--mode=medium"};
+  EXPECT_THROW(flags.parse(2, const_cast<char**>(argv)), InvalidArgument);
+}
+
+TEST(FlagsTest, ChoiceRejectsBadDefault) {
+  base::FlagSet flags("test");
+  EXPECT_THROW(flags.add_choice("mode", "medium", {"fast", "slow"}, "m"),
+               InvalidArgument);
+}
+
+TEST(FlagsTest, ChoiceListedInUsage) {
+  base::FlagSet flags("test");
+  flags.add_choice("mode", "fast", {"fast", "slow"}, "speed mode");
+  EXPECT_NE(flags.usage().find("fast|slow"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // BoundedQueue
 

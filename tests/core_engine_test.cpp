@@ -9,6 +9,8 @@
 #include "core/balance.hpp"
 #include "core/engine.hpp"
 #include "core/special_rows.hpp"
+#include "sw/block_simd.hpp"
+#include "sw/kernel.hpp"
 #include "sw/linear.hpp"
 #include "tests/test_util.hpp"
 #include "vgpu/device.hpp"
@@ -78,6 +80,12 @@ TEST(EngineConfigTest, RejectsBadConfigs) {
     EngineConfig config = small_config();
     config.balance = BalanceMode::kCustomWeights;
     config.custom_weights = {1.0, 2.0};  // one device only
+    EXPECT_THROW(MultiDeviceEngine(config, fleet.pointers()),
+                 InvalidArgument);
+  }
+  {
+    EngineConfig config = small_config();
+    config.kernel = "warp-shuffle";  // not a registered kernel
     EXPECT_THROW(MultiDeviceEngine(config, fleet.pointers()),
                  InvalidArgument);
   }
@@ -327,10 +335,8 @@ TEST(EngineFuzzTest, RandomConfigurationsAreExact) {
     config.buffer_capacity = rng.next_range(1, 8);
     config.schedule = rng.next_bool(0.5) ? core::Schedule::kRowMajor
                                          : core::Schedule::kDiagonal;
-    const std::uint64_t kernel_pick = rng.next_below(3);
-    config.kernel = kernel_pick == 0   ? core::KernelKind::kRowScan
-                    : kernel_pick == 1 ? core::KernelKind::kAntiDiag
-                                       : core::KernelKind::kStripMined;
+    const auto& registry = sw::kernel_registry();
+    config.kernel = registry[rng.next_below(registry.size())].name;
     config.balance = rng.next_bool(0.5) ? BalanceMode::kSpecGcups
                                         : BalanceMode::kEqual;
 
@@ -353,8 +359,50 @@ TEST(EngineFuzzTest, RandomConfigurationsAreExact) {
         << "trial " << trial << ": " << device_count << " devices, blocks "
         << config.block_rows << "x" << config.block_cols << ", buffer "
         << config.buffer_capacity << ", rows " << rows << ", cols "
-        << cols;
+        << cols << ", kernel " << config.kernel;
   }
+}
+
+// ---------------------------------------------------------------------------
+// kernel selection
+
+TEST(EngineKernelTest, SimdKernelIsExactAcrossDevices) {
+  DeviceFleet fleet(3, 10.0, 5.0);
+  EngineConfig config = small_config();
+  config.kernel = "simd";
+  MultiDeviceEngine engine(config, fleet.pointers());
+  auto [a, b] = testutil::related_pair(700, 11);
+  const EngineResult result = engine.run(a, b);
+  EXPECT_EQ(result.best, linear_score(config.scheme, a, b));
+  EXPECT_EQ(result.kernel, "simd");
+  EXPECT_EQ(result.simd_isa,
+            sw::simd_isa_name(sw::detected_simd_isa()));
+}
+
+TEST(EngineKernelTest, PerDeviceSpecOverrideIsExact) {
+  // Heterogeneous kernels: device 0 keeps the engine default (row),
+  // device 1 runs the SIMD kernel on its slice. The split must still be
+  // invisible in the result.
+  std::vector<std::unique_ptr<vgpu::Device>> devices;
+  vgpu::DeviceSpec plain = vgpu::toy_device(10.0);
+  vgpu::DeviceSpec simd = vgpu::toy_device(10.0);
+  simd.kernel = "simd";
+  devices.push_back(std::make_unique<vgpu::Device>(plain));
+  devices.push_back(std::make_unique<vgpu::Device>(simd));
+  const std::vector<vgpu::Device*> ptrs = {devices[0].get(),
+                                           devices[1].get()};
+  MultiDeviceEngine engine(small_config(), ptrs);
+  auto [a, b] = testutil::related_pair(400, 23);
+  EXPECT_EQ(engine.run(a, b).best,
+            linear_score(sw::ScoreScheme{}, a, b));
+}
+
+TEST(EngineKernelTest, RejectsUnknownPerDeviceKernel) {
+  vgpu::DeviceSpec bad = vgpu::toy_device(10.0);
+  bad.kernel = "tensor-core";
+  vgpu::Device device(bad);
+  const std::vector<vgpu::Device*> ptrs = {&device};
+  EXPECT_THROW(MultiDeviceEngine(small_config(), ptrs), InvalidArgument);
 }
 
 // ---------------------------------------------------------------------------

@@ -104,7 +104,7 @@ TEST_P(AntidiagEngine, MatchesRowScanKernel) {
   vgpu::Device d1(vgpu::toy_device(20.0));
 
   EngineConfig config = small_config();
-  config.kernel = core::KernelKind::kAntiDiag;
+  config.kernel = "antidiag";
   core::MultiDeviceEngine engine(config, {&d0, &d1});
   EXPECT_EQ(engine.run(a, b).best,
             sw::linear_score(config.scheme, a, b));

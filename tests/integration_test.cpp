@@ -41,7 +41,7 @@ TEST(IntegrationTest, TcpAntidiagPruningCombo) {
   config.block_cols = 32;
   config.buffer_capacity = 2;
   config.transport = core::Transport::kTcp;
-  config.kernel = core::KernelKind::kAntiDiag;
+  config.kernel = "antidiag";
   config.enable_pruning = true;
   MultiDeviceEngine engine(config, fleet.pointers);
   EXPECT_EQ(engine.run(a, b).best.score,
@@ -92,7 +92,7 @@ TEST(IntegrationTest, PipelineOverTcpWithAntidiagKernel) {
   config.block_rows = 32;
   config.block_cols = 32;
   config.transport = core::Transport::kTcp;
-  config.kernel = core::KernelKind::kAntiDiag;
+  config.kernel = "antidiag";
   core::AlignmentPipeline pipeline(config, fleet.pointers);
   auto [a, b] = testutil::related_pair(300, 202);
   const auto result = pipeline.align(a, b);

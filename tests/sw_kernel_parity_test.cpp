@@ -1,0 +1,144 @@
+// Every kernel in the registry must be bit-identical to the row-scan
+// reference: same block best (including both tie-breaking rules), same
+// borders out, same border_max — across geometries that exercise the SIMD
+// kernel's delegated small shapes, its scalar fill/drain edges, full
+// 8-row strips and the non-lane-multiple remainder path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sw/block.hpp"
+#include "sw/block_simd.hpp"
+#include "sw/kernel.hpp"
+#include "tests/test_util.hpp"
+
+namespace mgpusw {
+namespace {
+
+using seq::Nt;
+using sw::BlockArgs;
+using sw::Score;
+using sw::ScoreScheme;
+
+struct KernelIo {
+  std::vector<Score> row_h, row_f, col_h, col_e;
+  sw::BlockResult result;
+};
+
+KernelIo run_kernel(sw::BlockKernelFn fn, const ScoreScheme& scheme,
+                    const std::vector<Nt>& query,
+                    const std::vector<Nt>& subject, Score corner) {
+  KernelIo io;
+  const auto rows = static_cast<std::int64_t>(query.size());
+  const auto cols = static_cast<std::int64_t>(subject.size());
+  // Non-trivial borders: pseudo-random non-negative H, mixed E/F.
+  io.row_h.resize(static_cast<std::size_t>(cols));
+  io.row_f.resize(static_cast<std::size_t>(cols));
+  io.col_h.resize(static_cast<std::size_t>(rows));
+  io.col_e.resize(static_cast<std::size_t>(rows));
+  for (std::int64_t j = 0; j < cols; ++j) {
+    io.row_h[static_cast<std::size_t>(j)] = static_cast<Score>((j * 7) % 13);
+    io.row_f[static_cast<std::size_t>(j)] =
+        j % 3 == 0 ? sw::kNegInf : static_cast<Score>((j * 5) % 11 - 8);
+  }
+  for (std::int64_t i = 0; i < rows; ++i) {
+    io.col_h[static_cast<std::size_t>(i)] = static_cast<Score>((i * 3) % 17);
+    io.col_e[static_cast<std::size_t>(i)] =
+        i % 4 == 0 ? sw::kNegInf : static_cast<Score>((i * 9) % 7 - 6);
+  }
+
+  BlockArgs args;
+  args.query = query.data();
+  args.subject = subject.data();
+  args.rows = rows;
+  args.cols = cols;
+  args.global_row = 1000;
+  args.global_col = 2000;
+  args.corner_h = corner;
+  args.top_h = io.row_h.data();
+  args.top_f = io.row_f.data();
+  args.left_h = io.col_h.data();
+  args.left_e = io.col_e.data();
+  args.bottom_h = io.row_h.data();
+  args.bottom_f = io.row_f.data();
+  args.right_h = io.col_h.data();
+  args.right_e = io.col_e.data();
+  io.result = fn(scheme, args);
+  return io;
+}
+
+class KernelParity
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KernelParity, AllRegisteredKernelsMatchRowScan) {
+  const auto [rows, cols, seed] = GetParam();
+  const ScoreScheme scheme = testutil::test_schemes()[
+      static_cast<std::size_t>(seed) % testutil::test_schemes().size()];
+  std::vector<Nt> query(static_cast<std::size_t>(rows));
+  std::vector<Nt> subject(static_cast<std::size_t>(cols));
+  base::Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+  for (auto& nt : query) nt = static_cast<Nt>(rng.next_below(4));
+  for (auto& nt : subject) nt = static_cast<Nt>(rng.next_below(4));
+
+  const KernelIo scan =
+      run_kernel(&sw::compute_block, scheme, query, subject, 3);
+  for (const sw::KernelInfo& info : sw::kernel_registry()) {
+    const KernelIo other = run_kernel(info.fn, scheme, query, subject, 3);
+    EXPECT_EQ(other.result.best, scan.result.best) << info.name;
+    EXPECT_EQ(other.result.border_max, scan.result.border_max) << info.name;
+    EXPECT_EQ(other.row_h, scan.row_h) << info.name;
+    EXPECT_EQ(other.row_f, scan.row_f) << info.name;
+    EXPECT_EQ(other.col_h, scan.col_h) << info.name;
+    EXPECT_EQ(other.col_e, scan.col_e) << info.name;
+  }
+}
+
+// Rows hit: degenerate (1, 2), below the 8-lane strip (7), one full strip
+// (8), strip + remainder (9, 33), several strips (64). Cols hit: the
+// simd kernel's small-block delegation (< 16), drain-only widths (16,
+// 17), steady-state widths (33, 65, 128).
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, KernelParity,
+    ::testing::Combine(::testing::Values(1, 2, 7, 8, 9, 33, 64),
+                       ::testing::Values(1, 13, 16, 17, 33, 65, 128),
+                       ::testing::Range(0, 5)));
+
+TEST(KernelRegistryTest, RowIsDefaultAndFirst) {
+  const auto& registry = sw::kernel_registry();
+  ASSERT_FALSE(registry.empty());
+  EXPECT_EQ(registry.front().name, sw::kDefaultKernel);
+  EXPECT_EQ(registry.front().fn, &sw::compute_block);
+}
+
+TEST(KernelRegistryTest, FindKernelResolvesEveryEntry) {
+  for (const sw::KernelInfo& info : sw::kernel_registry()) {
+    EXPECT_EQ(sw::find_kernel(info.name), info.fn) << info.name;
+  }
+}
+
+TEST(KernelRegistryTest, FindKernelRejectsUnknownName) {
+  EXPECT_THROW((void)sw::find_kernel("warp-shuffle"), InvalidArgument);
+}
+
+TEST(KernelRegistryTest, SimdScalarBackendAlwaysRegistered) {
+  // The pinned scalar backend is the guaranteed-runnable fallback; it must
+  // be present so the fallback path is parity-tested on every host.
+  EXPECT_NO_THROW((void)sw::find_kernel("simd-scalar"));
+  EXPECT_TRUE(sw::simd_backend_runnable(sw::SimdIsa::kScalar));
+}
+
+TEST(KernelRegistryTest, DispatchedBackendMatchesDetectedIsa) {
+  // The dispatcher may never pick a backend above the detected ISA level.
+  const std::string active = sw::active_simd_backend();
+  const sw::SimdIsa detected = sw::detected_simd_isa();
+  if (active == "avx2") {
+    EXPECT_GE(detected, sw::SimdIsa::kAvx2);
+  }
+  if (active == "sse4.2") {
+    EXPECT_GE(detected, sw::SimdIsa::kSse42);
+  }
+}
+
+}  // namespace
+}  // namespace mgpusw
