@@ -1,0 +1,157 @@
+// R-A3 (extension): batch scheduling throughput.
+//
+// The paper evaluates four chromosome pairs back to back, each spanning
+// every GPU. With a DeviceFleet the same four comparisons can instead run
+// concurrently on disjoint single-device leases. Per-item results are
+// bit-identical either way (the engine's reduction is a total order);
+// what changes is aggregate throughput, because concurrent items skip the
+// per-item pipeline fill/drain and keep every device busy. Real
+// execution; records both modes in BENCH_batch.json.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/batch.hpp"
+#include "core/fleet.hpp"
+
+namespace {
+
+using namespace mgpusw;
+
+struct ModeResult {
+  std::string name;
+  core::BatchResult batch;
+};
+
+core::BatchResult run_mode(const core::BatchConfig& config,
+                           const std::vector<vgpu::DeviceSpec>& specs,
+                           const std::vector<core::BatchItem>& items) {
+  // A fresh fleet per mode so device busy-counters start equal.
+  core::DeviceFleet fleet = core::DeviceFleet::from_specs(specs);
+  return core::run_batch(config, fleet, items);
+}
+
+void write_batch_json(const std::string& path, std::int64_t scale,
+                      int device_count,
+                      const std::vector<ModeResult>& modes) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(file, "{\n");
+  std::fprintf(file, "  \"bench\": \"batch_throughput\",\n");
+  std::fprintf(file, "  \"scale\": %lld,\n", static_cast<long long>(scale));
+  std::fprintf(file, "  \"devices\": %d,\n", device_count);
+  std::fprintf(file, "  \"modes\": [\n");
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    const core::BatchResult& batch = modes[m].batch;
+    std::fprintf(file, "    {\"name\": \"%s\",\n", modes[m].name.c_str());
+    std::fprintf(file, "     \"wall_seconds\": %.6f,\n",
+                 batch.wall_seconds);
+    std::fprintf(file, "     \"aggregate_gcups\": %.4f,\n", batch.gcups());
+    std::fprintf(file, "     \"items\": [\n");
+    for (std::size_t i = 0; i < batch.items.size(); ++i) {
+      const core::BatchItemResult& item = batch.items[i];
+      std::fprintf(file,
+                   "       {\"label\": \"%s\", \"seconds\": %.6f, "
+                   "\"gcups\": %.4f, \"score\": %lld}%s\n",
+                   item.label.c_str(), item.result.wall_seconds,
+                   item.result.gcups(),
+                   static_cast<long long>(item.result.best.score),
+                   i + 1 < batch.items.size() ? "," : "");
+    }
+    std::fprintf(file, "     ]}%s\n", m + 1 < modes.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("(batch results written to %s)\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  base::FlagSet flags = bench::standard_flags(
+      "R-A3: batch throughput, sequential vs concurrent scheduling");
+  flags.add_int("devices", 4, "fleet size");
+  flags.add_string("batch_json", "BENCH_batch.json",
+                   "write both modes to this JSON file (empty disables)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  bench::print_header(
+      "R-A3  Batch scheduling: whole-fleet sequential vs per-device "
+      "concurrent",
+      "independent comparisons on disjoint leases raise aggregate GCUPS "
+      "without changing any per-item result");
+
+  const std::int64_t scale = flags.get_int("scale");
+  std::vector<core::BatchItem> items;
+  for (const seq::ChromosomePair& pair : seq::paper_chromosome_pairs()) {
+    const seq::HomologPair homologs =
+        seq::make_homolog_pair(seq::scaled_pair(pair, scale), 13);
+    items.push_back(
+        core::BatchItem{pair.id, homologs.query, homologs.subject});
+  }
+
+  const int device_count = static_cast<int>(flags.get_int("devices"));
+  std::vector<vgpu::DeviceSpec> specs;
+  for (int d = 0; d < device_count; ++d) {
+    specs.push_back(vgpu::toy_device(10.0 + 5.0 * d));
+  }
+
+  core::BatchConfig sequential;
+  sequential.engine.kernel = flags.get_string("kernel");
+  sequential.engine.block_rows = 128;
+  sequential.engine.block_cols = 128;
+  sequential.devices_per_item = 0;  // whole fleet, one item at a time
+  sequential.max_in_flight = 1;
+
+  core::BatchConfig concurrent = sequential;
+  concurrent.devices_per_item = 1;
+  concurrent.max_in_flight = device_count;
+
+  std::vector<ModeResult> modes;
+  modes.push_back({"sequential", run_mode(sequential, specs, items)});
+  modes.push_back({"concurrent", run_mode(concurrent, specs, items)});
+
+  bool identical = true;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    identical = identical && modes[0].batch.items[i].result.best ==
+                                 modes[1].batch.items[i].result.best;
+  }
+
+  base::TextTable table(
+      {"mode", "wall time", "aggregate GCUPS", "summed item GCUPS"});
+  for (const ModeResult& mode : modes) {
+    table.add_row({
+        mode.name,
+        base::human_duration(mode.batch.wall_seconds),
+        bench::gcups_str(mode.batch.gcups()),
+        bench::gcups_str(mode.batch.summed_gcups()),
+    });
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("per-item results bit-identical across modes: %s\n",
+              identical ? "yes" : "NO (bug!)");
+  const double speedup =
+      modes[1].batch.wall_seconds > 0.0
+          ? modes[0].batch.wall_seconds / modes[1].batch.wall_seconds
+          : 0.0;
+  std::printf("concurrent speedup over sequential: %.2fx\n", speedup);
+
+  const std::string json_path = flags.get_string("batch_json");
+  if (!json_path.empty()) {
+    write_batch_json(json_path, scale, device_count, modes);
+  }
+
+  bench::print_shape_check({
+      "per-item scores and end positions are bit-identical in both modes",
+      "on multi-core hosts concurrent aggregate GCUPS exceeds "
+      "sequential: no per-item pipeline fill/drain and no cross-device "
+      "border traffic when each item runs on one device (device threads "
+      "time-share on this host, so real-mode wall time shows overlap "
+      "only when cores are available)",
+      "the gap narrows as items grow: large matrices amortise the fill, "
+      "so whole-fleet runs approach the aggregate rate on their own",
+  });
+  return identical ? 0 : 1;
+}

@@ -41,6 +41,12 @@ class BorderSource {
  public:
   virtual ~BorderSource() = default;
   [[nodiscard]] virtual std::optional<BorderChunk> recv() = 0;
+  /// Signals that this consumer will receive no further chunks (it
+  /// failed or finished early). A producer blocked on a full buffer —
+  /// in-process queue or TCP acknowledgement window — gets an error
+  /// instead of waiting forever. Safe to call from the consumer's
+  /// thread while the producer's thread is mid-send.
+  virtual void close() = 0;
   [[nodiscard]] virtual ChannelStats stats() const = 0;
 };
 

@@ -52,6 +52,8 @@ class RingSource final : public BorderSource {
     return state_->queue.pop();
   }
 
+  void close() override { state_->queue.close(); }
+
   [[nodiscard]] ChannelStats stats() const override {
     return ChannelStats{
         state_->chunks_sent.load(std::memory_order_relaxed),

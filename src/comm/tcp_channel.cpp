@@ -37,7 +37,9 @@ constexpr std::uint32_t kCloseSentinel = 0xFFFFFFFFu;
 void write_all(int fd, const void* data, std::size_t size) {
   const char* cursor = static_cast<const char*>(data);
   while (size > 0) {
-    const ssize_t written = ::write(fd, cursor, size);
+    // MSG_NOSIGNAL: a peer that shut down mid-run (failure-unblock path)
+    // must surface as EPIPE, not a process-killing SIGPIPE.
+    const ssize_t written = ::send(fd, cursor, size, MSG_NOSIGNAL);
     if (written < 0) {
       if (errno == EINTR) continue;
       throw_errno("tcp write");
@@ -156,6 +158,15 @@ class TcpSource final : public BorderSource {
     const std::uint8_t ack = 1;
     write_all(state_->consumer_fd, &ack, 1);
     return chunk;
+  }
+
+  void close() override {
+    if (done_) return;
+    done_ = true;
+    // Both directions: no more acks will be sent (the producer's blocked
+    // ack read sees EOF and throws instead of hanging), and any frame
+    // still in flight is discarded. The producer's next write gets EPIPE.
+    ::shutdown(state_->consumer_fd, SHUT_RDWR);
   }
 
   [[nodiscard]] ChannelStats stats() const override {

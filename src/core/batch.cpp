@@ -1,25 +1,97 @@
 #include "core/batch.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 #include "base/error.hpp"
+#include "base/time.hpp"
 
 namespace mgpusw::core {
+
+BatchResult run_batch(const BatchConfig& config, DeviceFleet& fleet,
+                      const std::vector<BatchItem>& items) {
+  MGPUSW_REQUIRE(!items.empty(), "batch needs at least one item");
+  MGPUSW_REQUIRE(config.devices_per_item >= 0,
+                 "devices_per_item must be non-negative");
+  MGPUSW_REQUIRE(config.max_in_flight >= 1,
+                 "max_in_flight must be at least 1");
+  const std::size_t per_item = config.devices_per_item == 0
+                                   ? fleet.size()
+                                   : static_cast<std::size_t>(
+                                         config.devices_per_item);
+  MGPUSW_REQUIRE(per_item <= fleet.size(),
+                 "devices_per_item exceeds fleet size");
+
+  BatchResult batch;
+  batch.items.resize(items.size());
+
+  const std::size_t worker_count = std::min<std::size_t>(
+      static_cast<std::size_t>(config.max_in_flight), items.size());
+
+  std::atomic<std::size_t> next_item{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  base::WallTimer wall;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t index =
+          next_item.fetch_add(1, std::memory_order_relaxed);
+      if (index >= items.size()) return;
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error) return;  // abort: stop admitting items
+      }
+      const BatchItem& item = items[index];
+      try {
+        DeviceLease lease = fleet.acquire(per_item);
+        EngineConfig engine_config = config.engine;
+        engine_config.job = item.label;
+        MultiDeviceEngine engine(engine_config, lease.devices());
+        BatchItemResult& entry = batch.items[index];
+        entry.label = item.label;
+        entry.result = engine.run(item.query, item.subject);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  if (worker_count == 1) {
+    worker();  // sequential mode: no thread overhead, same code path
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  batch.wall_seconds = wall.elapsed_seconds();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (const BatchItemResult& entry : batch.items) {
+    batch.total_seconds += entry.result.wall_seconds;
+    batch.total_cells += entry.result.matrix_cells;
+  }
+  return batch;
+}
 
 BatchResult run_batch(const EngineConfig& config,
                       const std::vector<vgpu::Device*>& devices,
                       const std::vector<BatchItem>& items) {
-  MGPUSW_REQUIRE(!items.empty(), "batch needs at least one item");
-  MultiDeviceEngine engine(config, devices);
-  BatchResult batch;
-  batch.items.reserve(items.size());
-  for (const BatchItem& item : items) {
-    BatchItemResult entry;
-    entry.label = item.label;
-    entry.result = engine.run(item.query, item.subject);
-    batch.total_seconds += entry.result.wall_seconds;
-    batch.total_cells += entry.result.matrix_cells;
-    batch.items.push_back(std::move(entry));
-  }
-  return batch;
+  DeviceFleet fleet(devices);
+  BatchConfig batch_config;
+  batch_config.engine = config;
+  batch_config.devices_per_item = 0;  // every item spans all devices
+  batch_config.max_in_flight = 1;
+  return run_batch(batch_config, fleet, items);
 }
 
 }  // namespace mgpusw::core

@@ -1,405 +1,19 @@
 #include "core/engine.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "base/error.hpp"
 #include "base/log.hpp"
-#include "base/math.hpp"
 #include "base/time.hpp"
-#include "sw/block.hpp"
 #include "sw/block_simd.hpp"
-#include "sw/kernel.hpp"
 
 namespace mgpusw::core {
 
 namespace {
-
-/// Atomically raises `target` to at least `value`.
-void atomic_max(std::atomic<sw::Score>& target, sw::Score value) {
-  sw::Score current = target.load(std::memory_order_relaxed);
-  while (current < value &&
-         !target.compare_exchange_weak(current, value,
-                                       std::memory_order_relaxed)) {
-  }
-}
-
-/// Result of one block task, reduced by the driver after each diagonal.
-struct TaskOutcome {
-  sw::BlockResult block;
-  std::int64_t cells = 0;
-  bool pruned = false;
-  bool valid = false;
-};
-
-/// Executes one device's column slice: the block wavefront, the border
-/// exchange, pruning and special-row checkpointing.
-class DeviceWorker {
- public:
-  DeviceWorker(const EngineConfig& config, sw::BlockKernelFn kernel,
-               vgpu::Device& device, int device_index,
-               const std::vector<seq::Nt>& query,
-               const std::vector<seq::Nt>& subject, ColumnRange slice,
-               comm::BorderSource* in, comm::BorderSink* out,
-               std::atomic<sw::Score>& global_best,
-               std::int64_t start_block_row = 0,
-               const sw::Score* seed_h = nullptr,
-               const sw::Score* seed_f = nullptr)
-      : config_(config),
-        kernel_(kernel),
-        device_index_(device_index),
-        device_(device),
-        query_(query),
-        subject_(subject),
-        slice_(slice),
-        in_(in),
-        out_(out),
-        global_best_(global_best),
-        start_block_row_(start_block_row),
-        seed_h_(seed_h),
-        seed_f_(seed_f) {}
-
-  void run() {
-    base::WallTimer wall;
-    const std::int64_t rows = static_cast<std::int64_t>(query_.size());
-    const std::int64_t nbr = base::div_ceil(rows, config_.block_rows);
-    const std::int64_t nbc = base::div_ceil(slice_.cols, config_.block_cols);
-
-    // Border storage: one (H,F) row segment per block column, one (H,E)
-    // column segment per block row, one corner per block column. Initial
-    // values encode the local-alignment matrix boundary. This is the
-    // device's O(m + n_slice) memory — the linear-memory property the
-    // paper relies on to fit megabase matrices on GPUs.
-    row_h_.assign(static_cast<std::size_t>(slice_.cols), 0);
-    row_f_.assign(static_cast<std::size_t>(slice_.cols), sw::kNegInf);
-    col_h_.assign(static_cast<std::size_t>(rows), 0);
-    col_e_.assign(static_cast<std::size_t>(rows), sw::kNegInf);
-    corner_.assign(static_cast<std::size_t>(nbc), 0);
-    chunk_corner_.assign(static_cast<std::size_t>(nbr), 0);
-
-    // Restarting from a checkpoint: the top borders of the first computed
-    // block row come from the saved (H, F) row instead of the matrix
-    // boundary, and the per-column corners come from the same row.
-    sw::Score initial_sent_corner = 0;
-    if (seed_h_ != nullptr) {
-      std::copy(seed_h_ + slice_.first_col,
-                seed_h_ + slice_.first_col + slice_.cols, row_h_.begin());
-      std::copy(seed_f_ + slice_.first_col,
-                seed_f_ + slice_.first_col + slice_.cols, row_f_.begin());
-      for (std::int64_t j = 1; j < nbc; ++j) {
-        corner_[static_cast<std::size_t>(j)] =
-            seed_h_[slice_.first_col + j * config_.block_cols - 1];
-      }
-      // corner_[0] stays untouched: device 0's first-column corner is the
-      // matrix boundary (H = 0), and downstream devices take theirs from
-      // the incoming chunks, whose corners derive from
-      // initial_sent_corner below.
-      initial_sent_corner = seed_h_[slice_.end_col() - 1];
-    }
-
-    // Track the footprint against the device's memory capacity, as the
-    // CUDA implementation's cudaMallocs would.
-    const std::int64_t border_bytes = static_cast<std::int64_t>(
-        (row_h_.size() + row_f_.size() + col_h_.size() + col_e_.size() +
-         corner_.size()) *
-        sizeof(sw::Score));
-    vgpu::DeviceBuffer buffer = device_.allocate(border_bytes);
-
-    std::vector<TaskOutcome> outcomes(static_cast<std::size_t>(nbc));
-    // H(row above the first computed row, boundary col): the matrix
-    // boundary for fresh runs, the checkpoint value for resumed runs.
-    sw::Score sent_corner = initial_sent_corner;
-
-    if (config_.schedule == Schedule::kRowMajor) {
-      run_row_major(rows, nbr, nbc, sent_corner);
-    } else {
-      run_diagonal(rows, nbr, nbc, outcomes, sent_corner);
-    }
-
-    if (out_ != nullptr) out_->close();
-
-    stats_.wall_ns = wall.elapsed_ns();
-    stats_.device_name = device_.spec().name;
-    stats_.slice = slice_;
-    stats_.busy_ns = device_.busy_ns() - initial_busy_ns_;
-    if (in_ != nullptr) {
-      stats_.recv_stall_ns = in_->stats().consumer_stall_ns;
-    }
-    if (out_ != nullptr) {
-      const comm::ChannelStats out_stats = out_->stats();
-      stats_.send_stall_ns = out_stats.producer_stall_ns;
-      stats_.chunks_sent = out_stats.chunks_sent;
-      stats_.bytes_sent = out_stats.bytes_sent;
-    }
-  }
-
-  [[nodiscard]] const DeviceRunStats& stats() const { return stats_; }
-  [[nodiscard]] const sw::ScoreResult& best() const { return best_; }
-
-  void snapshot_initial_busy() { initial_busy_ns_ = device_.busy_ns(); }
-
- private:
-  void reduce_outcome(TaskOutcome& outcome) {
-    MGPUSW_CHECK(outcome.valid);
-    ++stats_.blocks;
-    if (outcome.pruned) {
-      ++stats_.pruned_blocks;
-    } else {
-      stats_.cells += outcome.cells;
-    }
-    if (sw::improves(outcome.block.best, best_)) {
-      best_ = outcome.block.best;
-    }
-  }
-
-  /// Fine-grain pipeline order: block rows in sequence, columns left to
-  /// right; chunk i ships the moment row i completes (the paper's
-  /// overlap behaviour). Blocks run inline on the driver thread.
-  void run_row_major(std::int64_t rows, std::int64_t nbr, std::int64_t nbc,
-                     sw::Score& sent_corner) {
-    TaskOutcome outcome;
-    for (std::int64_t i = start_block_row_; i < nbr; ++i) {
-      if (in_ != nullptr) receive_chunk(i, rows);
-      for (std::int64_t j = 0; j < nbc; ++j) {
-        outcome = TaskOutcome{};
-        compute_one(i, j, rows, outcome);
-        reduce_outcome(outcome);
-      }
-      atomic_max(global_best_, best_.score);
-      if (out_ != nullptr) send_chunk(i, rows, sent_corner);
-      notify_progress(i + 1, nbr);
-    }
-  }
-
-  void notify_progress(std::int64_t completed, std::int64_t total) {
-    if (!config_.progress) return;
-    ProgressEvent event;
-    event.device_index = device_index_;
-    event.completed_units = completed;
-    event.total_units = total;
-    event.device_cells_done = stats_.cells;
-    config_.progress(event);
-  }
-
-  /// CUDAlign-style external block diagonals with a barrier per diagonal;
-  /// blocks of one diagonal run concurrently on the device workers.
-  void run_diagonal(std::int64_t rows, std::int64_t nbr, std::int64_t nbc,
-                    std::vector<TaskOutcome>& outcomes,
-                    sw::Score& sent_corner) {
-    for (std::int64_t diag = 0; diag <= nbr + nbc - 2; ++diag) {
-      // 1. Receive the border chunk feeding this diagonal's first-column
-      //    block (device d > 0 only).
-      if (in_ != nullptr && diag < nbr) {
-        receive_chunk(diag, rows);
-      }
-
-      // 2. Launch every block on this external diagonal.
-      const std::int64_t i_lo = std::max<std::int64_t>(0, diag - (nbc - 1));
-      const std::int64_t i_hi = std::min<std::int64_t>(nbr - 1, diag);
-      const bool inline_exec = device_.worker_count() == 1;
-      for (std::int64_t i = i_lo; i <= i_hi; ++i) {
-        const std::int64_t j = diag - i;
-        TaskOutcome& outcome = outcomes[static_cast<std::size_t>(j)];
-        outcome = TaskOutcome{};
-        if (inline_exec) {
-          compute_one(i, j, rows, outcome);
-        } else {
-          device_.execute(
-              [this, i, j, rows, &outcome] { compute_one(i, j, rows, outcome); });
-        }
-      }
-      if (!inline_exec) device_.synchronize();
-
-      // 3. Reduce this diagonal's results.
-      for (std::int64_t i = i_lo; i <= i_hi; ++i) {
-        const std::int64_t j = diag - i;
-        reduce_outcome(outcomes[static_cast<std::size_t>(j)]);
-      }
-      atomic_max(global_best_, best_.score);
-
-      // 4. Ship the border chunk completed by this diagonal (last block
-      //    column), honouring the circular buffer's capacity.
-      if (out_ != nullptr) {
-        const std::int64_t i_send = diag - (nbc - 1);
-        if (i_send >= 0 && i_send < nbr) {
-          send_chunk(i_send, rows, sent_corner);
-        }
-      }
-      notify_progress(diag + 1, nbr + nbc - 1);
-    }
-  }
-
-  void receive_chunk(std::int64_t block_row, std::int64_t rows) {
-    std::optional<comm::BorderChunk> chunk = in_->recv();
-    MGPUSW_CHECK_MSG(chunk.has_value(),
-                     "upstream closed before chunk " << block_row);
-    const std::int64_t r0 = block_row * config_.block_rows;
-    const std::int64_t bh =
-        std::min(config_.block_rows, rows - r0);
-    MGPUSW_CHECK_MSG(chunk->sequence_number == block_row,
-                     "expected chunk " << block_row << ", got "
-                                       << chunk->sequence_number);
-    MGPUSW_CHECK_MSG(chunk->first_row == r0 && chunk->rows() == bh,
-                     "chunk " << block_row << " covers rows ["
-                              << chunk->first_row << ", "
-                              << chunk->first_row + chunk->rows()
-                              << "), expected [" << r0 << ", " << r0 + bh
-                              << ")");
-    std::copy(chunk->h.begin(), chunk->h.end(),
-              col_h_.begin() + static_cast<std::ptrdiff_t>(r0));
-    std::copy(chunk->e.begin(), chunk->e.end(),
-              col_e_.begin() + static_cast<std::ptrdiff_t>(r0));
-    chunk_corner_[static_cast<std::size_t>(block_row)] =
-        static_cast<sw::Score>(chunk->corner_h);
-    ++stats_.chunks_received;
-  }
-
-  void send_chunk(std::int64_t block_row, std::int64_t rows,
-                  sw::Score& sent_corner) {
-    const std::int64_t r0 = block_row * config_.block_rows;
-    const std::int64_t bh = std::min(config_.block_rows, rows - r0);
-    comm::BorderChunk chunk;
-    chunk.sequence_number = block_row;
-    chunk.first_row = r0;
-    chunk.corner_h = sent_corner;
-    chunk.h.assign(col_h_.begin() + static_cast<std::ptrdiff_t>(r0),
-                   col_h_.begin() + static_cast<std::ptrdiff_t>(r0 + bh));
-    chunk.e.assign(col_e_.begin() + static_cast<std::ptrdiff_t>(r0),
-                   col_e_.begin() + static_cast<std::ptrdiff_t>(r0 + bh));
-    sent_corner = chunk.h.back();
-    out_->send(std::move(chunk));
-  }
-
-  void compute_one(std::int64_t i, std::int64_t j, std::int64_t rows,
-                   TaskOutcome& outcome) {
-    const std::int64_t r0 = i * config_.block_rows;
-    const std::int64_t bh = std::min(config_.block_rows, rows - r0);
-    const std::int64_t c0 = j * config_.block_cols;  // slice-local
-    const std::int64_t bw = std::min(config_.block_cols, slice_.cols - c0);
-    const std::int64_t c0_global = slice_.first_col + c0;
-
-    sw::Score* const top_h = row_h_.data() + c0;
-    sw::Score* const top_f = row_f_.data() + c0;
-    sw::Score* const left_h = col_h_.data() + r0;
-    sw::Score* const left_e = col_e_.data() + r0;
-
-    const sw::Score corner_in =
-        j == 0 ? (in_ != nullptr
-                      ? chunk_corner_[static_cast<std::size_t>(i)]
-                      : sw::Score{0})
-               : corner_[static_cast<std::size_t>(j)];
-    // The corner for block (i+1, j) is this block's left border's last
-    // element; capture it before the kernel overwrites the segment.
-    corner_[static_cast<std::size_t>(j)] = left_h[bh - 1];
-
-    if (config_.enable_pruning &&
-        try_prune(corner_in, top_h, bw, left_h, bh, r0, c0_global)) {
-      std::fill(top_h, top_h + bw, sw::Score{0});
-      std::fill(top_f, top_f + bw, sw::kNegInf);
-      std::fill(left_h, left_h + bh, sw::Score{0});
-      std::fill(left_e, left_e + bh, sw::kNegInf);
-      outcome.cells = sw::block_cells(bh, bw);
-      outcome.pruned = true;
-      outcome.valid = true;
-      // Special rows must stay gap-free even through pruned regions: the
-      // zeroed borders are exactly the values this run propagated, so a
-      // resume seeded from them reproduces the same (exact) final score.
-      maybe_save_special_row(i, r0, bh, c0_global, bw, top_h, top_f);
-      return;
-    }
-
-    sw::BlockArgs args;
-    args.query = query_.data() + r0;
-    args.subject = subject_.data() + c0_global;
-    args.rows = bh;
-    args.cols = bw;
-    args.global_row = r0;
-    args.global_col = c0_global;
-    args.top_h = top_h;
-    args.top_f = top_f;
-    args.left_h = left_h;
-    args.left_e = left_e;
-    args.corner_h = corner_in;
-    args.bottom_h = top_h;
-    args.bottom_f = top_f;
-    args.right_h = left_h;
-    args.right_e = left_e;
-
-    base::WallTimer timer;
-    outcome.block = kernel_(config_.scheme, args);
-    device_.account_kernel(timer.elapsed_ns(), sw::block_cells(bh, bw));
-    outcome.cells = sw::block_cells(bh, bw);
-    outcome.valid = true;
-
-    // After the kernel, top_h/top_f alias the block's bottom borders.
-    maybe_save_special_row(i, r0, bh, c0_global, bw, top_h, top_f);
-  }
-
-  void maybe_save_special_row(std::int64_t i, std::int64_t r0,
-                              std::int64_t bh, std::int64_t c0_global,
-                              std::int64_t bw, const sw::Score* bottom_h,
-                              const sw::Score* bottom_f) {
-    if (config_.special_row_interval <= 0 ||
-        (i + 1) % config_.special_row_interval != 0) {
-      return;
-    }
-    config_.special_rows->save_segment(
-        r0 + bh - 1, c0_global,
-        std::vector<sw::Score>(bottom_h, bottom_h + bw),
-        config_.checkpoint_f
-            ? std::vector<sw::Score>(bottom_f, bottom_f + bw)
-            : std::vector<sw::Score>{});
-  }
-
-  /// Block pruning (extension): true when no alignment through this
-  /// block can beat the best score already found anywhere.
-  bool try_prune(sw::Score corner_in, const sw::Score* top_h,
-                 std::int64_t bw, const sw::Score* left_h, std::int64_t bh,
-                 std::int64_t r0, std::int64_t c0_global) const {
-    sw::Score border_in_max = corner_in;
-    for (std::int64_t k = 0; k < bw; ++k) {
-      border_in_max = std::max(border_in_max, top_h[k]);
-    }
-    for (std::int64_t k = 0; k < bh; ++k) {
-      border_in_max = std::max(border_in_max, left_h[k]);
-    }
-    const std::int64_t remaining_rows =
-        static_cast<std::int64_t>(query_.size()) - r0;
-    const std::int64_t remaining_cols =
-        static_cast<std::int64_t>(subject_.size()) - c0_global;
-    const std::int64_t reach = std::min(remaining_rows, remaining_cols);
-    const sw::Score upper_bound =
-        border_in_max +
-        config_.scheme.match * static_cast<sw::Score>(reach);
-    return upper_bound <= global_best_.load(std::memory_order_relaxed);
-  }
-
-  const EngineConfig& config_;
-  const sw::BlockKernelFn kernel_;
-  const int device_index_ = 0;
-  vgpu::Device& device_;
-  const std::vector<seq::Nt>& query_;
-  const std::vector<seq::Nt>& subject_;
-  const ColumnRange slice_;
-  comm::BorderSource* const in_;
-  comm::BorderSink* const out_;
-  std::atomic<sw::Score>& global_best_;
-  const std::int64_t start_block_row_ = 0;  // > 0 when resuming
-  const sw::Score* seed_h_ = nullptr;       // checkpoint row (full width)
-  const sw::Score* seed_f_ = nullptr;
-
-  std::vector<sw::Score> row_h_, row_f_;   // horizontal borders per column
-  std::vector<sw::Score> col_h_, col_e_;   // vertical borders per row
-  std::vector<sw::Score> corner_;          // per block column
-  std::vector<sw::Score> chunk_corner_;    // per block row (device d > 0)
-
-  DeviceRunStats stats_;
-  sw::ScoreResult best_;
-  std::int64_t initial_busy_ns_ = 0;
-};
 
 std::vector<seq::Nt> unpack(const seq::Sequence& s) {
   std::vector<seq::Nt> out(static_cast<std::size_t>(s.size()));
@@ -429,16 +43,17 @@ MultiDeviceEngine::MultiDeviceEngine(EngineConfig config,
     MGPUSW_REQUIRE(config_.special_rows != nullptr,
                    "special_row_interval set but special_rows is null");
   }
-  // Resolve every kernel name now (find_kernel throws on unknown names),
-  // so a typo fails at construction instead of mid-run, and log the
-  // choice once per engine.
+  // Resolve every kernel once (find_kernel throws on unknown names), so
+  // a typo fails at construction instead of mid-run and run_internal
+  // never repeats the lookup.
   (void)sw::find_kernel(config_.kernel);
+  kernels_.reserve(devices_.size());
   bool any_override = false;
   for (const vgpu::Device* device : devices_) {
-    if (!device->spec().kernel.empty()) {
-      (void)sw::find_kernel(device->spec().kernel);
-      any_override = true;
-    }
+    const std::string& device_kernel = device->spec().kernel;
+    kernels_.push_back(sw::find_kernel(
+        device_kernel.empty() ? config_.kernel : device_kernel));
+    any_override = any_override || !device_kernel.empty();
   }
   MGPUSW_LOG(kInfo) << "engine kernel=" << config_.kernel
                     << (any_override ? " (per-device overrides present)" : "")
@@ -446,8 +61,7 @@ MultiDeviceEngine::MultiDeviceEngine(EngineConfig config,
                     << " simd_backend=" << sw::active_simd_backend();
 }
 
-std::vector<ColumnRange> MultiDeviceEngine::plan_partition(
-    std::int64_t total_cols) const {
+std::vector<double> MultiDeviceEngine::balance_weights() const {
   std::vector<double> weights;
   weights.reserve(devices_.size());
   switch (config_.balance) {
@@ -463,7 +77,33 @@ std::vector<ColumnRange> MultiDeviceEngine::plan_partition(
       weights = config_.custom_weights;
       break;
   }
-  return partition_columns(total_cols, weights, config_.block_cols);
+  return weights;
+}
+
+AlignmentPlan MultiDeviceEngine::plan(std::int64_t rows, std::int64_t cols,
+                                      std::int64_t start_block_row) const {
+  PlanRequest request;
+  request.rows = rows;
+  request.cols = cols;
+  request.block_rows = config_.block_rows;
+  request.block_cols = config_.block_cols;
+  request.buffer_capacity = config_.buffer_capacity;
+  request.transport = config_.transport;
+  request.schedule = config_.schedule;
+  request.default_kernel = config_.kernel;
+  request.weights = balance_weights();
+  request.device_kernels.reserve(devices_.size());
+  for (const vgpu::Device* device : devices_) {
+    request.device_kernels.push_back(device->spec().kernel);
+  }
+  request.start_block_row = start_block_row;
+  return make_plan(request);
+}
+
+std::vector<ColumnRange> MultiDeviceEngine::plan_partition(
+    std::int64_t total_cols) const {
+  return partition_columns(total_cols, balance_weights(),
+                           config_.block_cols);
 }
 
 /// Assembled checkpoint row used to seed a resumed run.
@@ -508,58 +148,83 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
   const std::vector<seq::Nt> query_bases = unpack(query);
   const std::vector<seq::Nt> subject_bases = unpack(subject);
 
-  const std::vector<ColumnRange> ranges = plan_partition(subject.size());
+  // 1. Plan: everything decided before execution, in one value.
+  const std::int64_t start_block_row =
+      seed == nullptr ? 0 : (seed->checkpoint_row + 1) / config_.block_rows;
+  const AlignmentPlan plan =
+      this->plan(query.size(), subject.size(), start_block_row);
 
-  // Channels between consecutive devices.
+  // 2. Channels between consecutive devices, per the plan's topology.
   std::vector<comm::ChannelPair> channels;
-  channels.reserve(devices_.size() - 1);
-  for (std::size_t d = 0; d + 1 < devices_.size(); ++d) {
+  channels.reserve(plan.channel_count());
+  for (std::size_t c = 0; c < plan.channel_count(); ++c) {
     channels.push_back(
-        config_.transport == Transport::kTcp
+        plan.transport == Transport::kTcp
             ? comm::make_tcp_channel(
-                  static_cast<std::size_t>(config_.buffer_capacity))
+                  static_cast<std::size_t>(plan.buffer_capacity))
             : comm::make_ring_channel(
-                  static_cast<std::size_t>(config_.buffer_capacity)));
+                  static_cast<std::size_t>(plan.buffer_capacity)));
   }
+
+  // 3. Build one runner per device slice.
+  RunnerContext context;
+  context.scheme = config_.scheme;
+  context.block_rows = config_.block_rows;
+  context.block_cols = config_.block_cols;
+  context.schedule = plan.schedule;
+  context.enable_pruning = config_.enable_pruning;
+  context.special_row_interval = config_.special_row_interval;
+  context.special_rows = config_.special_rows;
+  context.checkpoint_f = config_.checkpoint_f;
+  context.progress = config_.progress;
+  context.job = config_.job;
 
   std::atomic<sw::Score> global_best{0};
-  std::vector<std::unique_ptr<DeviceWorker>> workers;
-  workers.reserve(devices_.size());
-  for (std::size_t d = 0; d < devices_.size(); ++d) {
-    comm::BorderSource* in = d == 0 ? nullptr : channels[d - 1].source.get();
+  std::vector<std::unique_ptr<SliceRunner>> runners;
+  runners.reserve(plan.device_count());
+  for (std::size_t d = 0; d < plan.device_count(); ++d) {
+    comm::BorderSource* in =
+        plan.devices[d].has_upstream ? channels[d - 1].source.get() : nullptr;
     comm::BorderSink* out =
-        d + 1 == devices_.size() ? nullptr : channels[d].sink.get();
-    const std::int64_t start_block_row =
-        seed == nullptr ? 0
-                        : (seed->checkpoint_row + 1) / config_.block_rows;
-    const std::string& device_kernel = devices_[d]->spec().kernel;
-    const sw::BlockKernelFn kernel = sw::find_kernel(
-        device_kernel.empty() ? config_.kernel : device_kernel);
-    workers.push_back(std::make_unique<DeviceWorker>(
-        config_, kernel, *devices_[d], static_cast<int>(d), query_bases,
-        subject_bases, ranges[d], in, out, global_best, start_block_row,
+        plan.devices[d].has_downstream ? channels[d].sink.get() : nullptr;
+    runners.push_back(std::make_unique<SliceRunner>(
+        context, kernels_[d], *devices_[d], static_cast<int>(d),
+        query_bases, subject_bases, plan.devices[d], plan.block_row_count,
+        in, out, global_best, plan.start_block_row,
         seed == nullptr ? nullptr : seed->h.data(),
         seed == nullptr ? nullptr : seed->f.data()));
-    workers.back()->snapshot_initial_busy();
+    runners.back()->snapshot_initial_busy();
   }
 
+  // 4. Join the device threads; reduce.
   base::WallTimer wall;
   std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(devices_.size());
-  threads.reserve(devices_.size());
-  for (std::size_t d = 0; d < devices_.size(); ++d) {
+  std::vector<std::exception_ptr> errors(plan.device_count());
+  threads.reserve(plan.device_count());
+  for (std::size_t d = 0; d < plan.device_count(); ++d) {
     threads.emplace_back([&, d] {
       try {
-        workers[d]->run();
+        runners[d]->run();
       } catch (...) {
         errors[d] = std::current_exception();
-        // Unblock neighbours so every thread can exit: close the
-        // downstream channel (consumer sees EOF) and, for in-process
-        // channels, the upstream one (a producer blocked on a full
-        // buffer gets an error instead of hanging).
-        if (d + 1 < devices_.size()) channels[d].sink->close();
-        if (d > 0 && config_.transport == Transport::kInProcess) {
-          channels[d - 1].sink->close();
+        // Unblock neighbours so every thread can exit, whatever the
+        // transport: close the downstream channel (consumer sees EOF)
+        // and the upstream one from the consumer side (a producer
+        // blocked on a full buffer or an exhausted ack window gets an
+        // error instead of hanging). A close can itself throw — e.g.
+        // EPIPE on the TCP sentinel when the peer died first — and must
+        // not escape this catch block.
+        if (d + 1 < plan.device_count()) {
+          try {
+            channels[d].sink->close();
+          } catch (...) {  // NOLINT(bugprone-empty-catch)
+          }
+        }
+        if (d > 0) {
+          try {
+            channels[d - 1].source->close();
+          } catch (...) {  // NOLINT(bugprone-empty-catch)
+          }
         }
       }
     });
@@ -579,12 +244,12 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
                       : query.size() - (seed->checkpoint_row + 1);
   result.matrix_cells = resumed_rows * subject.size();
   result.wall_seconds = wall_seconds;
-  for (const auto& worker : workers) {
-    if (sw::improves(worker->best(), result.best)) {
-      result.best = worker->best();
+  for (const auto& runner : runners) {
+    if (sw::improves(runner->best(), result.best)) {
+      result.best = runner->best();
     }
-    result.devices.push_back(worker->stats());
-    result.computed_cells += worker->stats().cells;
+    result.devices.push_back(runner->stats());
+    result.computed_cells += runner->stats().cells;
   }
   return result;
 }

@@ -16,9 +16,14 @@
 // column. The buffer capacity bounds how far a device can run ahead —
 // the paper's mechanism for overlapping communication with computation.
 //
+// The engine is the thin top of a three-layer core (see DESIGN.md):
+//   plan   (core/plan.hpp)         — what to compute, decided up front;
+//   runner (core/slice_runner.hpp) — one device's slice execution;
+//   engine (this file)             — plan → build runners → join →
+//                                    reduce.
 // Execution is real: every matrix cell is computed with the Gotoh
-// recurrences by sw::compute_block on the devices' worker threads, and
-// the result provably equals the serial scan (see tests/core).
+// recurrences on the devices' worker threads, and the result provably
+// equals the serial scan (see tests/core).
 #pragma once
 
 #include <cstdint>
@@ -29,6 +34,8 @@
 
 #include "comm/channel.hpp"
 #include "core/partition.hpp"
+#include "core/plan.hpp"
+#include "core/slice_runner.hpp"
 #include "core/special_rows.hpp"
 #include "seq/sequence.hpp"
 #include "sw/kernel.hpp"
@@ -36,48 +43,6 @@
 #include "vgpu/device.hpp"
 
 namespace mgpusw::core {
-
-/// How slice widths are chosen for heterogeneous devices.
-enum class BalanceMode {
-  kEqual,          // equal block-column counts (the naive baseline)
-  kSpecGcups,      // proportional to DeviceSpec::sw_gcups / slowdown
-  kCustomWeights,  // caller-provided weights
-};
-
-enum class Transport {
-  kInProcess,  // circular buffer in shared memory
-  kTcp,        // loopback TCP sockets with the same framing
-};
-
-/// How a device orders the blocks of its slice. Both orders respect the
-/// DP dependencies and produce identical results; they differ in
-/// pipeline behaviour:
-///   * kRowMajor (default) — fine-grain pipelining: the border chunk for
-///     block row i ships as soon as row i is done, so a downstream device
-///     lags its neighbour by one block row. This matches the paper's
-///     communication-hiding design. Within a device, blocks execute
-///     sequentially.
-///   * kDiagonal — CUDAlign-style external block diagonals with a barrier
-///     per diagonal; blocks within a diagonal are independent and run
-///     concurrently on the device's worker pool. Maximises intra-device
-///     parallelism but delays border chunks (chunk i completes only with
-///     diagonal i + nbc - 1), lengthening the pipeline fill/drain.
-/// The schedule ablation benchmark (bench/ablation_schedule) quantifies
-/// the difference.
-enum class Schedule {
-  kRowMajor,
-  kDiagonal,
-};
-
-/// Progress notification, emitted by each device's driver thread after
-/// every completed scheduling unit (block row in kRowMajor, external
-/// diagonal in kDiagonal).
-struct ProgressEvent {
-  int device_index = 0;
-  std::int64_t completed_units = 0;
-  std::int64_t total_units = 0;
-  std::int64_t device_cells_done = 0;
-};
 
 struct EngineConfig {
   sw::ScoreScheme scheme;
@@ -113,22 +78,10 @@ struct EngineConfig {
   /// Progress callback; called concurrently from device threads (must be
   /// thread-safe). Null disables reporting.
   std::function<void(const ProgressEvent&)> progress;
-};
 
-/// Per-device outcome of a run.
-struct DeviceRunStats {
-  std::string device_name;
-  ColumnRange slice;
-  std::int64_t blocks = 0;
-  std::int64_t pruned_blocks = 0;
-  std::int64_t cells = 0;          // actually computed (pruned excluded)
-  std::int64_t busy_ns = 0;        // kernel time incl. throttle penalty
-  std::int64_t recv_stall_ns = 0;  // waiting for upstream border chunks
-  std::int64_t send_stall_ns = 0;  // blocked on a full circular buffer
-  std::int64_t wall_ns = 0;        // device thread total
-  std::int64_t chunks_received = 0;
-  std::int64_t chunks_sent = 0;
-  std::int64_t bytes_sent = 0;
+  /// Label identifying this comparison in ProgressEvents (the batch
+  /// scheduler sets it to the item label; empty otherwise).
+  std::string job;
 };
 
 struct EngineResult {
@@ -151,7 +104,9 @@ struct EngineResult {
 
 class MultiDeviceEngine {
  public:
-  /// Devices are borrowed; they must outlive the engine.
+  /// Devices are borrowed; they must outlive the engine. (Use
+  /// core::DeviceFleet to own a device set and lease disjoint subsets to
+  /// concurrent engines.)
   MultiDeviceEngine(EngineConfig config,
                     std::vector<vgpu::Device*> devices);
 
@@ -174,6 +129,13 @@ class MultiDeviceEngine {
 
   [[nodiscard]] const EngineConfig& config() const { return config_; }
 
+  /// The full pre-execution plan for a rows x cols comparison on this
+  /// engine's devices — the same value run() executes and
+  /// sim::simulate_pipeline projects (the engine–simulator shared-plan
+  /// contract).
+  [[nodiscard]] AlignmentPlan plan(std::int64_t rows, std::int64_t cols,
+                                   std::int64_t start_block_row = 0) const;
+
   /// The column split the engine would use for `total_cols` columns
   /// (exposed for tests and the split-balance experiment).
   [[nodiscard]] std::vector<ColumnRange> plan_partition(
@@ -184,9 +146,11 @@ class MultiDeviceEngine {
   [[nodiscard]] EngineResult run_internal(const seq::Sequence& query,
                                           const seq::Sequence& subject,
                                           const ResumeSeed* seed);
+  [[nodiscard]] std::vector<double> balance_weights() const;
 
   EngineConfig config_;
   std::vector<vgpu::Device*> devices_;
+  std::vector<sw::BlockKernelFn> kernels_;  // resolved once, per device
 };
 
 }  // namespace mgpusw::core

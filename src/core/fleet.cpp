@@ -1,0 +1,132 @@
+#include "core/fleet.hpp"
+
+#include "base/error.hpp"
+
+namespace mgpusw::core {
+
+DeviceLease& DeviceLease::operator=(DeviceLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    fleet_ = other.fleet_;
+    devices_ = std::move(other.devices_);
+    indices_ = std::move(other.indices_);
+    other.fleet_ = nullptr;
+    other.devices_.clear();
+    other.indices_.clear();
+  }
+  return *this;
+}
+
+void DeviceLease::release() {
+  if (fleet_ == nullptr) return;
+  fleet_->release_indices(indices_);
+  fleet_ = nullptr;
+  devices_.clear();
+  indices_.clear();
+}
+
+DeviceFleet::DeviceFleet(std::vector<std::unique_ptr<vgpu::Device>> devices)
+    : owned_(std::move(devices)) {
+  MGPUSW_REQUIRE(!owned_.empty(), "fleet needs at least one device");
+  for (const auto& device : owned_) {
+    MGPUSW_REQUIRE(device != nullptr, "device pointer is null");
+    devices_.push_back(device.get());
+  }
+  in_use_.assign(devices_.size(), false);
+}
+
+DeviceFleet::DeviceFleet(const std::vector<vgpu::Device*>& devices)
+    : devices_(devices) {
+  MGPUSW_REQUIRE(!devices_.empty(), "fleet needs at least one device");
+  for (vgpu::Device* device : devices_) {
+    MGPUSW_REQUIRE(device != nullptr, "device pointer is null");
+  }
+  in_use_.assign(devices_.size(), false);
+}
+
+DeviceFleet DeviceFleet::from_specs(
+    const std::vector<vgpu::DeviceSpec>& specs,
+    vgpu::DeviceOptions options) {
+  std::vector<std::unique_ptr<vgpu::Device>> devices;
+  devices.reserve(specs.size());
+  for (const vgpu::DeviceSpec& spec : specs) {
+    devices.push_back(std::make_unique<vgpu::Device>(spec, options));
+  }
+  return DeviceFleet(std::move(devices));
+}
+
+std::size_t DeviceFleet::available() const {
+  std::lock_guard lock(mu_);
+  return free_count_locked();
+}
+
+std::size_t DeviceFleet::free_count_locked() const {
+  std::size_t free = 0;
+  for (const bool used : in_use_) {
+    if (!used) ++free;
+  }
+  return free;
+}
+
+DeviceLease DeviceFleet::grab_locked(std::size_t count) {
+  std::vector<vgpu::Device*> granted;
+  std::vector<std::size_t> indices;
+  granted.reserve(count);
+  indices.reserve(count);
+  for (std::size_t i = 0; i < devices_.size() && granted.size() < count;
+       ++i) {
+    if (in_use_[i]) continue;
+    in_use_[i] = true;
+    granted.push_back(devices_[i]);
+    indices.push_back(i);
+  }
+  MGPUSW_CHECK(granted.size() == count);
+  return DeviceLease(this, std::move(granted), std::move(indices));
+}
+
+DeviceLease DeviceFleet::acquire(std::size_t count) {
+  MGPUSW_REQUIRE(count >= 1, "lease needs at least one device");
+  MGPUSW_REQUIRE(count <= devices_.size(),
+                 "lease of " << count << " devices from a fleet of "
+                             << devices_.size());
+  std::unique_lock lock(mu_);
+  const std::uint64_t ticket = next_ticket_++;
+  cv_.wait(lock, [&] {
+    return now_serving_ == ticket && free_count_locked() >= count;
+  });
+  DeviceLease lease = grab_locked(count);
+  ++now_serving_;
+  lock.unlock();
+  // Wake the next ticket (and any releases racing with it).
+  cv_.notify_all();
+  return lease;
+}
+
+std::optional<DeviceLease> DeviceFleet::try_acquire(std::size_t count) {
+  MGPUSW_REQUIRE(count >= 1, "lease needs at least one device");
+  MGPUSW_REQUIRE(count <= devices_.size(),
+                 "lease of " << count << " devices from a fleet of "
+                             << devices_.size());
+  std::lock_guard lock(mu_);
+  // Respect the FIFO queue: jumping ahead of a blocked acquire would
+  // starve wide requests.
+  if (next_ticket_ != now_serving_) return std::nullopt;
+  if (free_count_locked() < count) return std::nullopt;
+  ++next_ticket_;
+  DeviceLease lease = grab_locked(count);
+  ++now_serving_;
+  return lease;
+}
+
+void DeviceFleet::release_indices(const std::vector<std::size_t>& indices) {
+  {
+    std::lock_guard lock(mu_);
+    for (const std::size_t i : indices) {
+      MGPUSW_CHECK(in_use_[i]);
+      in_use_[i] = false;
+    }
+  }
+  cv_.notify_all();
+}
+
+}  // namespace mgpusw::core

@@ -1,0 +1,74 @@
+#include "core/plan.hpp"
+
+#include "base/error.hpp"
+#include "base/math.hpp"
+
+namespace mgpusw::core {
+
+std::int64_t AlignmentPlan::schedule_units(std::size_t device) const {
+  MGPUSW_CHECK(device < devices.size());
+  const std::int64_t rows_left = block_row_count - start_block_row;
+  if (schedule == Schedule::kRowMajor) return rows_left;
+  return rows_left + devices[device].block_columns - 1;
+}
+
+AlignmentPlan make_plan(const PlanRequest& request) {
+  MGPUSW_REQUIRE(request.rows > 0 && request.cols > 0,
+                 "matrix dimensions must be positive");
+  MGPUSW_REQUIRE(request.block_rows > 0 && request.block_cols > 0,
+                 "block dimensions must be positive");
+  MGPUSW_REQUIRE(request.buffer_capacity > 0,
+                 "buffer_capacity must be positive");
+  MGPUSW_REQUIRE(!request.weights.empty(),
+                 "plan needs at least one device weight");
+  MGPUSW_REQUIRE(request.device_kernels.empty() ||
+                     request.device_kernels.size() == request.weights.size(),
+                 "device_kernels must be empty or one entry per device");
+  MGPUSW_REQUIRE(request.start_block_row >= 0,
+                 "start_block_row must be non-negative");
+
+  AlignmentPlan plan;
+  plan.rows = request.rows;
+  plan.cols = request.cols;
+  plan.block_rows = request.block_rows;
+  plan.block_cols = request.block_cols;
+  plan.block_row_count = base::div_ceil(request.rows, request.block_rows);
+  plan.buffer_capacity = request.buffer_capacity;
+  plan.transport = request.transport;
+  plan.schedule = request.schedule;
+  plan.start_block_row = request.start_block_row;
+  MGPUSW_REQUIRE(request.start_block_row < plan.block_row_count,
+                 "start_block_row " << request.start_block_row
+                                    << " leaves nothing to compute");
+
+  const std::vector<ColumnRange> ranges = partition_columns(
+      request.cols, request.weights, request.block_cols);
+
+  plan.devices.reserve(ranges.size());
+  for (std::size_t d = 0; d < ranges.size(); ++d) {
+    SlicePlan slice;
+    slice.slice = ranges[d];
+    slice.block_columns = base::div_ceil(ranges[d].cols, request.block_cols);
+    const std::string& override_kernel =
+        request.device_kernels.empty() ? std::string{}
+                                       : request.device_kernels[d];
+    slice.kernel =
+        override_kernel.empty() ? request.default_kernel : override_kernel;
+    slice.has_upstream = d > 0;
+    slice.has_downstream = d + 1 < ranges.size();
+    plan.devices.push_back(std::move(slice));
+  }
+  return plan;
+}
+
+std::vector<double> profile_weights(
+    const std::vector<vgpu::DeviceSpec>& devices) {
+  std::vector<double> weights;
+  weights.reserve(devices.size());
+  for (const vgpu::DeviceSpec& spec : devices) {
+    weights.push_back(spec.sw_gcups);
+  }
+  return weights;
+}
+
+}  // namespace mgpusw::core

@@ -1,0 +1,125 @@
+// Plan layer: everything decided *before* an alignment executes.
+//
+// An AlignmentPlan is a pure value describing one multi-device
+// comparison: matrix geometry, the block grid, the speed-proportional
+// column partition, the channel topology between neighbouring devices,
+// the kernel each device will run, and (for resumed runs) the seed
+// position. Both the real engine (core::MultiDeviceEngine) and the
+// performance model (sim::simulate_pipeline) build their execution from
+// the same plan, so the slice arithmetic exists in exactly one place —
+// the engine validates the schedule computes correct scores, the
+// simulator projects the same schedule to paper-scale hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "sw/kernel.hpp"
+#include "vgpu/spec.hpp"
+
+namespace mgpusw::core {
+
+/// How slice widths are chosen for heterogeneous devices.
+enum class BalanceMode {
+  kEqual,          // equal block-column counts (the naive baseline)
+  kSpecGcups,      // proportional to DeviceSpec::sw_gcups / slowdown
+  kCustomWeights,  // caller-provided weights
+};
+
+enum class Transport {
+  kInProcess,  // circular buffer in shared memory
+  kTcp,        // loopback TCP sockets with the same framing
+};
+
+/// How a device orders the blocks of its slice. Both orders respect the
+/// DP dependencies and produce identical results; they differ in
+/// pipeline behaviour:
+///   * kRowMajor (default) — fine-grain pipelining: the border chunk for
+///     block row i ships as soon as row i is done, so a downstream device
+///     lags its neighbour by one block row. This matches the paper's
+///     communication-hiding design. Within a device, blocks execute
+///     sequentially.
+///   * kDiagonal — CUDAlign-style external block diagonals with a barrier
+///     per diagonal; blocks within a diagonal are independent and run
+///     concurrently on the device's worker pool. Maximises intra-device
+///     parallelism but delays border chunks (chunk i completes only with
+///     diagonal i + nbc - 1), lengthening the pipeline fill/drain.
+/// The schedule ablation benchmark (bench/ablation_schedule) quantifies
+/// the difference.
+enum class Schedule {
+  kRowMajor,
+  kDiagonal,
+};
+
+/// One device's share of the plan.
+struct SlicePlan {
+  ColumnRange slice;               // contiguous subject columns
+  std::int64_t block_columns = 0;  // nbc: block columns in the slice
+  std::string kernel;              // registry name this device runs
+  bool has_upstream = false;       // receives border chunks from d-1
+  bool has_downstream = false;     // sends border chunks to d+1
+
+  bool operator==(const SlicePlan&) const = default;
+};
+
+/// Inputs to plan construction. Weights are already resolved to one
+/// positive number per device (see balance_weights / profile_weights);
+/// device_kernels may be empty (everyone runs default_kernel) or hold
+/// one entry per device ("" = default).
+struct PlanRequest {
+  std::int64_t rows = 0;  // query length (cells)
+  std::int64_t cols = 0;  // subject length (cells)
+  std::int64_t block_rows = 512;
+  std::int64_t block_cols = 512;
+  std::int64_t buffer_capacity = 16;
+  Transport transport = Transport::kInProcess;
+  Schedule schedule = Schedule::kRowMajor;
+  std::string default_kernel{sw::kDefaultKernel};
+  std::vector<double> weights;
+  std::vector<std::string> device_kernels;
+  std::int64_t start_block_row = 0;  // > 0 when resuming from a checkpoint
+};
+
+/// The full pre-execution decision record for one comparison.
+struct AlignmentPlan {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t block_rows = 0;
+  std::int64_t block_cols = 0;
+  std::int64_t block_row_count = 0;  // nbr, shared by every slice
+  std::int64_t buffer_capacity = 0;
+  Transport transport = Transport::kInProcess;
+  Schedule schedule = Schedule::kRowMajor;
+  std::int64_t start_block_row = 0;
+  std::vector<SlicePlan> devices;
+
+  [[nodiscard]] std::size_t device_count() const { return devices.size(); }
+
+  /// Border channels between consecutive devices.
+  [[nodiscard]] std::size_t channel_count() const {
+    return devices.empty() ? 0 : devices.size() - 1;
+  }
+
+  /// Scheduling units device d steps through (block rows in kRowMajor,
+  /// external diagonals in kDiagonal) — the denominator of progress
+  /// reporting.
+  [[nodiscard]] std::int64_t schedule_units(std::size_t device) const;
+
+  bool operator==(const AlignmentPlan&) const = default;
+};
+
+/// Builds the plan: derives the block grid, partitions the columns
+/// proportionally to the weights (granularity one block column), and
+/// resolves each device's kernel name (per-device override or default).
+/// Throws InvalidArgument on inconsistent requests (non-positive
+/// geometry, too many devices for the matrix, weight count mismatch).
+[[nodiscard]] AlignmentPlan make_plan(const PlanRequest& request);
+
+/// Profile weights straight from device specs (sw_gcups), the simulator's
+/// default split and the raw material of BalanceMode::kSpecGcups.
+[[nodiscard]] std::vector<double> profile_weights(
+    const std::vector<vgpu::DeviceSpec>& devices);
+
+}  // namespace mgpusw::core

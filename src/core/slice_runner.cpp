@@ -1,0 +1,376 @@
+#include "core/slice_runner.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "base/error.hpp"
+#include "base/math.hpp"
+#include "base/time.hpp"
+#include "comm/border.hpp"
+
+namespace mgpusw::core {
+
+namespace {
+
+/// Atomically raises `target` to at least `value`.
+void atomic_max(std::atomic<sw::Score>& target, sw::Score value) {
+  sw::Score current = target.load(std::memory_order_relaxed);
+  while (current < value &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// components
+
+void SpecialRowCapture::save(std::int64_t block_row, std::int64_t last_row,
+                             std::int64_t c0_global, std::int64_t width,
+                             const sw::Score* bottom_h,
+                             const sw::Score* bottom_f) const {
+  if (!due(block_row)) return;
+  store_->save_segment(
+      last_row, c0_global,
+      std::vector<sw::Score>(bottom_h, bottom_h + width),
+      save_f_ ? std::vector<sw::Score>(bottom_f, bottom_f + width)
+              : std::vector<sw::Score>{});
+}
+
+sw::Score border_max(sw::Score corner, const sw::Score* top,
+                     std::int64_t top_len, const sw::Score* left,
+                     std::int64_t left_len) {
+  sw::Score best = corner;
+  for (std::int64_t k = 0; k < top_len; ++k) {
+    best = std::max(best, top[k]);
+  }
+  for (std::int64_t k = 0; k < left_len; ++k) {
+    best = std::max(best, left[k]);
+  }
+  return best;
+}
+
+void BorderExchange::receive(std::int64_t block_row, sw::Score* col_h,
+                             sw::Score* col_e, sw::Score& corner_out) {
+  std::optional<comm::BorderChunk> chunk = in_->recv();
+  MGPUSW_CHECK_MSG(chunk.has_value(),
+                   "upstream closed before chunk " << block_row);
+  const std::int64_t r0 = block_row * block_rows_;
+  const std::int64_t bh = std::min(block_rows_, rows_ - r0);
+  MGPUSW_CHECK_MSG(chunk->sequence_number == block_row,
+                   "expected chunk " << block_row << ", got "
+                                     << chunk->sequence_number);
+  MGPUSW_CHECK_MSG(chunk->first_row == r0 && chunk->rows() == bh,
+                   "chunk " << block_row << " covers rows ["
+                            << chunk->first_row << ", "
+                            << chunk->first_row + chunk->rows()
+                            << "), expected [" << r0 << ", " << r0 + bh
+                            << ")");
+  std::copy(chunk->h.begin(), chunk->h.end(),
+            col_h + static_cast<std::ptrdiff_t>(r0));
+  std::copy(chunk->e.begin(), chunk->e.end(),
+            col_e + static_cast<std::ptrdiff_t>(r0));
+  corner_out = static_cast<sw::Score>(chunk->corner_h);
+  ++chunks_received_;
+}
+
+void BorderExchange::send(std::int64_t block_row, const sw::Score* col_h,
+                          const sw::Score* col_e, sw::Score& sent_corner) {
+  const std::int64_t r0 = block_row * block_rows_;
+  const std::int64_t bh = std::min(block_rows_, rows_ - r0);
+  comm::BorderChunk chunk;
+  chunk.sequence_number = block_row;
+  chunk.first_row = r0;
+  chunk.corner_h = sent_corner;
+  chunk.h.assign(col_h + static_cast<std::ptrdiff_t>(r0),
+                 col_h + static_cast<std::ptrdiff_t>(r0 + bh));
+  chunk.e.assign(col_e + static_cast<std::ptrdiff_t>(r0),
+                 col_e + static_cast<std::ptrdiff_t>(r0 + bh));
+  sent_corner = chunk.h.back();
+  out_->send(std::move(chunk));
+}
+
+void BorderExchange::close_downstream() {
+  if (out_ != nullptr) out_->close();
+}
+
+void BorderExchange::fill_stats(DeviceRunStats& stats) const {
+  stats.chunks_received = chunks_received_;
+  if (in_ != nullptr) {
+    stats.recv_stall_ns = in_->stats().consumer_stall_ns;
+  }
+  if (out_ != nullptr) {
+    const comm::ChannelStats out_stats = out_->stats();
+    stats.send_stall_ns = out_stats.producer_stall_ns;
+    stats.chunks_sent = out_stats.chunks_sent;
+    stats.bytes_sent = out_stats.bytes_sent;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SliceRunner
+
+SliceRunner::SliceRunner(const RunnerContext& context,
+                         sw::BlockKernelFn kernel, vgpu::Device& device,
+                         int device_index,
+                         const std::vector<seq::Nt>& query,
+                         const std::vector<seq::Nt>& subject,
+                         const SlicePlan& slice_plan,
+                         std::int64_t block_row_count,
+                         comm::BorderSource* in, comm::BorderSink* out,
+                         std::atomic<sw::Score>& global_best,
+                         std::int64_t start_block_row,
+                         const sw::Score* seed_h, const sw::Score* seed_f)
+    : context_(context),
+      kernel_(kernel),
+      device_index_(device_index),
+      device_(device),
+      query_(query),
+      subject_(subject),
+      slice_(slice_plan.slice),
+      nbr_(block_row_count),
+      nbc_(slice_plan.block_columns),
+      exchange_(in, out, context.block_rows,
+                static_cast<std::int64_t>(query.size())),
+      pruner_(context.scheme, static_cast<std::int64_t>(query.size()),
+              static_cast<std::int64_t>(subject.size())),
+      special_rows_(context.special_row_interval, context.special_rows,
+                    context.checkpoint_f),
+      global_best_(global_best),
+      start_block_row_(start_block_row),
+      seed_h_(seed_h),
+      seed_f_(seed_f) {}
+
+void SliceRunner::init_borders() {
+  const std::int64_t rows = static_cast<std::int64_t>(query_.size());
+
+  // Border storage: one (H,F) row segment per block column, one (H,E)
+  // column segment per block row, one corner per block column. Initial
+  // values encode the local-alignment matrix boundary. This is the
+  // device's O(m + n_slice) memory — the linear-memory property the
+  // paper relies on to fit megabase matrices on GPUs.
+  row_h_.assign(static_cast<std::size_t>(slice_.cols), 0);
+  row_f_.assign(static_cast<std::size_t>(slice_.cols), sw::kNegInf);
+  col_h_.assign(static_cast<std::size_t>(rows), 0);
+  col_e_.assign(static_cast<std::size_t>(rows), sw::kNegInf);
+  corner_.assign(static_cast<std::size_t>(nbc_), 0);
+  chunk_corner_.assign(static_cast<std::size_t>(nbr_), 0);
+
+  // Restarting from a checkpoint: the top borders of the first computed
+  // block row come from the saved (H, F) row instead of the matrix
+  // boundary, and the per-column corners come from the same row.
+  sent_corner_ = 0;
+  if (seed_h_ != nullptr) {
+    std::copy(seed_h_ + slice_.first_col,
+              seed_h_ + slice_.first_col + slice_.cols, row_h_.begin());
+    std::copy(seed_f_ + slice_.first_col,
+              seed_f_ + slice_.first_col + slice_.cols, row_f_.begin());
+    for (std::int64_t j = 1; j < nbc_; ++j) {
+      corner_[static_cast<std::size_t>(j)] =
+          seed_h_[slice_.first_col + j * context_.block_cols - 1];
+    }
+    // corner_[0] stays untouched: device 0's first-column corner is the
+    // matrix boundary (H = 0), and downstream devices take theirs from
+    // the incoming chunks, whose corners derive from sent_corner_.
+    sent_corner_ = seed_h_[slice_.end_col() - 1];
+  }
+}
+
+void SliceRunner::run() {
+  base::WallTimer wall;
+  init_borders();
+
+  // Track the footprint against the device's memory capacity, as the
+  // CUDA implementation's cudaMallocs would.
+  const std::int64_t border_bytes = static_cast<std::int64_t>(
+      (row_h_.size() + row_f_.size() + col_h_.size() + col_e_.size() +
+       corner_.size()) *
+      sizeof(sw::Score));
+  vgpu::DeviceBuffer buffer = device_.allocate(border_bytes);
+
+  if (context_.schedule == Schedule::kRowMajor) {
+    RowMajorSchedule{}.run(*this);
+  } else {
+    DiagonalSchedule{}.run(*this);
+  }
+
+  exchange_.close_downstream();
+
+  stats_.wall_ns = wall.elapsed_ns();
+  stats_.device_name = device_.spec().name;
+  stats_.slice = slice_;
+  stats_.busy_ns = device_.busy_ns() - initial_busy_ns_;
+  exchange_.fill_stats(stats_);
+}
+
+void SliceRunner::reduce_outcome(TaskOutcome& outcome) {
+  MGPUSW_CHECK(outcome.valid);
+  ++stats_.blocks;
+  if (outcome.pruned) {
+    ++stats_.pruned_blocks;
+  } else {
+    stats_.cells += outcome.cells;
+  }
+  if (sw::improves(outcome.block.best, best_)) {
+    best_ = outcome.block.best;
+  }
+}
+
+void SliceRunner::publish_best() { atomic_max(global_best_, best_.score); }
+
+void SliceRunner::notify_progress(std::int64_t completed,
+                                  std::int64_t total) {
+  if (!context_.progress) return;
+  ProgressEvent event;
+  event.device_index = device_index_;
+  event.completed_units = completed;
+  event.total_units = total;
+  event.device_cells_done = stats_.cells;
+  event.job = context_.job;
+  context_.progress(event);
+}
+
+void SliceRunner::compute_one(std::int64_t i, std::int64_t j,
+                              TaskOutcome& outcome) {
+  const std::int64_t rows = static_cast<std::int64_t>(query_.size());
+  const std::int64_t r0 = i * context_.block_rows;
+  const std::int64_t bh = std::min(context_.block_rows, rows - r0);
+  const std::int64_t c0 = j * context_.block_cols;  // slice-local
+  const std::int64_t bw = std::min(context_.block_cols, slice_.cols - c0);
+  const std::int64_t c0_global = slice_.first_col + c0;
+
+  sw::Score* const top_h = row_h_.data() + c0;
+  sw::Score* const top_f = row_f_.data() + c0;
+  sw::Score* const left_h = col_h_.data() + r0;
+  sw::Score* const left_e = col_e_.data() + r0;
+
+  const sw::Score corner_in =
+      j == 0 ? (exchange_.has_upstream()
+                    ? chunk_corner_[static_cast<std::size_t>(i)]
+                    : sw::Score{0})
+             : corner_[static_cast<std::size_t>(j)];
+  // The corner for block (i+1, j) is this block's left border's last
+  // element; capture it before the kernel overwrites the segment.
+  corner_[static_cast<std::size_t>(j)] = left_h[bh - 1];
+
+  if (context_.enable_pruning &&
+      pruner_.can_prune(border_max(corner_in, top_h, bw, left_h, bh), r0,
+                        c0_global,
+                        global_best_.load(std::memory_order_relaxed))) {
+    std::fill(top_h, top_h + bw, sw::Score{0});
+    std::fill(top_f, top_f + bw, sw::kNegInf);
+    std::fill(left_h, left_h + bh, sw::Score{0});
+    std::fill(left_e, left_e + bh, sw::kNegInf);
+    outcome.cells = sw::block_cells(bh, bw);
+    outcome.pruned = true;
+    outcome.valid = true;
+    // Special rows must stay gap-free even through pruned regions: the
+    // zeroed borders are exactly the values this run propagated, so a
+    // resume seeded from them reproduces the same (exact) final score.
+    special_rows_.save(i, r0 + bh - 1, c0_global, bw, top_h, top_f);
+    return;
+  }
+
+  sw::BlockArgs args;
+  args.query = query_.data() + r0;
+  args.subject = subject_.data() + c0_global;
+  args.rows = bh;
+  args.cols = bw;
+  args.global_row = r0;
+  args.global_col = c0_global;
+  args.top_h = top_h;
+  args.top_f = top_f;
+  args.left_h = left_h;
+  args.left_e = left_e;
+  args.corner_h = corner_in;
+  args.bottom_h = top_h;
+  args.bottom_f = top_f;
+  args.right_h = left_h;
+  args.right_e = left_e;
+
+  base::WallTimer timer;
+  outcome.block = kernel_(context_.scheme, args);
+  device_.account_kernel(timer.elapsed_ns(), sw::block_cells(bh, bw));
+  outcome.cells = sw::block_cells(bh, bw);
+  outcome.valid = true;
+
+  // After the kernel, top_h/top_f alias the block's bottom borders.
+  special_rows_.save(i, r0 + bh - 1, c0_global, bw, top_h, top_f);
+}
+
+// ---------------------------------------------------------------------------
+// schedules
+
+void RowMajorSchedule::run(SliceRunner& r) const {
+  TaskOutcome outcome;
+  for (std::int64_t i = r.start_block_row_; i < r.nbr_; ++i) {
+    if (r.exchange_.has_upstream()) {
+      r.exchange_.receive(i, r.col_h_.data(), r.col_e_.data(),
+                          r.chunk_corner_[static_cast<std::size_t>(i)]);
+    }
+    for (std::int64_t j = 0; j < r.nbc_; ++j) {
+      outcome = TaskOutcome{};
+      r.compute_one(i, j, outcome);
+      r.reduce_outcome(outcome);
+    }
+    r.publish_best();
+    if (r.exchange_.has_downstream()) {
+      r.exchange_.send(i, r.col_h_.data(), r.col_e_.data(),
+                       r.sent_corner_);
+    }
+    r.notify_progress(i + 1, r.nbr_);
+  }
+}
+
+void DiagonalSchedule::run(SliceRunner& r) const {
+  // Per-block-column scratch for the in-flight diagonal; row-major never
+  // needs this, so the storage lives with the schedule that uses it.
+  std::vector<TaskOutcome> outcomes(static_cast<std::size_t>(r.nbc_));
+  for (std::int64_t diag = 0; diag <= r.nbr_ + r.nbc_ - 2; ++diag) {
+    // 1. Receive the border chunk feeding this diagonal's first-column
+    //    block (device d > 0 only).
+    if (r.exchange_.has_upstream() && diag < r.nbr_) {
+      r.exchange_.receive(diag, r.col_h_.data(), r.col_e_.data(),
+                          r.chunk_corner_[static_cast<std::size_t>(diag)]);
+    }
+
+    // 2. Launch every block on this external diagonal.
+    const std::int64_t i_lo =
+        std::max<std::int64_t>(0, diag - (r.nbc_ - 1));
+    const std::int64_t i_hi = std::min<std::int64_t>(r.nbr_ - 1, diag);
+    const bool inline_exec = r.device_.worker_count() == 1;
+    for (std::int64_t i = i_lo; i <= i_hi; ++i) {
+      const std::int64_t j = diag - i;
+      TaskOutcome& outcome = outcomes[static_cast<std::size_t>(j)];
+      outcome = TaskOutcome{};
+      if (inline_exec) {
+        r.compute_one(i, j, outcome);
+      } else {
+        r.device_.execute(
+            [&r, i, j, &outcome] { r.compute_one(i, j, outcome); });
+      }
+    }
+    if (!inline_exec) r.device_.synchronize();
+
+    // 3. Reduce this diagonal's results.
+    for (std::int64_t i = i_lo; i <= i_hi; ++i) {
+      const std::int64_t j = diag - i;
+      r.reduce_outcome(outcomes[static_cast<std::size_t>(j)]);
+    }
+    r.publish_best();
+
+    // 4. Ship the border chunk completed by this diagonal (last block
+    //    column), honouring the circular buffer's capacity.
+    if (r.exchange_.has_downstream()) {
+      const std::int64_t i_send = diag - (r.nbc_ - 1);
+      if (i_send >= 0 && i_send < r.nbr_) {
+        r.exchange_.send(i_send, r.col_h_.data(), r.col_e_.data(),
+                         r.sent_corner_);
+      }
+    }
+    r.notify_progress(diag + 1, r.nbr_ + r.nbc_ - 1);
+  }
+}
+
+}  // namespace mgpusw::core

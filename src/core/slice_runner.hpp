@@ -1,0 +1,278 @@
+// Runner layer: executes one device's column slice of a planned
+// alignment.
+//
+// A SliceRunner owns the O(m + n_slice) border state of one slice and
+// drives the block wavefront over it. The cross-cutting concerns are
+// split into named components with unit-testable seams:
+//
+//   * BorderExchange    — receive/send of border chunks over the
+//                         neighbour channels, with sequencing checks
+//                         and stall accounting;
+//   * BlockPruner       — the CUDAlign-2.1 upper-bound pruning decision
+//                         (pure arithmetic, no state);
+//   * SpecialRowCapture — checkpoint rows saved every k-th block row;
+//   * RowMajorSchedule / DiagonalSchedule — the two block orderings
+//                         (fine-grain pipeline vs external diagonals).
+//
+// The engine (core/engine.cpp) builds one runner per device from an
+// AlignmentPlan and joins them; nothing in this layer knows about device
+// fleets, balance modes or transports.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "core/plan.hpp"
+#include "core/special_rows.hpp"
+#include "seq/alphabet.hpp"
+#include "sw/kernel.hpp"
+#include "sw/scoring.hpp"
+#include "vgpu/device.hpp"
+
+namespace mgpusw::core {
+
+/// Progress notification, emitted by each device's driver thread after
+/// every completed scheduling unit (block row in kRowMajor, external
+/// diagonal in kDiagonal).
+struct ProgressEvent {
+  int device_index = 0;
+  std::int64_t completed_units = 0;
+  std::int64_t total_units = 0;
+  std::int64_t device_cells_done = 0;
+  /// Job label of the comparison this device is working on (the batch
+  /// scheduler threads the item label through here; empty for plain
+  /// engine runs).
+  std::string job;
+};
+
+/// Per-device outcome of a run.
+struct DeviceRunStats {
+  std::string device_name;
+  ColumnRange slice;
+  std::int64_t blocks = 0;
+  std::int64_t pruned_blocks = 0;
+  std::int64_t cells = 0;          // actually computed (pruned excluded)
+  std::int64_t busy_ns = 0;        // kernel time incl. throttle penalty
+  std::int64_t recv_stall_ns = 0;  // waiting for upstream border chunks
+  std::int64_t send_stall_ns = 0;  // blocked on a full circular buffer
+  std::int64_t wall_ns = 0;        // device thread total
+  std::int64_t chunks_received = 0;
+  std::int64_t chunks_sent = 0;
+  std::int64_t bytes_sent = 0;
+};
+
+/// The slice-level view of the engine configuration: exactly what a
+/// runner needs, nothing about transports, balancing or device kernels
+/// (those are plan/engine concerns).
+struct RunnerContext {
+  sw::ScoreScheme scheme;
+  std::int64_t block_rows = 512;
+  std::int64_t block_cols = 512;
+  Schedule schedule = Schedule::kRowMajor;
+  bool enable_pruning = false;
+  std::int64_t special_row_interval = 0;
+  SpecialRowStore* special_rows = nullptr;
+  bool checkpoint_f = false;
+  std::function<void(const ProgressEvent&)> progress;
+  std::string job;  // threaded into every ProgressEvent
+};
+
+/// Result of one block task, reduced by the driver after each scheduling
+/// unit.
+struct TaskOutcome {
+  sw::BlockResult block;
+  std::int64_t cells = 0;
+  bool pruned = false;
+  bool valid = false;
+};
+
+/// Largest incoming-border H value of a block: the seed of the pruning
+/// upper bound.
+[[nodiscard]] sw::Score border_max(sw::Score corner, const sw::Score* top,
+                                   std::int64_t top_len,
+                                   const sw::Score* left,
+                                   std::int64_t left_len);
+
+/// Block pruning (CUDAlign 2.1 technique): a block may be skipped when
+/// even a perfect-match extension of its best incoming border value
+/// cannot beat the globally best score already found. Pure arithmetic —
+/// exact score, possibly different co-optimal end position.
+class BlockPruner {
+ public:
+  BlockPruner(const sw::ScoreScheme& scheme, std::int64_t rows,
+              std::int64_t cols)
+      : match_(scheme.match), rows_(rows), cols_(cols) {}
+
+  /// True when the block starting at (r0, c0_global) whose incoming
+  /// border maximum is `border_in` cannot reach `global_best`.
+  [[nodiscard]] bool can_prune(sw::Score border_in, std::int64_t r0,
+                               std::int64_t c0_global,
+                               sw::Score global_best) const {
+    const std::int64_t reach =
+        std::min(rows_ - r0, cols_ - c0_global);
+    const sw::Score upper_bound =
+        border_in + match_ * static_cast<sw::Score>(reach);
+    return upper_bound <= global_best;
+  }
+
+ private:
+  sw::Score match_;
+  std::int64_t rows_;
+  std::int64_t cols_;
+};
+
+/// Saves the H (and optionally F) row every `interval` block rows — the
+/// special-row store feeding alignment retrieval and restart
+/// checkpoints.
+class SpecialRowCapture {
+ public:
+  SpecialRowCapture(std::int64_t interval, SpecialRowStore* store,
+                    bool save_f)
+      : interval_(interval), store_(store), save_f_(save_f) {}
+
+  [[nodiscard]] bool due(std::int64_t block_row) const {
+    return interval_ > 0 && (block_row + 1) % interval_ == 0;
+  }
+
+  /// Records the bottom border of block row `block_row` for the segment
+  /// [c0_global, c0_global + width) whose last matrix row is `last_row`.
+  void save(std::int64_t block_row, std::int64_t last_row,
+            std::int64_t c0_global, std::int64_t width,
+            const sw::Score* bottom_h, const sw::Score* bottom_f) const;
+
+ private:
+  std::int64_t interval_ = 0;
+  SpecialRowStore* store_ = nullptr;
+  bool save_f_ = false;
+};
+
+/// Border chunk traffic with the two neighbour devices: validates the
+/// sequencing invariants of the circular-buffer protocol and accounts
+/// traffic/stall statistics.
+class BorderExchange {
+ public:
+  /// `in`/`out` may be null (first/last device). col_h/col_e are the
+  /// runner's full-height vertical border arrays the chunks read from
+  /// and write into.
+  BorderExchange(comm::BorderSource* in, comm::BorderSink* out,
+                 std::int64_t block_rows, std::int64_t rows)
+      : in_(in), out_(out), block_rows_(block_rows), rows_(rows) {}
+
+  [[nodiscard]] bool has_upstream() const { return in_ != nullptr; }
+  [[nodiscard]] bool has_downstream() const { return out_ != nullptr; }
+
+  /// Receives the chunk feeding block row `block_row`, scattering it
+  /// into the vertical border arrays; stores the chunk's corner in
+  /// `corner_out`. Checks sequence numbers and row coverage.
+  void receive(std::int64_t block_row, sw::Score* col_h, sw::Score* col_e,
+               sw::Score& corner_out);
+
+  /// Ships the vertical border segment of block row `block_row`.
+  /// `sent_corner` carries H(previous row, slice boundary) in and is
+  /// updated to this chunk's last element for the next send.
+  void send(std::int64_t block_row, const sw::Score* col_h,
+            const sw::Score* col_e, sw::Score& sent_corner);
+
+  /// Signals the downstream neighbour that no further chunks follow.
+  void close_downstream();
+
+  [[nodiscard]] std::int64_t chunks_received() const {
+    return chunks_received_;
+  }
+
+  /// Folds channel statistics (stalls, traffic) into `stats`.
+  void fill_stats(DeviceRunStats& stats) const;
+
+ private:
+  comm::BorderSource* in_ = nullptr;
+  comm::BorderSink* out_ = nullptr;
+  std::int64_t block_rows_ = 0;
+  std::int64_t rows_ = 0;
+  std::int64_t chunks_received_ = 0;
+};
+
+class SliceRunner;
+
+/// Fine-grain pipeline order: block rows in sequence, columns left to
+/// right; chunk i ships the moment row i completes (the paper's overlap
+/// behaviour). Blocks run inline on the driver thread.
+struct RowMajorSchedule {
+  void run(SliceRunner& runner) const;
+};
+
+/// CUDAlign-style external block diagonals with a barrier per diagonal;
+/// blocks of one diagonal run concurrently on the device's workers.
+struct DiagonalSchedule {
+  void run(SliceRunner& runner) const;
+};
+
+/// Executes one device's column slice: owns the border state, computes
+/// blocks through the resolved kernel, and delegates ordering to the
+/// schedule named by the plan.
+class SliceRunner {
+ public:
+  /// `slice_plan` and `block_row_count` come from the AlignmentPlan;
+  /// query/subject/seed pointers must outlive the runner.
+  SliceRunner(const RunnerContext& context, sw::BlockKernelFn kernel,
+              vgpu::Device& device, int device_index,
+              const std::vector<seq::Nt>& query,
+              const std::vector<seq::Nt>& subject,
+              const SlicePlan& slice_plan, std::int64_t block_row_count,
+              comm::BorderSource* in, comm::BorderSink* out,
+              std::atomic<sw::Score>& global_best,
+              std::int64_t start_block_row = 0,
+              const sw::Score* seed_h = nullptr,
+              const sw::Score* seed_f = nullptr);
+
+  /// Runs the slice to completion. Called on the device's driver thread.
+  void run();
+
+  [[nodiscard]] const DeviceRunStats& stats() const { return stats_; }
+  [[nodiscard]] const sw::ScoreResult& best() const { return best_; }
+
+  void snapshot_initial_busy() { initial_busy_ns_ = device_.busy_ns(); }
+
+ private:
+  friend struct RowMajorSchedule;
+  friend struct DiagonalSchedule;
+
+  void init_borders();
+  void compute_one(std::int64_t i, std::int64_t j, TaskOutcome& outcome);
+  void reduce_outcome(TaskOutcome& outcome);
+  void publish_best();
+  void notify_progress(std::int64_t completed, std::int64_t total);
+
+  const RunnerContext& context_;
+  const sw::BlockKernelFn kernel_;
+  const int device_index_ = 0;
+  vgpu::Device& device_;
+  const std::vector<seq::Nt>& query_;
+  const std::vector<seq::Nt>& subject_;
+  const ColumnRange slice_;
+  const std::int64_t nbr_ = 0;  // block rows of the matrix
+  const std::int64_t nbc_ = 0;  // block columns of the slice
+  BorderExchange exchange_;
+  BlockPruner pruner_;
+  SpecialRowCapture special_rows_;
+  std::atomic<sw::Score>& global_best_;
+  const std::int64_t start_block_row_ = 0;  // > 0 when resuming
+  const sw::Score* seed_h_ = nullptr;       // checkpoint row (full width)
+  const sw::Score* seed_f_ = nullptr;
+
+  std::vector<sw::Score> row_h_, row_f_;   // horizontal borders per column
+  std::vector<sw::Score> col_h_, col_e_;   // vertical borders per row
+  std::vector<sw::Score> corner_;          // per block column
+  std::vector<sw::Score> chunk_corner_;    // per block row (device d > 0)
+  sw::Score sent_corner_ = 0;              // corner of the next sent chunk
+
+  DeviceRunStats stats_;
+  sw::ScoreResult best_;
+  std::int64_t initial_busy_ns_ = 0;
+};
+
+}  // namespace mgpusw::core

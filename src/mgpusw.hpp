@@ -27,9 +27,12 @@
 #include "core/balance.hpp"   // IWYU pragma: export
 #include "core/batch.hpp"     // IWYU pragma: export
 #include "core/engine.hpp"    // IWYU pragma: export
+#include "core/fleet.hpp"     // IWYU pragma: export
 #include "core/partition.hpp" // IWYU pragma: export
 #include "core/pipeline.hpp"  // IWYU pragma: export
+#include "core/plan.hpp"      // IWYU pragma: export
 #include "core/report.hpp"    // IWYU pragma: export
+#include "core/slice_runner.hpp"  // IWYU pragma: export
 #include "core/special_rows.hpp"  // IWYU pragma: export
 #include "seq/dotplot.hpp"    // IWYU pragma: export
 #include "seq/fasta.hpp"      // IWYU pragma: export

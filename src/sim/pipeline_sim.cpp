@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "base/error.hpp"
-#include "base/math.hpp"
 #include "comm/serialize.hpp"
 
 namespace mgpusw::sim {
@@ -75,32 +74,33 @@ struct DiagTimeline {
 };
 
 std::pair<std::int64_t, std::int64_t> diag_cells_and_blocks(
-    const DiagTimeline& device, std::int64_t k, const SimConfig& config) {
+    const DiagTimeline& device, std::int64_t k,
+    const core::AlignmentPlan& plan) {
   const std::int64_t i_lo = std::max<std::int64_t>(0, k - (device.nbc - 1));
   const std::int64_t i_hi = std::min<std::int64_t>(device.nbr - 1, k);
   std::int64_t cells = 0;
   for (std::int64_t i = i_lo; i <= i_hi; ++i) {
     const std::int64_t j = k - i;
     const std::int64_t bh =
-        std::min(config.block_rows, config.rows - i * config.block_rows);
-    const std::int64_t bw = std::min(
-        config.block_cols, device.slice.cols - j * config.block_cols);
+        std::min(plan.block_rows, plan.rows - i * plan.block_rows);
+    const std::int64_t bw =
+        std::min(plan.block_cols, device.slice.cols - j * plan.block_cols);
     cells += bh * bw;
   }
   return {cells, i_hi - i_lo + 1};
 }
 
 SimResult simulate_diagonal(const SimConfig& config,
-                            const std::vector<core::ColumnRange>& ranges,
-                            std::int64_t nbr) {
+                            const core::AlignmentPlan& plan) {
   const auto device_count = config.devices.size();
+  const std::int64_t nbr = plan.block_row_count;
   std::vector<DiagTimeline> devices(device_count);
   for (std::size_t d = 0; d < device_count; ++d) {
     DiagTimeline& device = devices[d];
     device.spec = config.devices[d];
-    device.slice = ranges[d];
+    device.slice = plan.devices[d].slice;
     device.nbr = nbr;
-    device.nbc = base::div_ceil(device.slice.cols, config.block_cols);
+    device.nbc = plan.devices[d].block_columns;
     device.diags = device.nbr + device.nbc - 1;
     device.dispatch = config.dispatch_width > 0 ? config.dispatch_width
                                                 : device.spec.sm_count;
@@ -129,7 +129,7 @@ SimResult simulate_diagonal(const SimConfig& config,
               up.send_complete[static_cast<std::size_t>(k)];
           if (sent == base::kSimTimeNever) break;
           const std::int64_t bh = std::min(
-              config.block_rows, config.rows - k * config.block_rows);
+              plan.block_rows, plan.rows - k * plan.block_rows);
           arrival = sent + transfer_ns(up.spec, device.spec, bh);
         }
 
@@ -140,7 +140,7 @@ SimResult simulate_diagonal(const SimConfig& config,
           const DiagTimeline& downstream = devices[d + 1];
           base::SimTime slot_free = 0;
           const std::int64_t slot_chunk =
-              pending_chunk - config.buffer_capacity;
+              pending_chunk - plan.buffer_capacity;
           if (slot_chunk >= 0) {
             if (downstream.next_diag <= slot_chunk) break;
             slot_free =
@@ -163,8 +163,7 @@ SimResult simulate_diagonal(const SimConfig& config,
         const base::SimTime start = std::max(after_send, arrival);
         device.stats.recv_wait_ns += start - after_send;
 
-        const auto [cells, blocks] =
-            diag_cells_and_blocks(device, k, config);
+        const auto [cells, blocks] = diag_cells_and_blocks(device, k, plan);
         base::SimTime duration =
             base::cells_to_ns(cells, device.spec.sw_gcups);
         if (blocks < device.dispatch) {
@@ -204,6 +203,13 @@ SimResult simulate_diagonal(const SimConfig& config,
     result.devices.push_back(device.stats);
   }
   return result;
+}
+
+/// Maps the simulator's schedule knob onto the planner's.
+core::Schedule plan_schedule(SimSchedule schedule) {
+  return schedule == SimSchedule::kDiagonalBarrier
+             ? core::Schedule::kDiagonal
+             : core::Schedule::kRowMajor;
 }
 
 }  // namespace
@@ -254,46 +260,32 @@ double aggregate_gcups(const std::vector<vgpu::DeviceSpec>& devices) {
   return total;
 }
 
-SimResult simulate_pipeline(const SimConfig& config) {
-  MGPUSW_REQUIRE(config.rows > 0 && config.cols > 0,
-                 "matrix dimensions must be positive");
-  MGPUSW_REQUIRE(config.block_rows > 0 && config.block_cols > 0,
-                 "block dimensions must be positive");
-  MGPUSW_REQUIRE(config.buffer_capacity > 0,
-                 "buffer capacity must be positive");
+SimResult simulate_pipeline(const SimConfig& config,
+                            const core::AlignmentPlan& plan) {
   MGPUSW_REQUIRE(!config.devices.empty(), "need at least one device");
+  MGPUSW_REQUIRE(plan.device_count() == config.devices.size(),
+                 "plan has " << plan.device_count() << " slices for "
+                             << config.devices.size() << " devices");
   for (const vgpu::DeviceSpec& spec : config.devices) {
     MGPUSW_REQUIRE(spec.sw_gcups > 0, spec.name << " has non-positive rate");
   }
 
-  std::vector<double> weights = config.weights;
-  if (weights.empty()) {
-    for (const vgpu::DeviceSpec& spec : config.devices) {
-      weights.push_back(spec.sw_gcups);
-    }
-  }
-  MGPUSW_REQUIRE(weights.size() == config.devices.size(),
-                 "one weight per device required");
-  const std::vector<core::ColumnRange> ranges =
-      core::partition_columns(config.cols, weights, config.block_cols);
-
-  const std::int64_t nbr = base::div_ceil(config.rows, config.block_rows);
-
-  if (config.schedule == SimSchedule::kDiagonalBarrier) {
-    SimResult result = simulate_diagonal(config, ranges, nbr);
-    MGPUSW_CHECK(result.total_cells == config.rows * config.cols);
+  if (plan.schedule == core::Schedule::kDiagonal) {
+    SimResult result = simulate_diagonal(config, plan);
+    MGPUSW_CHECK(result.total_cells == plan.rows * plan.cols);
     return result;
   }
 
   const auto device_count = config.devices.size();
+  const std::int64_t nbr = plan.block_row_count;
 
   std::vector<DeviceTimeline> devices(device_count);
   for (std::size_t d = 0; d < device_count; ++d) {
     DeviceTimeline& device = devices[d];
     device.spec = config.devices[d];
-    device.slice = ranges[d];
+    device.slice = plan.devices[d].slice;
     device.nbr = nbr;
-    device.nbc = base::div_ceil(device.slice.cols, config.block_cols);
+    device.nbc = plan.devices[d].block_columns;
     device.dispatch = config.dispatch_width > 0 ? config.dispatch_width
                                                 : device.spec.sm_count;
     device.row_start.assign(static_cast<std::size_t>(nbr), 0);
@@ -320,7 +312,7 @@ SimResult simulate_pipeline(const SimConfig& config) {
       while (device.next_row < nbr) {
         const std::int64_t i = device.next_row;
         const std::int64_t bh =
-            std::min(config.block_rows, config.rows - i * config.block_rows);
+            std::min(plan.block_rows, plan.rows - i * plan.block_rows);
 
         // Incoming chunk i from the left-hand neighbour.
         base::SimTime arrival = 0;
@@ -339,7 +331,7 @@ SimResult simulate_pipeline(const SimConfig& config) {
           const std::int64_t chunk = i - 1;
           const DeviceTimeline& downstream = devices[d + 1];
           base::SimTime slot_free = 0;
-          const std::int64_t slot_chunk = chunk - config.buffer_capacity;
+          const std::int64_t slot_chunk = chunk - plan.buffer_capacity;
           if (slot_chunk >= 0) {
             if (downstream.next_row <= slot_chunk) break;  // not yet known
             slot_free =
@@ -398,8 +390,25 @@ SimResult simulate_pipeline(const SimConfig& config) {
     result.total_cells += device.stats.cells;
     result.devices.push_back(device.stats);
   }
-  MGPUSW_CHECK(result.total_cells == config.rows * config.cols);
+  MGPUSW_CHECK(result.total_cells == plan.rows * plan.cols);
   return result;
+}
+
+SimResult simulate_pipeline(const SimConfig& config) {
+  MGPUSW_REQUIRE(!config.devices.empty(), "need at least one device");
+  core::PlanRequest request;
+  request.rows = config.rows;
+  request.cols = config.cols;
+  request.block_rows = config.block_rows;
+  request.block_cols = config.block_cols;
+  request.buffer_capacity = config.buffer_capacity;
+  request.schedule = plan_schedule(config.schedule);
+  request.weights = config.weights.empty()
+                        ? core::profile_weights(config.devices)
+                        : config.weights;
+  MGPUSW_REQUIRE(request.weights.size() == config.devices.size(),
+                 "one weight per device required");
+  return simulate_pipeline(config, core::make_plan(request));
 }
 
 }  // namespace mgpusw::sim

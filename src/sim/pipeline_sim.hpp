@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "base/time.hpp"
-#include "core/partition.hpp"
+#include "core/plan.hpp"
 #include "vgpu/spec.hpp"
 
 namespace mgpusw::sim {
@@ -54,7 +54,9 @@ struct SimConfig {
   std::int64_t block_cols = 512;
   std::int64_t buffer_capacity = 16;  // circular buffer size, chunks
   std::vector<vgpu::DeviceSpec> devices;
-  /// Slice weights; empty = proportional to DeviceSpec::sw_gcups.
+  /// Slice weights; empty = core::profile_weights (proportional to
+  /// DeviceSpec::sw_gcups). The actual partition comes from
+  /// core::make_plan — the same code path the real engine plans with.
   std::vector<double> weights;
   /// Blocks needed to saturate a device; 0 = its sm_count.
   int dispatch_width = 0;
@@ -88,7 +90,16 @@ struct SimResult {
 };
 
 /// Runs the model. Deterministic; O(total block diagonals) time.
+/// Geometry and slices are derived through core::make_plan, so the
+/// simulated schedule is exactly the one the real engine would execute.
 [[nodiscard]] SimResult simulate_pipeline(const SimConfig& config);
+
+/// Runs the model against a caller-supplied plan (e.g. the exact plan a
+/// MultiDeviceEngine reports via plan()). The plan's geometry overrides
+/// the config's; config still supplies the device rate profiles. The
+/// plan must have one slice per config device.
+[[nodiscard]] SimResult simulate_pipeline(const SimConfig& config,
+                                          const core::AlignmentPlan& plan);
 
 /// Aggregate profile speed of an environment (sum of sw_gcups) — the
 /// upper bound the pipeline approaches for large matrices.

@@ -445,6 +445,25 @@ TEST(EngineFailureTest, LastDeviceFailureUnblocksUpstream) {
   EXPECT_THROW((void)engine.run(a, b), Error);
 }
 
+TEST(EngineFailureTest, TcpDownstreamDeathUnblocksProducer) {
+  // Downstream death over TCP: device 1 throws mid-run (from its progress
+  // callback) while device 0 is throttled by a one-chunk acknowledgement
+  // window. Without a consumer-side channel close, device 0 would wait
+  // forever for an ack that is never coming; run() must rethrow instead.
+  DeviceFleet fleet(2);
+  EngineConfig config = small_config();
+  config.transport = Transport::kTcp;
+  config.buffer_capacity = 1;  // producer blocks after one unacked chunk
+  config.progress = [](const core::ProgressEvent& event) {
+    if (event.device_index == 1 && event.completed_units == 2) {
+      throw Error("downstream device died");
+    }
+  };
+  MultiDeviceEngine engine(config, fleet.pointers());
+  auto [a, b] = testutil::related_pair(400, 25);
+  EXPECT_THROW((void)engine.run(a, b), Error);
+}
+
 TEST(EngineFailureTest, DeviceUsableAfterFailedRun) {
   // A failed run must not poison the device for later runs.
   vgpu::Device good(vgpu::toy_device(10.0));

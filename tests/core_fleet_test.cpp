@@ -1,0 +1,182 @@
+// DeviceFleet tests: lease accounting, FIFO fairness under contention,
+// and RAII release when an engine throws while holding a lease.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/error.hpp"
+#include "core/engine.hpp"
+#include "core/fleet.hpp"
+#include "tests/test_util.hpp"
+#include "vgpu/spec.hpp"
+
+namespace mgpusw {
+namespace {
+
+using core::DeviceFleet;
+using core::DeviceLease;
+
+DeviceFleet toy_fleet(int count, double gcups = 10.0) {
+  std::vector<vgpu::DeviceSpec> specs;
+  for (int d = 0; d < count; ++d) specs.push_back(vgpu::toy_device(gcups));
+  return DeviceFleet::from_specs(specs);
+}
+
+TEST(FleetTest, AcquireReleaseAccounting) {
+  DeviceFleet fleet = toy_fleet(3);
+  EXPECT_EQ(fleet.size(), 3u);
+  EXPECT_EQ(fleet.available(), 3u);
+  {
+    DeviceLease lease = fleet.acquire(2);
+    ASSERT_TRUE(lease.valid());
+    EXPECT_EQ(lease.devices().size(), 2u);
+    EXPECT_NE(lease.devices()[0], lease.devices()[1]);
+    EXPECT_EQ(fleet.available(), 1u);
+  }
+  EXPECT_EQ(fleet.available(), 3u);  // RAII release
+}
+
+TEST(FleetTest, ExplicitReleaseIsIdempotent) {
+  DeviceFleet fleet = toy_fleet(2);
+  DeviceLease lease = fleet.acquire(1);
+  lease.release();
+  EXPECT_FALSE(lease.valid());
+  EXPECT_EQ(fleet.available(), 2u);
+  lease.release();  // second release is a no-op
+  EXPECT_EQ(fleet.available(), 2u);
+}
+
+TEST(FleetTest, MoveTransfersOwnership) {
+  DeviceFleet fleet = toy_fleet(2);
+  DeviceLease lease = fleet.acquire(1);
+  DeviceLease moved = std::move(lease);
+  EXPECT_FALSE(lease.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(fleet.available(), 1u);
+  moved.release();
+  EXPECT_EQ(fleet.available(), 2u);
+}
+
+TEST(FleetTest, TryAcquire) {
+  DeviceFleet fleet = toy_fleet(2);
+  std::optional<DeviceLease> all = fleet.try_acquire(2);
+  ASSERT_TRUE(all.has_value());
+  EXPECT_FALSE(fleet.try_acquire(1).has_value());  // nothing free
+  all->release();
+  EXPECT_TRUE(fleet.try_acquire(1).has_value());
+}
+
+TEST(FleetTest, RejectsBadCounts) {
+  DeviceFleet fleet = toy_fleet(2);
+  EXPECT_THROW((void)fleet.acquire(0), InvalidArgument);
+  EXPECT_THROW((void)fleet.acquire(3), InvalidArgument);
+  EXPECT_THROW((void)fleet.try_acquire(0), InvalidArgument);
+}
+
+TEST(FleetTest, FifoFairnessWideRequestNotStarved) {
+  // A wide request (all devices) queued behind nothing must be served
+  // before a narrow request that arrived later, even though the narrow
+  // one could have been satisfied immediately.
+  DeviceFleet fleet = toy_fleet(2);
+  DeviceLease initial = fleet.acquire(2);
+
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  std::atomic<bool> wide_queued{false};
+
+  std::thread wide([&] {
+    wide_queued = true;
+    DeviceLease lease = fleet.acquire(2);
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back("wide");
+  });
+  while (!wide_queued) std::this_thread::yield();
+  // Give the wide acquire time to take its ticket before the narrow one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::thread narrow([&] {
+    DeviceLease lease = fleet.acquire(1);
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back("narrow");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  initial.release();  // both waiters become serviceable
+  wide.join();
+  narrow.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "wide");
+  EXPECT_EQ(order[1], "narrow");
+}
+
+TEST(FleetTest, ContendedStressKeepsLeasesDisjoint) {
+  constexpr int kDevices = 4;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 200;
+  DeviceFleet fleet = toy_fleet(kDevices);
+
+  // One flag per device: set while some lease holds it. A fleet bug that
+  // hands the same device to two leases trips the EXPECT below.
+  std::vector<std::atomic<bool>> held(kDevices);
+  for (auto& flag : held) flag = false;
+  std::vector<vgpu::Device*> all_devices;
+  {
+    DeviceLease everything = fleet.acquire(kDevices);
+    all_devices = everything.devices();
+  }
+  auto device_slot = [&](vgpu::Device* device) {
+    const auto it =
+        std::find(all_devices.begin(), all_devices.end(), device);
+    ASSERT_NE(it, all_devices.end());
+    const auto slot = static_cast<std::size_t>(it - all_devices.begin());
+    EXPECT_FALSE(held[slot].exchange(true)) << "device leased twice";
+    std::this_thread::yield();
+    held[slot] = false;
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const std::size_t count =
+            1 + static_cast<std::size_t>((t + i) % kDevices);
+        DeviceLease lease = fleet.acquire(count);
+        for (vgpu::Device* device : lease.devices()) device_slot(device);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(fleet.available(), static_cast<std::size_t>(kDevices));
+}
+
+TEST(FleetTest, LeaseReleasesWhenEngineThrows) {
+  // An engine failure mid-run must not leak the lease: the next acquire
+  // of the full fleet would otherwise deadlock.
+  std::vector<vgpu::DeviceSpec> specs = {vgpu::toy_device(10.0),
+                                         vgpu::toy_device(10.0)};
+  specs[1].memory_bytes = 16;  // second device cannot allocate borders
+  DeviceFleet fleet = DeviceFleet::from_specs(specs);
+
+  auto [a, b] = testutil::related_pair(300, 31);
+  try {
+    DeviceLease lease = fleet.acquire(2);
+    core::EngineConfig config;
+    config.block_rows = 32;
+    config.block_cols = 32;
+    core::MultiDeviceEngine engine(config, lease.devices());
+    (void)engine.run(a, b);
+    FAIL() << "run should have thrown";
+  } catch (const Error&) {
+  }
+  EXPECT_EQ(fleet.available(), 2u);
+  DeviceLease again = fleet.acquire(2);  // must not block
+  EXPECT_TRUE(again.valid());
+}
+
+}  // namespace
+}  // namespace mgpusw
