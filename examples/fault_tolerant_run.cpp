@@ -1,13 +1,18 @@
-// Fault tolerance — interrupt a megabase comparison and resume it.
+// Fault tolerance — kill a device mid-run and recover automatically.
 //
 // Stage 1 of a chromosome comparison can run for hours; the CUDAlign
 // lineage checkpoints "special rows" to disk so a crashed run restarts
-// from the last checkpoint instead of from scratch. This example runs a
-// comparison with disk checkpoints, simulates a crash at roughly the
-// midpoint, then resumes from the last checkpoint before the crash and
-// shows that the combined result equals the uninterrupted run.
+// from the last checkpoint instead of from scratch. This example injects
+// a deterministic fault (a device death by default, configurable with
+// --fault) into a comparison running with disk checkpoints and lets
+// core::run_with_recovery handle it: classify the failure, drop the dead
+// device, re-split the columns over the survivors, and restart from the
+// newest intact checkpoint. The recovered result is bit-identical to an
+// unfailed run.
 //
 //   $ ./fault_tolerant_run --scale=8192
+//   $ ./fault_tolerant_run --fault="dev0:die@kernel=100" --tcp
+//   $ ./fault_tolerant_run --fault="chan0:drop@chunk=7"
 #include <cstdio>
 #include <filesystem>
 #include <unistd.h>
@@ -16,77 +21,96 @@
 
 int main(int argc, char** argv) {
   using namespace mgpusw;
-  base::FlagSet flags("Interrupt and resume a comparison");
+  base::FlagSet flags("Kill a device mid-run and recover automatically");
   flags.add_int("scale", 8192, "divide chr21 lengths by this factor");
   flags.add_int("block_rows", 64, "block height (checkpoint granularity)");
+  flags.add_int("interval", 4, "checkpoint every this many block rows");
+  flags.add_string("fault", "dev1:die@kernel=40",
+                   "fault plan; " + vgpu::fault_plan_grammar());
+  flags.add_bool("tcp", false, "use loopback TCP for border traffic");
+  flags.add_int("comm_timeout_ms", 2000,
+                "TCP read/write timeout (0 = block forever)");
+  flags.add_int("max_restarts", 3, "RecoveryPolicy restart budget");
   if (!flags.parse(argc, argv)) return 0;
 
   const auto homologs = seq::make_homolog_pair(
       seq::scaled_pair(seq::paper_chromosome_pairs()[2],
                        flags.get_int("scale")),
       42);
-  const auto dir = std::filesystem::temp_directory_path() /
-                   ("mgpusw_ckpt_" + std::to_string(::getpid()));
-  std::filesystem::create_directories(dir);
-  std::printf("checkpoint directory: %s\n", dir.c_str());
 
+  // The paper's setting: a small heterogeneous pool.
   vgpu::Device d0(vgpu::gtx_580());
   vgpu::Device d1(vgpu::gtx_680());
+  vgpu::Device d2(vgpu::gtx_560_ti());
+  const std::vector<vgpu::Device*> pool = {&d0, &d1, &d2};
 
-  core::SpecialRowStore checkpoints(dir.string());
   core::EngineConfig config;
   config.block_rows = flags.get_int("block_rows");
   config.block_cols = 64;
-  config.special_row_interval = 4;  // checkpoint every 4 block rows
+  if (flags.get_bool("tcp")) {
+    config.transport = core::Transport::kTcp;
+    config.comm_timeout_ms = flags.get_int("comm_timeout_ms");
+  }
+
+  // Ground truth: the same comparison with nothing going wrong.
+  core::MultiDeviceEngine reference(config, pool);
+  const core::EngineResult expected =
+      reference.run(homologs.query, homologs.subject);
+  std::printf("unfailed run   : score %d at (%lld, %lld) on %zu devices\n",
+              expected.best.score,
+              static_cast<long long>(expected.best.end.row),
+              static_cast<long long>(expected.best.end.col),
+              expected.devices.size());
+
+  // The faulted run: checkpoints spill to disk, the injector arms the
+  // plan on every device and channel, and recovery does the rest.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mgpusw_ckpt_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  core::SpecialRowStore checkpoints(dir.string());
   config.special_rows = &checkpoints;
+  config.special_row_interval = flags.get_int("interval");
   config.checkpoint_f = true;  // rows double as restart checkpoints
-  core::MultiDeviceEngine engine(config, {&d0, &d1});
 
-  // The "interrupted" run: in reality the process would die mid-flight;
-  // here we run it fully to have the ground truth, then pretend we only
-  // got as far as the mid-matrix checkpoint.
-  const core::EngineResult full = engine.run(homologs.query,
-                                             homologs.subject);
-  std::printf("uninterrupted run : score %d at (%lld, %lld)\n",
-              full.best.score,
-              static_cast<long long>(full.best.end.row),
-              static_cast<long long>(full.best.end.col));
+  vgpu::FaultInjector injector(
+      vgpu::parse_fault_plan(flags.get_string("fault")));
+  config.fault = &injector;
 
-  const auto rows = checkpoints.rows();
-  const std::int64_t crash_row = rows[rows.size() / 2];
-  std::printf("simulated crash   : after checkpoint row %lld (%s of %s "
-              "checkpointed rows on disk, %s)\n",
-              static_cast<long long>(crash_row),
-              base::with_thousands(crash_row + 1).c_str(),
-              base::with_thousands(homologs.query.size()).c_str(),
-              base::human_bytes(checkpoints.bytes()).c_str());
+  core::RecoveryPolicy policy;
+  policy.max_restarts = static_cast<int>(flags.get_int("max_restarts"));
 
-  // What the dying run knew: its best over rows [0, crash_row].
-  const auto prefix = sw::linear_score(
-      config.scheme, homologs.query.subsequence(0, crash_row + 1),
-      homologs.subject);
-
-  // Restart: recompute only the rows after the checkpoint.
-  const core::EngineResult resumed =
-      engine.resume(homologs.query, homologs.subject, checkpoints,
-                    crash_row);
-  std::printf("resumed run       : %s cells recomputed (%.0f%% of the "
-              "matrix saved)\n",
-              base::with_thousands(resumed.matrix_cells).c_str(),
-              100.0 * (1.0 - static_cast<double>(resumed.matrix_cells) /
-                                 static_cast<double>(full.matrix_cells)));
-
-  sw::ScoreResult combined = prefix;
-  if (sw::improves(resumed.best, combined)) combined = resumed.best;
-  std::printf("combined result   : score %d at (%lld, %lld) -> %s\n",
-              combined.score,
-              static_cast<long long>(combined.end.row),
-              static_cast<long long>(combined.end.col),
-              combined == full.best ? "MATCHES the uninterrupted run"
-                                    : "MISMATCH!");
+  std::printf("injected fault : %s\n", flags.get_string("fault").c_str());
+  int recovered_ok = 1;
+  try {
+    const core::RecoveryResult recovered = core::run_with_recovery(
+        config, pool, homologs.query, homologs.subject, policy);
+    std::printf("recovered run  : score %d at (%lld, %lld) on %zu "
+                "device(s), %d restart(s)\n",
+                recovered.result.best.score,
+                static_cast<long long>(recovered.result.best.end.row),
+                static_cast<long long>(recovered.result.best.end.col),
+                recovered.result.devices.size(), recovered.restarts);
+    for (const std::string& name : recovered.lost_devices) {
+      std::printf("lost device    : %s\n", name.c_str());
+    }
+    std::printf("checkpoints    : %s on disk (%s)\n",
+                base::human_bytes(checkpoints.bytes()).c_str(),
+                dir.c_str());
+    std::printf("verdict        : %s\n",
+                recovered.result.best == expected.best
+                    ? "bit-identical to the unfailed run"
+                    : "MISMATCH (bug!)");
+    std::printf("\nJSON report:\n%s",
+                core::to_json(recovered).c_str());
+    recovered_ok = recovered.result.best == expected.best ? 0 : 1;
+  } catch (const core::RecoveryExhaustedError& e) {
+    // Structured surrender: the policy ran out of restarts or devices.
+    std::printf("recovery gave up after %d restart(s): %s\n", e.restarts(),
+                e.what());
+  }
 
   checkpoints.clear();
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
-  return combined == full.best ? 0 : 1;
+  return recovered_ok;
 }

@@ -1,0 +1,52 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+//
+// Used by the special-row disk-spill format to detect truncated or
+// corrupted checkpoint files before a resumed run seeds itself from
+// garbage. Not cryptographic; it only needs to catch torn writes and
+// bit rot.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mgpusw::base {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Incrementally folds `size` bytes into a running CRC. Start with
+/// crc = 0; chain calls to checksum several buffers as one stream.
+[[nodiscard]] inline std::uint32_t crc32_update(std::uint32_t crc,
+                                                const void* data,
+                                                std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = detail::crc32_table()[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a buffer.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_update(0, data, size);
+}
+
+}  // namespace mgpusw::base

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -39,6 +40,66 @@ class InternalError : public Error {
  public:
   explicit InternalError(const std::string& what) : Error(what) {}
 };
+
+// ---------------------------------------------------------------------------
+// Failure taxonomy for the recovery layer (core/recovery.hpp).
+//
+// A multi-hour multi-device run can die in ways that a restart from the
+// last checkpoint cures (a dropped border chunk, a comm timeout, a
+// one-shot kernel fault) and in ways it cannot (a device that is gone for
+// good must first leave the pool). The classes below let the recovery
+// driver tell these apart without string-matching error messages.
+
+/// An error a restart may cure without changing the device pool: border
+/// traffic lost or corrupted, a comm timeout, an injected one-shot
+/// kernel failure.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// Violation of the border-chunk sequencing protocol: the upstream
+/// neighbour died mid-stream, skipped or corrupted a chunk. Transient
+/// from the observing device's point of view — a restart re-establishes
+/// the stream.
+class ProtocolError : public TransientError {
+ public:
+  explicit ProtocolError(const std::string& what) : TransientError(what) {}
+};
+
+/// A device is gone for good (death fault, exhausted memory arena). The
+/// recovery layer must remove it from the pool before restarting.
+class DeviceLostError : public Error {
+ public:
+  explicit DeviceLostError(const std::string& what) : Error(what) {}
+};
+
+/// How the recovery layer reacts to a failed run.
+enum class ErrorSeverity {
+  kTransient,   // retry on the same device pool
+  kDeviceLoss,  // drop the dead device, re-plan, retry
+  kFatal,       // misuse or a library bug: rethrow, never retry
+};
+
+/// Classifies an in-flight exception for the recovery driver. IoError is
+/// transient here because during a run the only I/O is channel traffic
+/// (sockets, checkpoint spill files); argument and invariant violations
+/// are fatal.
+[[nodiscard]] inline ErrorSeverity classify_error(
+    const std::exception_ptr& error) {
+  if (!error) return ErrorSeverity::kFatal;
+  try {
+    std::rethrow_exception(error);
+  } catch (const DeviceLostError&) {
+    return ErrorSeverity::kDeviceLoss;
+  } catch (const TransientError&) {
+    return ErrorSeverity::kTransient;
+  } catch (const IoError&) {
+    return ErrorSeverity::kTransient;
+  } catch (...) {
+    return ErrorSeverity::kFatal;
+  }
+}
 
 namespace detail {
 

@@ -35,7 +35,10 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Blocks while the queue is full. Throws Error if the queue was closed.
+  /// Blocks while the queue is full. Throws TransientError if the queue
+  /// was closed — a consumer closing mid-stream is a peer failure the
+  /// producer can survive (restart from a checkpoint), not a bug in the
+  /// producer.
   void push(T value) {
     WallTimer stall;
     std::unique_lock lock(mu_);
@@ -43,7 +46,7 @@ class BoundedQueue {
                    [this] { return items_.size() < capacity_ || closed_; });
     producer_stall_ns_.fetch_add(stall.elapsed_ns(),
                                  std::memory_order_relaxed);
-    if (closed_) throw Error("push on closed BoundedQueue");
+    if (closed_) throw TransientError("push on closed BoundedQueue");
     items_.push_back(std::move(value));
     total_pushed_.fetch_add(1, std::memory_order_relaxed);
     lock.unlock();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -64,6 +65,31 @@ struct ChannelPair {
 /// sender still enforces `capacity_chunks` of application-level buffering
 /// (acknowledgement window), so the circular-buffer semantics match the
 /// in-process channel.
-[[nodiscard]] ChannelPair make_tcp_channel(std::size_t capacity_chunks);
+///
+/// `timeout_ms` > 0 bounds connection setup and every blocking read and
+/// write on the sockets: a silent peer surfaces as TransientError after
+/// that long instead of blocking the wavefront forever (the
+/// --comm-timeout-ms knob). 0 keeps the historical block-forever
+/// behaviour.
+[[nodiscard]] ChannelPair make_tcp_channel(std::size_t capacity_chunks,
+                                           std::int64_t timeout_ms = 0);
+
+/// What a fault layer may do to one outgoing border chunk. Corruption
+/// scrambles the chunk's sequence number — framing-level damage the
+/// receiver's protocol checks detect deterministically.
+struct ChunkFault {
+  bool drop = false;
+  bool corrupt = false;
+  std::int64_t delay_ms = 0;
+};
+
+/// Decides the fate of the chunk with the given sequence number.
+using ChunkFaultFn = std::function<ChunkFault(std::int64_t sequence)>;
+
+/// Decorates `inner` with a fault layer consulted before every send —
+/// the hook through which a vgpu::FaultInjector reaches the border
+/// traffic. close() and stats() pass through untouched.
+[[nodiscard]] std::unique_ptr<BorderSink> make_faulty_sink(
+    std::unique_ptr<BorderSink> inner, ChunkFaultFn fault);
 
 }  // namespace mgpusw::comm

@@ -1,0 +1,61 @@
+// Fault-injecting channel decorator.
+//
+// Wraps a BorderSink so a deterministic fault plan (vgpu/fault.hpp) can
+// drop, corrupt or delay individual border chunks without either channel
+// implementation knowing about fault injection. A dropped chunk makes
+// the receiver's sequencing check fire (ProtocolError — transient); a
+// corrupted chunk is scrambled at the framing level (sequence number) so
+// detection is deterministic rather than dependent on payload checksums.
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "base/error.hpp"
+#include "comm/channel.hpp"
+
+namespace mgpusw::comm {
+
+namespace {
+
+class FaultySink final : public BorderSink {
+ public:
+  FaultySink(std::unique_ptr<BorderSink> inner, ChunkFaultFn fault)
+      : inner_(std::move(inner)), fault_(std::move(fault)) {
+    MGPUSW_REQUIRE(inner_ != nullptr, "faulty sink wants an inner sink");
+    MGPUSW_REQUIRE(fault_ != nullptr, "faulty sink wants a fault hook");
+  }
+
+  void send(BorderChunk chunk) override {
+    const ChunkFault fate = fault_(chunk.sequence_number);
+    if (fate.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fate.delay_ms));
+    }
+    if (fate.drop) return;  // vanished on the wire
+    if (fate.corrupt) {
+      // Framing damage: the receiver's expected-sequence check reports
+      // it as a ProtocolError instead of consuming garbage borders.
+      chunk.sequence_number ^= 0x40000000;
+    }
+    inner_->send(std::move(chunk));
+  }
+
+  void close() override { inner_->close(); }
+
+  [[nodiscard]] ChannelStats stats() const override {
+    return inner_->stats();
+  }
+
+ private:
+  std::unique_ptr<BorderSink> inner_;
+  ChunkFaultFn fault_;
+};
+
+}  // namespace
+
+std::unique_ptr<BorderSink> make_faulty_sink(
+    std::unique_ptr<BorderSink> inner, ChunkFaultFn fault) {
+  return std::make_unique<FaultySink>(std::move(inner), std::move(fault));
+}
+
+}  // namespace mgpusw::comm

@@ -8,8 +8,10 @@
 // in-process ring buffer.
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -42,6 +44,11 @@ void write_all(int fd, const void* data, std::size_t size) {
     const ssize_t written = ::send(fd, cursor, size, MSG_NOSIGNAL);
     if (written < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer stopped draining.
+        throw TransientError(
+            "tcp write timed out (peer not draining; --comm-timeout-ms)");
+      }
       throw_errno("tcp write");
     }
     cursor += written;
@@ -55,12 +62,62 @@ void read_all(int fd, void* data, std::size_t size) {
     const ssize_t got = ::read(fd, cursor, size);
     if (got < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: a silent peer must surface as an error
+        // the recovery layer can classify, not a hung wavefront.
+        throw TransientError(
+            "tcp read timed out (silent peer; --comm-timeout-ms)");
+      }
       throw_errno("tcp read");
     }
     if (got == 0) throw IoError("tcp peer closed unexpectedly");
     cursor += got;
     size -= static_cast<std::size_t>(got);
   }
+}
+
+/// Applies `timeout_ms` to every blocking read/write on `fd`.
+void set_socket_timeouts(int fd, std::int64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// connect() bounded by `timeout_ms` (0 = block): non-blocking connect,
+/// poll for writability, then check SO_ERROR — the portable idiom.
+void connect_with_timeout(int fd, const sockaddr_in& addr,
+                          std::int64_t timeout_ms) {
+  if (timeout_ms <= 0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      throw_errno("connect");
+    }
+    return;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc < 0) {
+    if (errno != EINPROGRESS) throw_errno("connect");
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready == 0) {
+      throw TransientError("tcp connect timed out after " +
+                           std::to_string(timeout_ms) + " ms");
+    }
+    if (ready < 0) throw_errno("poll");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      errno = err;
+      throw_errno("connect");
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
 }
 
 struct TcpState {
@@ -181,8 +238,10 @@ class TcpSource final : public BorderSource {
 
 }  // namespace
 
-ChannelPair make_tcp_channel(std::size_t capacity_chunks) {
+ChannelPair make_tcp_channel(std::size_t capacity_chunks,
+                             std::int64_t timeout_ms) {
   MGPUSW_REQUIRE(capacity_chunks > 0, "channel capacity must be positive");
+  MGPUSW_REQUIRE(timeout_ms >= 0, "comm timeout must be non-negative");
 
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) throw_errno("socket");
@@ -212,11 +271,12 @@ ChannelPair make_tcp_channel(std::size_t capacity_chunks) {
     ::close(listener);
     throw_errno("socket");
   }
-  if (::connect(producer, reinterpret_cast<sockaddr*>(&addr),
-                sizeof(addr)) < 0) {
+  try {
+    connect_with_timeout(producer, addr, timeout_ms);
+  } catch (...) {
     ::close(listener);
     ::close(producer);
-    throw_errno("connect");
+    throw;
   }
   const int consumer = ::accept(listener, nullptr, nullptr);
   ::close(listener);
@@ -230,6 +290,10 @@ ChannelPair make_tcp_channel(std::size_t capacity_chunks) {
   const int one = 1;
   ::setsockopt(producer, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   ::setsockopt(consumer, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (timeout_ms > 0) {
+    set_socket_timeouts(producer, timeout_ms);
+    set_socket_timeouts(consumer, timeout_ms);
+  }
 
   auto state = std::make_shared<TcpState>();
   state->producer_fd = producer;

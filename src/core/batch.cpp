@@ -46,14 +46,64 @@ BatchResult run_batch(const BatchConfig& config, DeviceFleet& fleet,
         if (first_error) return;  // abort: stop admitting items
       }
       const BatchItem& item = items[index];
+      BatchItemResult& entry = batch.items[index];
+      entry.label = item.label;
       try {
-        DeviceLease lease = fleet.acquire(per_item);
-        EngineConfig engine_config = config.engine;
-        engine_config.job = item.label;
-        MultiDeviceEngine engine(engine_config, lease.devices());
-        BatchItemResult& entry = batch.items[index];
-        entry.label = item.label;
-        entry.result = engine.run(item.query, item.subject);
+        if (!config.enable_recovery) {
+          DeviceLease lease = fleet.acquire(per_item);
+          EngineConfig engine_config = config.engine;
+          engine_config.job = item.label;
+          MultiDeviceEngine engine(engine_config, lease.devices());
+          entry.result = engine.run(item.query, item.subject);
+        } else {
+          // Degraded-pool retry loop: each pass leases what the fleet
+          // can still grant (devices that died under other items shrink
+          // the request) and runs the item under recovery. A pass whose
+          // whole lease died retries on a fresh lease; bounded so a
+          // cascade of deaths cannot loop forever.
+          int lease_attempts = 0;
+          for (;;) {
+            const std::size_t healthy = fleet.healthy_count();
+            if (healthy == 0) {
+              throw Error("batch item \"" + item.label +
+                          "\": no healthy devices left");
+            }
+            const std::size_t want =
+                std::max<std::size_t>(1, std::min(per_item, healthy));
+            DeviceLease lease;
+            try {
+              lease = fleet.acquire(want);
+            } catch (const Error&) {
+              // The fleet degraded between the snapshot and the
+              // acquire; re-evaluate with the smaller pool.
+              if (++lease_attempts > config.recovery.max_restarts + 1) {
+                throw;
+              }
+              continue;
+            }
+            EngineConfig engine_config = config.engine;
+            engine_config.job = item.label;
+            try {
+              RecoveryResult recovered = run_with_recovery(
+                  engine_config, lease.devices(), item.query,
+                  item.subject, config.recovery, &fleet);
+              entry.result = std::move(recovered.result);
+              entry.restarts += recovered.restarts;
+              entry.lost_devices.insert(
+                  entry.lost_devices.end(),
+                  recovered.lost_devices.begin(),
+                  recovered.lost_devices.end());
+              break;
+            } catch (const RecoveryExhaustedError& e) {
+              entry.restarts += e.restarts();
+              lease.release();
+              if (fleet.healthy_count() == 0 ||
+                  ++lease_attempts > config.recovery.max_restarts + 1) {
+                throw;
+              }
+            }
+          }
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();

@@ -17,6 +17,7 @@
 
 #include "core/engine.hpp"
 #include "core/fleet.hpp"
+#include "core/recovery.hpp"
 
 namespace mgpusw::core {
 
@@ -29,6 +30,9 @@ struct BatchItem {
 struct BatchItemResult {
   std::string label;
   EngineResult result;
+  /// Recovery bookkeeping (zero / empty unless enable_recovery fired).
+  int restarts = 0;
+  std::vector<std::string> lost_devices;
 };
 
 struct BatchConfig {
@@ -39,6 +43,13 @@ struct BatchConfig {
   /// Comparisons running concurrently on disjoint leases. 1 = strictly
   /// sequential (the paper's evaluation order).
   int max_in_flight = 1;
+
+  /// Run each item under run_with_recovery: device deaths shrink the
+  /// item's lease (the fleet stops leasing dead devices), transient
+  /// failures restart from checkpoints, and an item whose whole lease
+  /// died retries on a fresh lease from the surviving pool.
+  bool enable_recovery = false;
+  RecoveryPolicy recovery;
 };
 
 struct BatchResult {

@@ -10,6 +10,7 @@
 #include "base/log.hpp"
 #include "base/time.hpp"
 #include "sw/block_simd.hpp"
+#include "vgpu/fault.hpp"
 
 namespace mgpusw::core {
 
@@ -122,8 +123,6 @@ EngineResult MultiDeviceEngine::resume(const seq::Sequence& query,
                                        const seq::Sequence& subject,
                                        const SpecialRowStore& checkpoints,
                                        std::int64_t checkpoint_row) {
-  MGPUSW_REQUIRE(config_.schedule == Schedule::kRowMajor,
-                 "resume supports the kRowMajor schedule only");
   MGPUSW_REQUIRE((checkpoint_row + 1) % config_.block_rows == 0,
                  "checkpoint row " << checkpoint_row
                                    << " is not a block-row boundary for "
@@ -145,6 +144,8 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
   MGPUSW_REQUIRE(!query.empty(), "query sequence is empty");
   MGPUSW_REQUIRE(!subject.empty(), "subject sequence is empty");
 
+  last_failure_ = RunFailure{};
+
   const std::vector<seq::Nt> query_bases = unpack(query);
   const std::vector<seq::Nt> subject_bases = unpack(subject);
 
@@ -154,16 +155,52 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
   const AlignmentPlan plan =
       this->plan(query.size(), subject.size(), start_block_row);
 
+  // Arm the fault injector (when configured) on every device for the
+  // duration of this run; the guard disarms on every exit path so a
+  // later run on the same devices starts clean.
+  struct FaultArmGuard {
+    std::vector<vgpu::Device*>* devices = nullptr;
+    ~FaultArmGuard() {
+      if (devices == nullptr) return;
+      for (vgpu::Device* device : *devices) device->clear_fault_injector();
+    }
+  } fault_guard;
+  if (config_.fault != nullptr) {
+    MGPUSW_REQUIRE(config_.fault_ordinals.empty() ||
+                       config_.fault_ordinals.size() == devices_.size(),
+                   "fault_ordinals must be empty or one per device");
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      const int ordinal = config_.fault_ordinals.empty()
+                              ? static_cast<int>(d)
+                              : config_.fault_ordinals[d];
+      devices_[d]->set_fault_injector(config_.fault, ordinal);
+    }
+    fault_guard.devices = &devices_;
+  }
+
   // 2. Channels between consecutive devices, per the plan's topology.
   std::vector<comm::ChannelPair> channels;
   channels.reserve(plan.channel_count());
   for (std::size_t c = 0; c < plan.channel_count(); ++c) {
-    channels.push_back(
+    comm::ChannelPair pair =
         plan.transport == Transport::kTcp
             ? comm::make_tcp_channel(
-                  static_cast<std::size_t>(plan.buffer_capacity))
+                  static_cast<std::size_t>(plan.buffer_capacity),
+                  config_.comm_timeout_ms)
             : comm::make_ring_channel(
-                  static_cast<std::size_t>(plan.buffer_capacity)));
+                  static_cast<std::size_t>(plan.buffer_capacity));
+    if (config_.fault != nullptr) {
+      vgpu::FaultInjector* injector = config_.fault;
+      const int channel_index = static_cast<int>(c);
+      pair.sink = comm::make_faulty_sink(
+          std::move(pair.sink),
+          [injector, channel_index](std::int64_t sequence) {
+            const vgpu::FaultInjector::ChunkFault fate =
+                injector->on_chunk(channel_index, sequence);
+            return comm::ChunkFault{fate.drop, fate.corrupt, fate.delay_ms};
+          });
+    }
+    channels.push_back(std::move(pair));
   }
 
   // 3. Build one runner per device slice.
@@ -232,8 +269,24 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
   for (std::thread& thread : threads) thread.join();
   const double wall_seconds = wall.elapsed_seconds();
 
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
+  std::exception_ptr first_error;
+  for (std::size_t d = 0; d < errors.size(); ++d) {
+    if (!errors[d]) continue;
+    if (!first_error) first_error = errors[d];
+    last_failure_.faults.push_back(DeviceFault{
+        static_cast<int>(d), devices_[d]->spec().name, errors[d]});
+  }
+  if (first_error) {
+    // Post-mortem for the recovery layer: every block a runner reduced
+    // before its thread stopped is complete, so folding the runners'
+    // bests gives the exact best over the completed region.
+    last_failure_.valid = true;
+    for (const auto& runner : runners) {
+      if (sw::improves(runner->best(), last_failure_.partial_best)) {
+        last_failure_.partial_best = runner->best();
+      }
+    }
+    std::rethrow_exception(first_error);
   }
 
   EngineResult result;

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <string>
@@ -82,6 +83,41 @@ struct EngineConfig {
   /// Label identifying this comparison in ProgressEvents (the batch
   /// scheduler sets it to the item label; empty otherwise).
   std::string job;
+
+  /// Fault injector (vgpu/fault.hpp) armed on every device and channel
+  /// for the duration of each run; null disables injection. Borrowed —
+  /// must outlive the engine's runs.
+  vgpu::FaultInjector* fault = nullptr;
+
+  /// Injector ordinal per device (parallel to the engine's device list).
+  /// Empty = use pool indices. The recovery layer pins these to the
+  /// *original* pool indices so a `dev<N>` fault spec keeps naming the
+  /// same physical device after deaths shrink the pool.
+  std::vector<int> fault_ordinals;
+
+  /// TCP transport only: bounds connection setup and every blocking
+  /// socket read/write; a silent peer surfaces as TransientError instead
+  /// of hanging the wavefront. 0 = block forever (historical behaviour).
+  std::int64_t comm_timeout_ms = 0;
+};
+
+/// One device's contribution to a failed run.
+struct DeviceFault {
+  int device_index = -1;
+  std::string device_name;
+  std::exception_ptr error;
+};
+
+/// Post-mortem of a failed run, captured before the engine rethrows:
+/// which devices failed with what, plus the best score-result over every
+/// block that *did* complete. The recovery layer carries that partial
+/// best forward so a restarted run's merged answer is bit-identical to
+/// an unfailed run (the completed and resumed block sets together cover
+/// every matrix cell, and sw::improves is a total order).
+struct RunFailure {
+  std::vector<DeviceFault> faults;
+  sw::ScoreResult partial_best;
+  bool valid = false;  // true only directly after a failed run
 };
 
 struct EngineResult {
@@ -121,13 +157,20 @@ class MultiDeviceEngine {
   /// (checkpoint_row, end). The returned best covers the *resumed region
   /// only*; combine it with the best recorded before the interruption
   /// using sw::improves. checkpoint_row must lie on a block-row boundary
-  /// ((row + 1) % block_rows == 0) and the schedule must be kRowMajor.
+  /// ((row + 1) % block_rows == 0). Both schedules are supported.
   [[nodiscard]] EngineResult resume(const seq::Sequence& query,
                                     const seq::Sequence& subject,
                                     const SpecialRowStore& checkpoints,
                                     std::int64_t checkpoint_row);
 
   [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+  /// Post-mortem of the most recent failed run (valid == false when the
+  /// last run succeeded or nothing ran yet). Read it after catching the
+  /// exception run()/resume() rethrew.
+  [[nodiscard]] const RunFailure& last_failure() const {
+    return last_failure_;
+  }
 
   /// The full pre-execution plan for a rows x cols comparison on this
   /// engine's devices — the same value run() executes and
@@ -151,6 +194,7 @@ class MultiDeviceEngine {
   EngineConfig config_;
   std::vector<vgpu::Device*> devices_;
   std::vector<sw::BlockKernelFn> kernels_;  // resolved once, per device
+  RunFailure last_failure_;
 };
 
 }  // namespace mgpusw::core

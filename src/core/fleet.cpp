@@ -33,6 +33,7 @@ DeviceFleet::DeviceFleet(std::vector<std::unique_ptr<vgpu::Device>> devices)
     devices_.push_back(device.get());
   }
   in_use_.assign(devices_.size(), false);
+  healthy_.assign(devices_.size(), true);
 }
 
 DeviceFleet::DeviceFleet(const std::vector<vgpu::Device*>& devices)
@@ -42,6 +43,7 @@ DeviceFleet::DeviceFleet(const std::vector<vgpu::Device*>& devices)
     MGPUSW_REQUIRE(device != nullptr, "device pointer is null");
   }
   in_use_.assign(devices_.size(), false);
+  healthy_.assign(devices_.size(), true);
 }
 
 DeviceFleet DeviceFleet::from_specs(
@@ -62,10 +64,35 @@ std::size_t DeviceFleet::available() const {
 
 std::size_t DeviceFleet::free_count_locked() const {
   std::size_t free = 0;
-  for (const bool used : in_use_) {
-    if (!used) ++free;
+  for (std::size_t i = 0; i < in_use_.size(); ++i) {
+    if (!in_use_[i] && healthy_[i]) ++free;
   }
   return free;
+}
+
+std::size_t DeviceFleet::healthy_count_locked() const {
+  std::size_t healthy = 0;
+  for (const bool ok : healthy_) {
+    if (ok) ++healthy;
+  }
+  return healthy;
+}
+
+std::size_t DeviceFleet::healthy_count() const {
+  std::lock_guard lock(mu_);
+  return healthy_count_locked();
+}
+
+void DeviceFleet::mark_unhealthy(const vgpu::Device* device) {
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      if (devices_[i] == device) healthy_[i] = false;
+    }
+  }
+  // Blocked acquires re-evaluate: a request the degraded fleet can no
+  // longer satisfy must throw, not wait forever.
+  cv_.notify_all();
 }
 
 DeviceLease DeviceFleet::grab_locked(std::size_t count) {
@@ -75,7 +102,7 @@ DeviceLease DeviceFleet::grab_locked(std::size_t count) {
   indices.reserve(count);
   for (std::size_t i = 0; i < devices_.size() && granted.size() < count;
        ++i) {
-    if (in_use_[i]) continue;
+    if (in_use_[i] || !healthy_[i]) continue;
     in_use_[i] = true;
     granted.push_back(devices_[i]);
     indices.push_back(i);
@@ -92,8 +119,20 @@ DeviceLease DeviceFleet::acquire(std::size_t count) {
   std::unique_lock lock(mu_);
   const std::uint64_t ticket = next_ticket_++;
   cv_.wait(lock, [&] {
-    return now_serving_ == ticket && free_count_locked() >= count;
+    return now_serving_ == ticket && (free_count_locked() >= count ||
+                                      healthy_count_locked() < count);
   });
+  if (healthy_count_locked() < count) {
+    // Pass the FIFO head on before throwing, or every later acquire
+    // would wait behind a ticket that will never be served.
+    ++now_serving_;
+    const std::size_t healthy = healthy_count_locked();
+    lock.unlock();
+    cv_.notify_all();
+    throw Error("fleet degraded to " + std::to_string(healthy) +
+                " healthy device(s); cannot lease " +
+                std::to_string(count));
+  }
   DeviceLease lease = grab_locked(count);
   ++now_serving_;
   lock.unlock();
@@ -111,6 +150,7 @@ std::optional<DeviceLease> DeviceFleet::try_acquire(std::size_t count) {
   // Respect the FIFO queue: jumping ahead of a blocked acquire would
   // starve wide requests.
   if (next_ticket_ != now_serving_) return std::nullopt;
+  if (healthy_count_locked() < count) return std::nullopt;
   if (free_count_locked() < count) return std::nullopt;
   ++next_ticket_;
   DeviceLease lease = grab_locked(count);

@@ -80,22 +80,36 @@ class DeviceFleet {
 
   [[nodiscard]] std::size_t size() const { return devices_.size(); }
 
-  /// Devices currently free (snapshot; for tests and monitoring).
+  /// Healthy devices currently free (snapshot; for tests/monitoring).
   [[nodiscard]] std::size_t available() const;
 
-  /// Blocks until `count` devices are free and this caller is at the
-  /// head of the FIFO queue, then grants them exclusively. count must be
-  /// in [1, size()].
+  /// Devices not marked unhealthy (leased or free).
+  [[nodiscard]] std::size_t healthy_count() const;
+
+  /// Takes `device` permanently out of the leasing pool (the recovery
+  /// layer calls this when a device dies mid-run). A currently-leased
+  /// device finishes its lease normally and is simply never granted
+  /// again. Wakes blocked acquires so requests the degraded fleet can no
+  /// longer satisfy fail instead of hanging. Unknown pointers ignored.
+  void mark_unhealthy(const vgpu::Device* device);
+
+  /// Blocks until `count` healthy devices are free and this caller is at
+  /// the head of the FIFO queue, then grants them exclusively. count
+  /// must be in [1, size()]. Throws Error when the fleet has degraded
+  /// below `count` healthy devices (immediately, or mid-wait after a
+  /// mark_unhealthy).
   [[nodiscard]] DeviceLease acquire(std::size_t count);
 
   /// Non-blocking variant: fails (nullopt) when the devices are not
-  /// immediately available or earlier acquires are still waiting.
+  /// immediately available, earlier acquires are still waiting, or the
+  /// fleet has fewer than `count` healthy devices.
   [[nodiscard]] std::optional<DeviceLease> try_acquire(std::size_t count);
 
  private:
   friend class DeviceLease;
   void release_indices(const std::vector<std::size_t>& indices);
   [[nodiscard]] std::size_t free_count_locked() const;
+  [[nodiscard]] std::size_t healthy_count_locked() const;
   [[nodiscard]] DeviceLease grab_locked(std::size_t count);
 
   mutable std::mutex mu_;
@@ -103,6 +117,7 @@ class DeviceFleet {
   std::vector<std::unique_ptr<vgpu::Device>> owned_;
   std::vector<vgpu::Device*> devices_;
   std::vector<bool> in_use_;
+  std::vector<bool> healthy_;
   std::uint64_t next_ticket_ = 0;  // next arrival's queue position
   std::uint64_t now_serving_ = 0;  // FIFO head
 };

@@ -1,0 +1,84 @@
+// Recovery layer: automatic restart of a multi-device run after device
+// or communication failures.
+//
+// The engine reports *what* failed (MultiDeviceEngine::last_failure);
+// this layer decides what to do about it:
+//
+//   run ──failure──► classify (base/error.hpp taxonomy)
+//        │             ├── fatal       → rethrow unchanged
+//        │             └── transient / device loss
+//        │                   ├── drop dead devices from the pool
+//        │                   │   (and tell the DeviceFleet, if any)
+//        │                   ├── carry the partial best forward
+//        │                   └── restart from the newest intact
+//        │                       checkpoint (special-row store), bounded
+//        │                       by RecoveryPolicy
+//        └──success──► merge carried best; done.
+//
+// The recovered result is bit-identical to an unfailed run: the blocks
+// completed before each failure and the blocks of the resumed region
+// together cover every matrix cell, and sw::improves is a total order,
+// so folding the partial bests reproduces the full-run optimum exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "core/engine.hpp"
+#include "core/fleet.hpp"
+#include "seq/sequence.hpp"
+
+namespace mgpusw::core {
+
+/// Bounds on the recovery loop.
+struct RecoveryPolicy {
+  /// Restarts allowed per comparison before giving up.
+  int max_restarts = 2;
+  /// Sleep before the first restart; doubles per restart. 0 = none.
+  std::int64_t backoff_ms = 0;
+  /// Checkpoint every k-th block row when the caller's config has no
+  /// special-row store of its own (run_with_recovery then provides an
+  /// in-memory store so restarts have something to resume from).
+  std::int64_t checkpoint_interval = 4;
+};
+
+/// A recovered (or clean) run plus how eventful it was.
+struct RecoveryResult {
+  EngineResult result;
+  int restarts = 0;
+  std::vector<std::string> lost_devices;  // spec names, in loss order
+};
+
+/// The run failed more times than RecoveryPolicy allows, or no healthy
+/// device is left to restart on.
+class RecoveryExhaustedError : public Error {
+ public:
+  RecoveryExhaustedError(const std::string& what, int restarts)
+      : Error(what), restarts_(restarts) {}
+  [[nodiscard]] int restarts() const { return restarts_; }
+
+ private:
+  int restarts_ = 0;
+};
+
+/// Runs query vs subject on `devices` with automatic recovery.
+///
+/// On a transient failure the run restarts from the newest intact
+/// checkpoint on the same pool; on a device loss the dead devices leave
+/// the pool first (the column split re-balances over the survivors) and
+/// `fleet`, when given, is told to stop leasing them. Fatal errors
+/// rethrow unchanged; exhausting the policy throws
+/// RecoveryExhaustedError. ProgressEvents are stamped with the current
+/// restart count.
+///
+/// `config.special_rows` may be null — recovery then checkpoints into a
+/// private in-memory store per `policy.checkpoint_interval`. A non-null
+/// store must have checkpoint_f = true and a positive interval.
+[[nodiscard]] RecoveryResult run_with_recovery(
+    const EngineConfig& config, std::vector<vgpu::Device*> devices,
+    const seq::Sequence& query, const seq::Sequence& subject,
+    const RecoveryPolicy& policy = {}, DeviceFleet* fleet = nullptr);
+
+}  // namespace mgpusw::core

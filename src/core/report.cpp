@@ -64,6 +64,22 @@ std::string to_json(const EngineResult& result) {
   return os.str();
 }
 
+std::string to_json(const RecoveryResult& result) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"restarts\": " << result.restarts << ",\n";
+  os << "  \"lost_devices\": [";
+  for (std::size_t i = 0; i < result.lost_devices.size(); ++i) {
+    os << (i > 0 ? ", " : "") << "\""
+       << json_escape(result.lost_devices[i]) << "\"";
+  }
+  os << "],\n";
+  std::string run = to_json(result.result);
+  while (!run.empty() && run.back() == '\n') run.pop_back();
+  os << "  \"run\": " << run << "\n}\n";
+  return os.str();
+}
+
 std::string to_json(const sim::SimResult& result) {
   std::ostringstream os;
   os << "{\n";

@@ -9,12 +9,17 @@
 #include <string>
 
 #include "core/engine.hpp"
+#include "core/recovery.hpp"
 #include "sim/pipeline_sim.hpp"
 
 namespace mgpusw::core {
 
 /// EngineResult -> JSON object (pretty-printed, stable key order).
 [[nodiscard]] std::string to_json(const EngineResult& result);
+
+/// RecoveryResult -> JSON object: restart count, lost devices, and the
+/// recovered run under "run".
+[[nodiscard]] std::string to_json(const RecoveryResult& result);
 
 /// SimResult -> JSON object.
 [[nodiscard]] std::string to_json(const sim::SimResult& result);

@@ -1,6 +1,7 @@
 #include "core/slice_runner.hpp"
 
 #include <optional>
+#include <sstream>
 #include <utility>
 
 #include "base/error.hpp"
@@ -53,20 +54,30 @@ sw::Score border_max(sw::Score corner, const sw::Score* top,
 
 void BorderExchange::receive(std::int64_t block_row, sw::Score* col_h,
                              sw::Score* col_e, sw::Score& corner_out) {
+  // Protocol violations (lost, reordered or damaged chunks) are
+  // transient: the run can be restarted from the last checkpoint with a
+  // fresh channel, so they throw ProtocolError rather than the fatal
+  // InternalError a CHECK raises.
   std::optional<comm::BorderChunk> chunk = in_->recv();
-  MGPUSW_CHECK_MSG(chunk.has_value(),
-                   "upstream closed before chunk " << block_row);
+  if (!chunk.has_value()) {
+    throw ProtocolError("upstream closed before chunk " +
+                        std::to_string(block_row));
+  }
   const std::int64_t r0 = block_row * block_rows_;
   const std::int64_t bh = std::min(block_rows_, rows_ - r0);
-  MGPUSW_CHECK_MSG(chunk->sequence_number == block_row,
-                   "expected chunk " << block_row << ", got "
-                                     << chunk->sequence_number);
-  MGPUSW_CHECK_MSG(chunk->first_row == r0 && chunk->rows() == bh,
-                   "chunk " << block_row << " covers rows ["
-                            << chunk->first_row << ", "
-                            << chunk->first_row + chunk->rows()
-                            << "), expected [" << r0 << ", " << r0 + bh
-                            << ")");
+  if (chunk->sequence_number != block_row) {
+    std::ostringstream message;
+    message << "expected chunk " << block_row << ", got "
+            << chunk->sequence_number;
+    throw ProtocolError(message.str());
+  }
+  if (chunk->first_row != r0 || chunk->rows() != bh) {
+    std::ostringstream message;
+    message << "chunk " << block_row << " covers rows ["
+            << chunk->first_row << ", " << chunk->first_row + chunk->rows()
+            << "), expected [" << r0 << ", " << r0 + bh << ")";
+    throw ProtocolError(message.str());
+  }
   std::copy(chunk->h.begin(), chunk->h.end(),
             col_h + static_cast<std::ptrdiff_t>(r0));
   std::copy(chunk->e.begin(), chunk->e.end(),
@@ -205,6 +216,7 @@ void SliceRunner::run() {
 }
 
 void SliceRunner::reduce_outcome(TaskOutcome& outcome) {
+  if (outcome.error) std::rethrow_exception(outcome.error);
   MGPUSW_CHECK(outcome.valid);
   ++stats_.blocks;
   if (outcome.pruned) {
@@ -233,6 +245,9 @@ void SliceRunner::notify_progress(std::int64_t completed,
 
 void SliceRunner::compute_one(std::int64_t i, std::int64_t j,
                               TaskOutcome& outcome) {
+  // Fault-injection hook: an armed FaultInjector may throw here to
+  // simulate a failed kernel launch or a dying device.
+  device_.fault_point(i, j);
   const std::int64_t rows = static_cast<std::int64_t>(query_.size());
   const std::int64_t r0 = i * context_.block_rows;
   const std::int64_t bh = std::min(context_.block_rows, rows - r0);
@@ -327,49 +342,79 @@ void DiagonalSchedule::run(SliceRunner& r) const {
   // Per-block-column scratch for the in-flight diagonal; row-major never
   // needs this, so the storage lives with the schedule that uses it.
   std::vector<TaskOutcome> outcomes(static_cast<std::size_t>(r.nbc_));
-  for (std::int64_t diag = 0; diag <= r.nbr_ + r.nbc_ - 2; ++diag) {
+  // When resuming, the diagonals sweep only the rows below the
+  // checkpoint; absolute block-row indices (chunk sequence numbers,
+  // compute coordinates) keep their full-matrix values.
+  const std::int64_t start = r.start_block_row_;
+  const std::int64_t nbr_eff = r.nbr_ - start;
+  for (std::int64_t diag = 0; diag <= nbr_eff + r.nbc_ - 2; ++diag) {
     // 1. Receive the border chunk feeding this diagonal's first-column
     //    block (device d > 0 only).
-    if (r.exchange_.has_upstream() && diag < r.nbr_) {
-      r.exchange_.receive(diag, r.col_h_.data(), r.col_e_.data(),
-                          r.chunk_corner_[static_cast<std::size_t>(diag)]);
+    if (r.exchange_.has_upstream() && diag < nbr_eff) {
+      const std::int64_t i_recv = start + diag;
+      r.exchange_.receive(
+          i_recv, r.col_h_.data(), r.col_e_.data(),
+          r.chunk_corner_[static_cast<std::size_t>(i_recv)]);
     }
 
-    // 2. Launch every block on this external diagonal.
-    const std::int64_t i_lo =
+    // 2. Launch every block on this external diagonal. compute_one may
+    //    throw (kernel fault, dying device); on a worker thread the
+    //    exception is parked in the outcome — letting it escape would
+    //    terminate the pool — and rethrown by reduce on the driver.
+    const std::int64_t li_lo =
         std::max<std::int64_t>(0, diag - (r.nbc_ - 1));
-    const std::int64_t i_hi = std::min<std::int64_t>(r.nbr_ - 1, diag);
+    const std::int64_t li_hi = std::min<std::int64_t>(nbr_eff - 1, diag);
     const bool inline_exec = r.device_.worker_count() == 1;
-    for (std::int64_t i = i_lo; i <= i_hi; ++i) {
-      const std::int64_t j = diag - i;
+    for (std::int64_t li = li_lo; li <= li_hi; ++li) {
+      const std::int64_t i = start + li;
+      const std::int64_t j = diag - li;
       TaskOutcome& outcome = outcomes[static_cast<std::size_t>(j)];
       outcome = TaskOutcome{};
       if (inline_exec) {
-        r.compute_one(i, j, outcome);
+        try {
+          r.compute_one(i, j, outcome);
+        } catch (...) {
+          outcome.error = std::current_exception();
+        }
       } else {
-        r.device_.execute(
-            [&r, i, j, &outcome] { r.compute_one(i, j, outcome); });
+        r.device_.execute([&r, i, j, &outcome] {
+          try {
+            r.compute_one(i, j, outcome);
+          } catch (...) {
+            outcome.error = std::current_exception();
+          }
+        });
       }
     }
     if (!inline_exec) r.device_.synchronize();
 
-    // 3. Reduce this diagonal's results.
-    for (std::int64_t i = i_lo; i <= i_hi; ++i) {
-      const std::int64_t j = diag - i;
-      r.reduce_outcome(outcomes[static_cast<std::size_t>(j)]);
+    // 3. Reduce this diagonal's results — valid outcomes first, failure
+    //    after. Every block that saved its special-row segment must also
+    //    be folded into best_, or a restart from that row could miss its
+    //    contribution and break bit-identical recovery.
+    std::exception_ptr failure;
+    for (std::int64_t li = li_lo; li <= li_hi; ++li) {
+      const std::int64_t j = diag - li;
+      TaskOutcome& outcome = outcomes[static_cast<std::size_t>(j)];
+      if (outcome.error) {
+        if (!failure) failure = outcome.error;
+        continue;
+      }
+      r.reduce_outcome(outcome);
     }
     r.publish_best();
+    if (failure) std::rethrow_exception(failure);
 
     // 4. Ship the border chunk completed by this diagonal (last block
     //    column), honouring the circular buffer's capacity.
     if (r.exchange_.has_downstream()) {
-      const std::int64_t i_send = diag - (r.nbc_ - 1);
-      if (i_send >= 0 && i_send < r.nbr_) {
-        r.exchange_.send(i_send, r.col_h_.data(), r.col_e_.data(),
-                         r.sent_corner_);
+      const std::int64_t li_send = diag - (r.nbc_ - 1);
+      if (li_send >= 0 && li_send < nbr_eff) {
+        r.exchange_.send(start + li_send, r.col_h_.data(),
+                         r.col_e_.data(), r.sent_corner_);
       }
     }
-    r.notify_progress(diag + 1, r.nbr_ + r.nbc_ - 1);
+    r.notify_progress(diag + 1, nbr_eff + r.nbc_ - 1);
   }
 }
 

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <string>
 #include <vector>
@@ -48,6 +49,9 @@ struct ProgressEvent {
   /// scheduler threads the item label through here; empty for plain
   /// engine runs).
   std::string job;
+  /// How many recovery restarts preceded this event (0 on a clean run;
+  /// stamped by run_with_recovery so consumers can tell attempts apart).
+  int restarts = 0;
 };
 
 /// Per-device outcome of a run.
@@ -89,6 +93,10 @@ struct TaskOutcome {
   std::int64_t cells = 0;
   bool pruned = false;
   bool valid = false;
+  /// Exception thrown by compute_one on a device worker thread
+  /// (DiagonalSchedule): captured there — a throw would escape the
+  /// thread pool and terminate — and rethrown by the driver's reduce.
+  std::exception_ptr error;
 };
 
 /// Largest incoming-border H value of a block: the seed of the pruning

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "base/crc32.hpp"
 #include "base/error.hpp"
 
 namespace mgpusw::core {
@@ -14,7 +15,17 @@ struct RecordHeader {
   std::int64_t first_col;
   std::int64_t count;
   std::int64_t has_f;  // 1 when an F payload follows the H payload
+  std::uint32_t crc;   // CRC-32 over the H payload then the F payload
+  std::uint32_t reserved = 0;
 };
+
+/// CRC over a record's payloads in file order (H bytes, then F bytes).
+std::uint32_t payload_crc(const std::vector<sw::Score>& h,
+                          const std::vector<sw::Score>& f) {
+  std::uint32_t crc =
+      base::crc32_update(0, h.data(), h.size() * sizeof(sw::Score));
+  return base::crc32_update(crc, f.data(), f.size() * sizeof(sw::Score));
+}
 
 }  // namespace
 
@@ -35,7 +46,7 @@ void SpecialRowStore::append_to_disk(std::int64_t row,
   if (!out) throw IoError("cannot open spill file " + row_path(row));
   const RecordHeader header{first_col,
                             static_cast<std::int64_t>(h.size()),
-                            f.empty() ? 0 : 1};
+                            f.empty() ? 0 : 1, payload_crc(h, f)};
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
   out.write(reinterpret_cast<const char*>(h.data()),
             static_cast<std::streamsize>(h.size() * sizeof(sw::Score)));
@@ -53,8 +64,9 @@ std::vector<SpecialRowStore::Segment> SpecialRowStore::read_from_disk(
   std::vector<Segment> segments;
   RecordHeader header;
   while (in.read(reinterpret_cast<char*>(&header), sizeof(header))) {
-    MGPUSW_CHECK_MSG(header.count >= 0 && header.first_col >= 0,
-                     "corrupt spill record in " << row_path(row));
+    if (header.count < 0 || header.first_col < 0) {
+      throw IoError("corrupt spill record header in " + row_path(row));
+    }
     Segment segment;
     segment.first_col = header.first_col;
     segment.h.resize(static_cast<std::size_t>(header.count));
@@ -67,8 +79,14 @@ std::vector<SpecialRowStore::Segment> SpecialRowStore::read_from_disk(
               static_cast<std::streamsize>(segment.f.size() *
                                            sizeof(sw::Score)));
     }
-    MGPUSW_CHECK_MSG(static_cast<bool>(in),
-                     "truncated spill record in " << row_path(row));
+    if (!in) {
+      throw IoError("truncated spill record in " + row_path(row));
+    }
+    if (payload_crc(segment.h, segment.f) != header.crc) {
+      throw IoError("checksum mismatch in " + row_path(row) +
+                    " (segment at column " +
+                    std::to_string(header.first_col) + ")");
+    }
     segments.push_back(std::move(segment));
   }
   return segments;
@@ -167,6 +185,24 @@ std::vector<sw::Score> SpecialRowStore::assemble_row(
 std::vector<sw::Score> SpecialRowStore::assemble_row_f(
     std::int64_t row, std::int64_t expected_cols) const {
   return assemble(row, expected_cols, /*want_f=*/true);
+}
+
+std::int64_t SpecialRowStore::last_restartable_row(
+    std::int64_t expected_cols, std::int64_t limit_row) const {
+  const std::vector<std::int64_t> saved = rows();
+  for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+    if (*it >= limit_row) continue;
+    try {
+      (void)assemble_row_f(*it, expected_cols);
+      return *it;
+    } catch (const Error& e) {
+      // Incomplete, F-less, or failing its CRC: fall back to an older
+      // checkpoint instead of aborting the whole recovery.
+      std::fprintf(stderr, "mgpusw: skipping special row %lld: %s\n",
+                   static_cast<long long>(*it), e.what());
+    }
+  }
+  return -1;
 }
 
 std::int64_t SpecialRowStore::bytes() const {

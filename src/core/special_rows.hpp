@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
@@ -51,6 +52,17 @@ class SpecialRowStore {
 
   /// Sorted list of saved row indices.
   [[nodiscard]] std::vector<std::int64_t> rows() const;
+
+  /// Largest saved row below `limit_row` that can seed a restart: its
+  /// segments tile [0, expected_cols) exactly and every segment carries
+  /// F data. Rows that fail the probe — incomplete (the run died while
+  /// devices were still saving), missing F, or failing the disk CRC —
+  /// are skipped, so recovery falls back to the newest *intact*
+  /// checkpoint. Returns -1 when no row qualifies.
+  [[nodiscard]] std::int64_t last_restartable_row(
+      std::int64_t expected_cols,
+      std::int64_t limit_row =
+          std::numeric_limits<std::int64_t>::max()) const;
 
   /// Assembles one full row. Throws InternalError when the saved segments
   /// do not tile [0, expected_cols) exactly.

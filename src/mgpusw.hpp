@@ -31,6 +31,7 @@
 #include "core/partition.hpp" // IWYU pragma: export
 #include "core/pipeline.hpp"  // IWYU pragma: export
 #include "core/plan.hpp"      // IWYU pragma: export
+#include "core/recovery.hpp"  // IWYU pragma: export
 #include "core/report.hpp"    // IWYU pragma: export
 #include "core/slice_runner.hpp"  // IWYU pragma: export
 #include "core/special_rows.hpp"  // IWYU pragma: export
@@ -49,4 +50,5 @@
 #include "sw/myers_miller.hpp"    // IWYU pragma: export
 #include "sw/reference.hpp"   // IWYU pragma: export
 #include "vgpu/device.hpp"    // IWYU pragma: export
+#include "vgpu/fault.hpp"     // IWYU pragma: export
 #include "vgpu/spec.hpp"      // IWYU pragma: export

@@ -24,6 +24,8 @@
 
 namespace mgpusw::vgpu {
 
+class FaultInjector;
+
 struct DeviceOptions {
   /// Host worker threads emulating the SMs. 0 = one per SM capped by the
   /// machine's hardware concurrency.
@@ -57,9 +59,24 @@ class Device {
   /// host time, and accounts the kernel into the device counters.
   void account_kernel(std::int64_t busy_ns, std::int64_t cells);
 
-  /// Allocates tracked device memory; throws Error when the spec's
-  /// capacity would be exceeded (as cudaMalloc would fail).
+  /// Allocates tracked device memory; throws DeviceLostError when the
+  /// spec's capacity would be exceeded (as cudaMalloc would fail — the
+  /// recovery layer treats the device as unusable) or when an armed
+  /// fault injector trips an allocation fault.
   [[nodiscard]] DeviceBuffer allocate(std::int64_t bytes);
+
+  /// Arms deterministic fault injection for this device: allocate() and
+  /// fault_point() consult `injector` (which identifies this device by
+  /// `ordinal`) until clear_fault_injector(). The engine arms the
+  /// devices of a faulted run and disarms them when the run ends; the
+  /// injector must outlive the armed window.
+  void set_fault_injector(FaultInjector* injector, int ordinal);
+  void clear_fault_injector();
+
+  /// Kernel-launch injection point: throws the armed fault, if any, for
+  /// the launch computing block (block_i, block_j). No-op when no
+  /// injector is armed.
+  void fault_point(std::int64_t block_i, std::int64_t block_j);
 
   [[nodiscard]] std::int64_t memory_used() const {
     return memory_used_.load(std::memory_order_relaxed);
@@ -82,6 +99,8 @@ class Device {
   const DeviceSpec spec_;
   const DeviceOptions options_;
   std::unique_ptr<base::ThreadPool> pool_;
+  std::atomic<FaultInjector*> fault_{nullptr};
+  std::atomic<int> fault_ordinal_{0};
   std::atomic<std::int64_t> memory_used_{0};
   std::atomic<std::int64_t> kernels_{0};
   std::atomic<std::int64_t> busy_ns_{0};

@@ -1,0 +1,321 @@
+#include "vgpu/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace mgpusw::vgpu {
+
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  const char* name;
+  bool device;  // device fault (vs channel fault)
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::kDie, "die", true},
+    {FaultKind::kKernelFail, "kernel-fail", true},
+    {FaultKind::kAllocFail, "alloc-fail", true},
+    {FaultKind::kChunkDrop, "drop", false},
+    {FaultKind::kChunkCorrupt, "corrupt", false},
+    {FaultKind::kChunkDelay, "delay", false},
+};
+
+const KindName& kind_info(FaultKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) return entry;
+  }
+  throw InternalError("unknown FaultKind");
+}
+
+std::int64_t parse_int(const std::string& text, const std::string& clause) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  MGPUSW_REQUIRE(ec == std::errc{} && ptr == text.data() + text.size() &&
+                     value >= 0,
+                 "fault clause '" << clause << "': '" << text
+                                  << "' is not a non-negative integer");
+  return value;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  std::istringstream in(text);
+  while (std::getline(in, current, sep)) parts.push_back(current);
+  return parts;
+}
+
+FaultSpec parse_clause(const std::string& clause) {
+  const auto colon = clause.find(':');
+  MGPUSW_REQUIRE(colon != std::string::npos,
+                 "fault clause '" << clause << "' has no ':' separator");
+  const std::string target = clause.substr(0, colon);
+  const std::string event = clause.substr(colon + 1);
+
+  FaultSpec spec;
+  bool device_target = false;
+  if (target.rfind("dev", 0) == 0) {
+    device_target = true;
+    spec.target = static_cast<int>(parse_int(target.substr(3), clause));
+  } else if (target.rfind("chan", 0) == 0) {
+    spec.target = static_cast<int>(parse_int(target.substr(4), clause));
+  } else {
+    MGPUSW_REQUIRE(false, "fault clause '"
+                              << clause
+                              << "': target must be dev<N> or chan<N>");
+  }
+
+  const auto at = event.find('@');
+  MGPUSW_REQUIRE(at != std::string::npos,
+                 "fault clause '" << clause << "' has no '@' separator");
+  const std::string name = event.substr(0, at);
+
+  bool known = false;
+  for (const KindName& entry : kKindNames) {
+    if (name == entry.name) {
+      MGPUSW_REQUIRE(entry.device == device_target,
+                     "fault clause '" << clause << "': '" << name
+                                      << "' applies to "
+                                      << (entry.device ? "dev" : "chan")
+                                      << " targets");
+      spec.kind = entry.kind;
+      known = true;
+      break;
+    }
+  }
+  MGPUSW_REQUIRE(known, "fault clause '" << clause << "': unknown fault '"
+                                         << name << "'");
+
+  for (const std::string& param : split(event.substr(at + 1), ',')) {
+    const auto eq = param.find('=');
+    MGPUSW_REQUIRE(eq != std::string::npos,
+                   "fault clause '" << clause << "': parameter '" << param
+                                    << "' is not key=value");
+    const std::string key = param.substr(0, eq);
+    const std::string value = param.substr(eq + 1);
+    if (key == "kernel") {
+      spec.kernel = parse_int(value, clause);
+    } else if (key == "block") {
+      const auto slash = value.find('/');
+      MGPUSW_REQUIRE(slash != std::string::npos,
+                     "fault clause '" << clause
+                                      << "': block wants <I>/<J>");
+      spec.block_i = parse_int(value.substr(0, slash), clause);
+      spec.block_j = parse_int(value.substr(slash + 1), clause);
+    } else if (key == "ms") {
+      spec.ms = parse_int(value, clause);
+    } else if (key == "bytes") {
+      spec.bytes = parse_int(value, clause);
+    } else if (key == "chunk") {
+      spec.chunk = parse_int(value, clause);
+    } else {
+      MGPUSW_REQUIRE(false, "fault clause '" << clause
+                                             << "': unknown parameter '"
+                                             << key << "'");
+    }
+  }
+
+  // Each kind needs exactly the trigger that makes it deterministic.
+  switch (spec.kind) {
+    case FaultKind::kDie:
+      MGPUSW_REQUIRE(
+          spec.kernel >= 0 || spec.block_i >= 0 || spec.ms >= 0,
+          "fault clause '" << clause
+                           << "': die wants kernel=, block= or ms=");
+      break;
+    case FaultKind::kKernelFail:
+      MGPUSW_REQUIRE(spec.kernel >= 0 || spec.block_i >= 0,
+                     "fault clause '" << clause
+                                      << "': kernel-fail wants kernel= or "
+                                         "block=");
+      break;
+    case FaultKind::kAllocFail:
+      MGPUSW_REQUIRE(spec.bytes >= 0, "fault clause '"
+                                          << clause
+                                          << "': alloc-fail wants bytes=");
+      break;
+    case FaultKind::kChunkDrop:
+    case FaultKind::kChunkCorrupt:
+      MGPUSW_REQUIRE(spec.chunk >= 0, "fault clause '"
+                                          << clause << "': wants chunk=");
+      break;
+    case FaultKind::kChunkDelay:
+      MGPUSW_REQUIRE(spec.chunk >= 0 && spec.ms >= 0,
+                     "fault clause '" << clause
+                                      << "': delay wants chunk= and ms=");
+      break;
+  }
+  return spec;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  for (std::string clause : split(spec, ';')) {
+    const auto begin = clause.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;  // blank clause: skip
+    clause = clause.substr(begin, clause.find_last_not_of(" \t") - begin + 1);
+    plan.faults.push_back(parse_clause(clause));
+  }
+  return plan;
+}
+
+std::string format_fault_plan(const FaultPlan& plan) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    const FaultSpec& spec = plan.faults[i];
+    if (i > 0) os << ';';
+    const KindName& info = kind_info(spec.kind);
+    os << (info.device ? "dev" : "chan") << spec.target << ':' << info.name
+       << '@';
+    bool first = true;
+    const auto param = [&](const char* key, std::int64_t value) {
+      if (value < 0) return;
+      if (!first) os << ',';
+      first = false;
+      os << key << '=' << value;
+    };
+    if (spec.block_i >= 0) {
+      os << "block=" << spec.block_i << '/' << spec.block_j;
+      first = false;
+    }
+    param("kernel", spec.kernel);
+    param("chunk", spec.chunk);
+    param("bytes", spec.bytes);
+    param("ms", spec.ms);
+  }
+  return os.str();
+}
+
+const std::string& fault_plan_grammar() {
+  static const std::string grammar =
+      "semicolon-separated clauses: dev<N>:die@kernel=<K>|block=<I>/<J>|"
+      "ms=<T>; dev<N>:kernel-fail@kernel=<K>|block=<I>/<J>; "
+      "dev<N>:alloc-fail@bytes=<B>; chan<N>:drop@chunk=<S>; "
+      "chan<N>:corrupt@chunk=<S>; chan<N>:delay@chunk=<S>,ms=<T>";
+  return grammar;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  consumed_.assign(plan_.faults.size(), false);
+}
+
+void FaultInjector::ensure_device(int device) {
+  const auto needed = static_cast<std::size_t>(device) + 1;
+  if (launches_.size() < needed) launches_.resize(needed, 0);
+  if (dead_.size() < needed) dead_.resize(needed, false);
+}
+
+void FaultInjector::on_kernel_launch(int device, std::int64_t block_i,
+                                     std::int64_t block_j) {
+  std::lock_guard lock(mu_);
+  ensure_device(device);
+  const std::int64_t ordinal = launches_[static_cast<std::size_t>(device)]++;
+  if (dead_[static_cast<std::size_t>(device)]) {
+    throw DeviceLostError("device " + std::to_string(device) +
+                          " is dead (fault injection)");
+  }
+  const std::int64_t now_ms = clock_.elapsed_ns() / 1'000'000;
+  for (std::size_t s = 0; s < plan_.faults.size(); ++s) {
+    const FaultSpec& spec = plan_.faults[s];
+    if (spec.target != device) continue;
+    if (spec.kind != FaultKind::kDie && spec.kind != FaultKind::kKernelFail) {
+      continue;
+    }
+    if (consumed_[s]) continue;
+    const bool hit = (spec.kernel >= 0 && spec.kernel == ordinal) ||
+                     (spec.block_i >= 0 && spec.block_i == block_i &&
+                      spec.block_j == block_j) ||
+                     (spec.kind == FaultKind::kDie && spec.ms >= 0 &&
+                      now_ms >= spec.ms);
+    if (!hit) continue;
+    consumed_[s] = true;
+    ++fired_;
+    if (spec.kind == FaultKind::kDie) {
+      dead_[static_cast<std::size_t>(device)] = true;
+      throw DeviceLostError("device " + std::to_string(device) +
+                            " died at kernel launch " +
+                            std::to_string(ordinal) + " (injected: " +
+                            format_fault_plan({{spec}}) + ")");
+    }
+    throw TransientError("injected kernel failure on device " +
+                         std::to_string(device) + " at launch " +
+                         std::to_string(ordinal) + " (block " +
+                         std::to_string(block_i) + "," +
+                         std::to_string(block_j) + ")");
+  }
+}
+
+void FaultInjector::on_alloc(int device, std::int64_t cumulative_bytes) {
+  std::lock_guard lock(mu_);
+  ensure_device(device);
+  if (dead_[static_cast<std::size_t>(device)]) {
+    throw DeviceLostError("device " + std::to_string(device) +
+                          " is dead (fault injection)");
+  }
+  for (std::size_t s = 0; s < plan_.faults.size(); ++s) {
+    const FaultSpec& spec = plan_.faults[s];
+    if (spec.kind != FaultKind::kAllocFail || spec.target != device) {
+      continue;
+    }
+    if (cumulative_bytes < spec.bytes) continue;
+    if (!consumed_[s]) {
+      consumed_[s] = true;
+      ++fired_;
+    }
+    dead_[static_cast<std::size_t>(device)] = true;
+    throw DeviceLostError("device " + std::to_string(device) +
+                          ": injected allocation failure at " +
+                          std::to_string(cumulative_bytes) + " bytes");
+  }
+}
+
+FaultInjector::ChunkFault FaultInjector::on_chunk(int channel,
+                                                  std::int64_t sequence) {
+  std::lock_guard lock(mu_);
+  ChunkFault fault;
+  for (std::size_t s = 0; s < plan_.faults.size(); ++s) {
+    const FaultSpec& spec = plan_.faults[s];
+    if (spec.target != channel || consumed_[s]) continue;
+    if (spec.chunk != sequence) continue;
+    switch (spec.kind) {
+      case FaultKind::kChunkDrop:
+        fault.drop = true;
+        break;
+      case FaultKind::kChunkCorrupt:
+        fault.corrupt = true;
+        break;
+      case FaultKind::kChunkDelay:
+        fault.delay_ms = spec.ms;
+        break;
+      default:
+        continue;
+    }
+    consumed_[s] = true;
+    ++fired_;
+  }
+  return fault;
+}
+
+std::int64_t FaultInjector::fired() const {
+  std::lock_guard lock(mu_);
+  return fired_;
+}
+
+bool FaultInjector::device_dead(int device) const {
+  std::lock_guard lock(mu_);
+  return static_cast<std::size_t>(device) < dead_.size() &&
+         dead_[static_cast<std::size_t>(device)];
+}
+
+}  // namespace mgpusw::vgpu

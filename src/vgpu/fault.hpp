@@ -1,0 +1,136 @@
+// Deterministic fault injection for the virtual GPU runtime.
+//
+// A megabase comparison keeps several devices busy for hours; surviving a
+// device death or a flaky link matters as much as raw GCUPS. This layer
+// makes failure *testable*: a FaultPlan is a declarative, deterministic
+// list of faults — "device 1 dies at its 100th kernel launch", "channel 0
+// drops border chunk 5" — that devices and comm channels consult at
+// well-defined points. Benches, tests and the CLI all build plans from
+// one textual grammar (`--fault=...`), so a failure scenario reproduced
+// in a test can be replayed verbatim from a shell.
+//
+// Grammar (clauses separated by ';'):
+//
+//   dev<N>:die@kernel=<K>        device N dies at its K-th kernel launch
+//                                (0-based); persistent — every later
+//                                launch and allocation also fails
+//   dev<N>:die@block=<I>/<J>     dies when launching block (I, J)
+//   dev<N>:die@ms=<T>            dies at the first launch >= T ms after
+//                                the injector was armed
+//   dev<N>:kernel-fail@kernel=<K>   one transient kernel failure
+//   dev<N>:kernel-fail@block=<I>/<J>
+//   dev<N>:alloc-fail@bytes=<B>  allocation pushing the device's
+//                                cumulative footprint past B bytes fails;
+//                                persistent (classified as device loss)
+//   chan<N>:drop@chunk=<S>       channel N silently drops the border
+//                                chunk with sequence number S (once)
+//   chan<N>:corrupt@chunk=<S>    scrambles the chunk's framing (sequence
+//                                number), so the receiver detects it
+//   chan<N>:delay@chunk=<S>,ms=<T>  delays the chunk by T ms
+//
+// Example: --fault="dev1:die@kernel=40;chan0:drop@chunk=3"
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/time.hpp"
+
+namespace mgpusw::vgpu {
+
+enum class FaultKind {
+  kDie,         // permanent device death       (dev)
+  kKernelFail,  // one-shot kernel failure      (dev)
+  kAllocFail,   // allocation failure           (dev)
+  kChunkDrop,   // drop a border chunk          (chan)
+  kChunkCorrupt,  // corrupt a chunk's framing  (chan)
+  kChunkDelay,  // delay a chunk                (chan)
+};
+
+/// One declarative fault. `target` is a device ordinal for device
+/// faults and a channel ordinal (channel c connects device c to c+1)
+/// for chunk faults.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDie;
+  int target = 0;
+  std::int64_t kernel = -1;   // kernel launch ordinal trigger
+  std::int64_t block_i = -1;  // block coordinate trigger (with block_j)
+  std::int64_t block_j = -1;
+  std::int64_t ms = -1;       // wall-clock trigger / delay duration
+  std::int64_t bytes = -1;    // cumulative allocation trigger
+  std::int64_t chunk = -1;    // border chunk sequence number trigger
+
+  bool operator==(const FaultSpec&) const = default;
+};
+
+/// A deterministic, replayable failure scenario.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+  bool operator==(const FaultPlan&) const = default;
+};
+
+/// Parses the grammar documented above. Throws InvalidArgument with the
+/// offending clause for malformed specs. An empty string yields an empty
+/// plan.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
+
+/// Renders a plan back into the grammar (parse/format round-trip).
+[[nodiscard]] std::string format_fault_plan(const FaultPlan& plan);
+
+/// One-line grammar summary for --help strings.
+[[nodiscard]] const std::string& fault_plan_grammar();
+
+/// Runtime arming of a plan for one run: devices and channels call the
+/// hooks below at their injection points; the injector decides, thread-
+/// safely and deterministically, whether a fault fires. One-shot faults
+/// (kernel-fail, chunk faults) stay consumed across engine restarts, so
+/// a recovered run does not re-hit them; death and allocation faults are
+/// persistent — the device stays dead until the injector is destroyed.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Device hook, called before every kernel launch with the block
+  /// coordinates the launch computes. Throws DeviceLostError (die /
+  /// already dead) or TransientError (kernel-fail).
+  void on_kernel_launch(int device, std::int64_t block_i,
+                        std::int64_t block_j);
+
+  /// Device hook, called by the allocator with the would-be cumulative
+  /// footprint. Throws DeviceLostError when an alloc fault trips or the
+  /// device already died.
+  void on_alloc(int device, std::int64_t cumulative_bytes);
+
+  /// What a channel should do with one outgoing chunk.
+  struct ChunkFault {
+    bool drop = false;
+    bool corrupt = false;
+    std::int64_t delay_ms = 0;
+  };
+
+  /// Channel hook, called before chunk `sequence` is sent on `channel`.
+  [[nodiscard]] ChunkFault on_chunk(int channel, std::int64_t sequence);
+
+  /// Faults that have fired so far (for logs and tests).
+  [[nodiscard]] std::int64_t fired() const;
+
+  /// True once `device` has hit a persistent death fault.
+  [[nodiscard]] bool device_dead(int device) const;
+
+ private:
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  std::vector<bool> consumed_;        // one-shot bookkeeping, per spec
+  std::vector<std::int64_t> launches_;  // per-device kernel ordinals
+  std::vector<bool> dead_;            // per-device death flags
+  base::WallTimer clock_;             // armed at construction
+  std::int64_t fired_ = 0;
+
+  void ensure_device(int device);
+};
+
+}  // namespace mgpusw::vgpu

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "base/error.hpp"
@@ -179,6 +180,89 @@ TEST(RingChannelTest, ConsumerStallAccounted) {
 TEST(ChannelTest, ZeroCapacityRejected) {
   EXPECT_THROW(comm::make_ring_channel(0), InvalidArgument);
   EXPECT_THROW(comm::make_tcp_channel(0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// TCP timeouts (--comm-timeout-ms)
+
+TEST(TcpTimeoutTest, NegativeTimeoutRejected) {
+  EXPECT_THROW(comm::make_tcp_channel(2, -1), InvalidArgument);
+}
+
+TEST(TcpTimeoutTest, SilentPeerSurfacesAsTransientError) {
+  // Nobody ever sends: a bounded recv must fail as TransientError (so
+  // the recovery layer can retry) instead of blocking the wavefront
+  // forever.
+  auto channel = comm::make_tcp_channel(4, 100);
+  try {
+    (void)channel.source->recv();
+    FAIL() << "expected TransientError";
+  } catch (const TransientError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+}
+
+TEST(TcpTimeoutTest, GenerousTimeoutDeliversNormally) {
+  auto channel = comm::make_tcp_channel(4, 5000);
+  std::thread producer([&] {
+    channel.sink->send(make_chunk(0, 16));
+    channel.sink->close();
+  });
+  const auto chunk = channel.source->recv();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(*chunk, make_chunk(0, 16));
+  EXPECT_EQ(channel.source->recv(), std::nullopt);
+  producer.join();
+}
+
+// ---------------------------------------------------------------------------
+// fault-injecting sink decorator
+
+TEST(FaultySinkTest, DropsExactlyTheDoomedChunk) {
+  auto channel = comm::make_ring_channel(4);
+  auto sink = comm::make_faulty_sink(
+      std::move(channel.sink), [](std::int64_t sequence) {
+        return comm::ChunkFault{/*drop=*/sequence == 1, false, 0};
+      });
+  for (int i = 0; i < 3; ++i) sink->send(make_chunk(i, 8));
+  sink->close();
+  EXPECT_EQ(*channel.source->recv(), make_chunk(0, 8));
+  EXPECT_EQ(*channel.source->recv(), make_chunk(2, 8));  // 1 vanished
+  EXPECT_EQ(channel.source->recv(), std::nullopt);
+  EXPECT_EQ(sink->stats().chunks_sent, 2);  // dropped chunk never sent
+}
+
+TEST(FaultySinkTest, CorruptionScramblesTheSequenceNumber) {
+  auto channel = comm::make_ring_channel(4);
+  auto sink = comm::make_faulty_sink(
+      std::move(channel.sink), [](std::int64_t sequence) {
+        return comm::ChunkFault{false, /*corrupt=*/sequence == 0, 0};
+      });
+  sink->send(make_chunk(0, 8));
+  sink->close();
+  const auto chunk = channel.source->recv();
+  ASSERT_TRUE(chunk.has_value());
+  // The receiver's sequence check (BorderExchange) keys off this field;
+  // the payload is untouched.
+  EXPECT_NE(chunk->sequence_number, 0);
+  EXPECT_EQ(chunk->h, make_chunk(0, 8).h);
+}
+
+TEST(FaultySinkTest, DelayHoldsTheChunkBack) {
+  auto channel = comm::make_ring_channel(4);
+  auto sink = comm::make_faulty_sink(
+      std::move(channel.sink), [](std::int64_t sequence) {
+        return comm::ChunkFault{false, false,
+                                /*delay_ms=*/sequence == 0 ? 30 : 0};
+      });
+  const auto start = std::chrono::steady_clock::now();
+  sink->send(make_chunk(0, 8));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  sink->close();
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+  EXPECT_EQ(*channel.source->recv(), make_chunk(0, 8));  // intact, just late
 }
 
 }  // namespace

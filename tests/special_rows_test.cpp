@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "base/error.hpp"
@@ -7,6 +9,14 @@
 
 namespace mgpusw {
 namespace {
+
+/// Fresh spill directory under the gtest temp root.
+std::string make_spill_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "srw_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
 
 TEST(SpecialRowsTest, SaveAndAssembleSingleSegment) {
   core::SpecialRowStore store;
@@ -70,6 +80,97 @@ TEST(SpecialRowsTest, ConcurrentSavesSafe) {
     const auto assembled = store.assemble_row(row, 40);
     EXPECT_EQ(assembled.size(), 40u);
   }
+}
+
+TEST(SpecialRowsDiskTest, RoundTripsWithChecksums) {
+  core::SpecialRowStore store(make_spill_dir("roundtrip"));
+  store.save_segment(15, 0, {1, 2, 3}, {-9, -9, -9});
+  store.save_segment(15, 3, {4, 5}, {-9, -9});
+  EXPECT_EQ(store.assemble_row(15, 5),
+            (std::vector<sw::Score>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(store.assemble_row_f(15, 5),
+            (std::vector<sw::Score>{-9, -9, -9, -9, -9}));
+}
+
+TEST(SpecialRowsDiskTest, CorruptPayloadFailsLoudly) {
+  const std::string dir = make_spill_dir("corrupt");
+  core::SpecialRowStore store(dir);
+  store.save_segment(31, 0, {10, 20, 30, 40}, {-1, -1, -1, -1});
+
+  // Flip one payload byte behind the store's back; the next read must
+  // detect it via the record CRC instead of feeding garbage to a resume.
+  const std::string path = dir + "/row_31.srw";
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekp(32);  // first H byte, just past the record header
+    const char evil = 0x5a;
+    file.write(&evil, 1);
+  }
+  try {
+    (void)store.assemble_row(31, 4);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST(SpecialRowsDiskTest, TruncatedRecordFailsLoudly) {
+  const std::string dir = make_spill_dir("truncated");
+  core::SpecialRowStore store(dir);
+  store.save_segment(63, 0, {1, 2, 3, 4, 5, 6, 7, 8});
+  const std::string path = dir + "/row_63.srw";
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 4);
+  EXPECT_THROW((void)store.assemble_row(63, 8), IoError);
+}
+
+TEST(SpecialRowsTest, LastRestartableRowPicksNewestIntactCheckpoint) {
+  core::SpecialRowStore store;
+  store.save_segment(31, 0, {1, 2, 3, 4}, {-1, -1, -1, -1});
+  store.save_segment(63, 0, {5, 6, 7, 8}, {-2, -2, -2, -2});
+  // Row 95 is incomplete: the run died while device 1 was still saving.
+  store.save_segment(95, 0, {9, 10}, {-3, -3});
+  EXPECT_EQ(store.last_restartable_row(4), 63);
+}
+
+TEST(SpecialRowsTest, LastRestartableRowRequiresFData) {
+  core::SpecialRowStore store;
+  store.save_segment(31, 0, {1, 2}, {-1, -1});
+  store.save_segment(63, 0, {3, 4});  // H only: alignment row, no restart
+  EXPECT_EQ(store.last_restartable_row(2), 31);
+}
+
+TEST(SpecialRowsTest, LastRestartableRowRespectsLimit) {
+  core::SpecialRowStore store;
+  store.save_segment(31, 0, {1, 2}, {-1, -1});
+  store.save_segment(63, 0, {3, 4}, {-2, -2});
+  EXPECT_EQ(store.last_restartable_row(2), 63);
+  EXPECT_EQ(store.last_restartable_row(2, 63), 31);
+  EXPECT_EQ(store.last_restartable_row(2, 31), -1);
+}
+
+TEST(SpecialRowsTest, LastRestartableRowEmptyStoreIsMinusOne) {
+  core::SpecialRowStore store;
+  EXPECT_EQ(store.last_restartable_row(4), -1);
+}
+
+TEST(SpecialRowsDiskTest, LastRestartableRowSkipsCorruptRows) {
+  const std::string dir = make_spill_dir("skip_corrupt");
+  core::SpecialRowStore store(dir);
+  store.save_segment(31, 0, {1, 2}, {-1, -1});
+  store.save_segment(63, 0, {3, 4}, {-2, -2});
+  {
+    std::fstream file(dir + "/row_63.srw",
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekp(32);
+    const char evil = 0x7f;
+    file.write(&evil, 1);
+  }
+  // The newest checkpoint fails its CRC; recovery falls back to row 31.
+  EXPECT_EQ(store.last_restartable_row(2), 31);
 }
 
 }  // namespace

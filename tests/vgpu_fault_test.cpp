@@ -1,0 +1,136 @@
+// Fault plan grammar and injector semantics.
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/fault.hpp"
+#include "vgpu/spec.hpp"
+
+namespace mgpusw {
+namespace {
+
+using vgpu::FaultInjector;
+using vgpu::FaultKind;
+using vgpu::FaultPlan;
+using vgpu::FaultSpec;
+using vgpu::format_fault_plan;
+using vgpu::parse_fault_plan;
+
+TEST(FaultPlanTest, EmptyStringYieldsEmptyPlan) {
+  EXPECT_TRUE(parse_fault_plan("").empty());
+  EXPECT_TRUE(parse_fault_plan("  ").empty());
+}
+
+TEST(FaultPlanTest, ParsesEveryClauseKind) {
+  const FaultPlan plan = parse_fault_plan(
+      "dev1:die@kernel=40;dev0:die@block=2/3;dev2:die@ms=150;"
+      "dev0:kernel-fail@kernel=7;dev1:alloc-fail@bytes=4096;"
+      "chan0:drop@chunk=3;chan1:corrupt@chunk=5;chan0:delay@chunk=2,ms=20");
+  ASSERT_EQ(plan.faults.size(), 8u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::kDie);
+  EXPECT_EQ(plan.faults[0].target, 1);
+  EXPECT_EQ(plan.faults[0].kernel, 40);
+  EXPECT_EQ(plan.faults[1].block_i, 2);
+  EXPECT_EQ(plan.faults[1].block_j, 3);
+  EXPECT_EQ(plan.faults[2].ms, 150);
+  EXPECT_EQ(plan.faults[3].kind, FaultKind::kKernelFail);
+  EXPECT_EQ(plan.faults[4].kind, FaultKind::kAllocFail);
+  EXPECT_EQ(plan.faults[4].bytes, 4096);
+  EXPECT_EQ(plan.faults[5].kind, FaultKind::kChunkDrop);
+  EXPECT_EQ(plan.faults[5].chunk, 3);
+  EXPECT_EQ(plan.faults[6].kind, FaultKind::kChunkCorrupt);
+  EXPECT_EQ(plan.faults[7].kind, FaultKind::kChunkDelay);
+  EXPECT_EQ(plan.faults[7].chunk, 2);
+  EXPECT_EQ(plan.faults[7].ms, 20);
+}
+
+TEST(FaultPlanTest, FormatParsesBackToTheSamePlan) {
+  const FaultPlan plan = parse_fault_plan(
+      "dev1:die@kernel=40;chan0:drop@chunk=3;chan2:delay@chunk=1,ms=9;"
+      "dev0:alloc-fail@bytes=100");
+  EXPECT_EQ(parse_fault_plan(format_fault_plan(plan)), plan);
+}
+
+TEST(FaultPlanTest, RejectsMalformedClauses) {
+  EXPECT_THROW((void)parse_fault_plan("gpu0:die@kernel=1"),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_fault_plan("dev0:explode@kernel=1"),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_fault_plan("dev0:die"), InvalidArgument);
+  EXPECT_THROW((void)parse_fault_plan("dev0:die@chunk=1"),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_fault_plan("devX:die@kernel=1"),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_fault_plan("dev0:die@kernel=-3"),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_fault_plan("chan0:drop@kernel=1"),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_fault_plan("dev0:die@block=2"),
+               InvalidArgument);
+}
+
+TEST(FaultInjectorTest, DiesAtKernelOrdinalAndStaysDead) {
+  FaultInjector injector(parse_fault_plan("dev1:die@kernel=2"));
+  // Device 0 is unaffected.
+  for (int k = 0; k < 5; ++k) injector.on_kernel_launch(0, k, 0);
+  injector.on_kernel_launch(1, 0, 0);
+  injector.on_kernel_launch(1, 0, 1);
+  EXPECT_FALSE(injector.device_dead(1));
+  EXPECT_THROW(injector.on_kernel_launch(1, 0, 2), DeviceLostError);
+  EXPECT_TRUE(injector.device_dead(1));
+  // Persistent: every later launch and allocation fails too.
+  EXPECT_THROW(injector.on_kernel_launch(1, 0, 3), DeviceLostError);
+  EXPECT_THROW(injector.on_alloc(1, 1), DeviceLostError);
+  EXPECT_EQ(injector.fired(), 1);
+}
+
+TEST(FaultInjectorTest, DiesAtBlockCoordinates) {
+  FaultInjector injector(parse_fault_plan("dev0:die@block=1/2"));
+  injector.on_kernel_launch(0, 0, 0);
+  injector.on_kernel_launch(0, 1, 1);
+  EXPECT_THROW(injector.on_kernel_launch(0, 1, 2), DeviceLostError);
+}
+
+TEST(FaultInjectorTest, KernelFailIsTransientAndOneShot) {
+  FaultInjector injector(parse_fault_plan("dev0:kernel-fail@kernel=1"));
+  injector.on_kernel_launch(0, 0, 0);
+  EXPECT_THROW(injector.on_kernel_launch(0, 0, 1), TransientError);
+  EXPECT_FALSE(injector.device_dead(0));
+  // One-shot: consumed, the retry passes.
+  injector.on_kernel_launch(0, 0, 1);
+  injector.on_kernel_launch(0, 0, 2);
+  EXPECT_EQ(injector.fired(), 1);
+}
+
+TEST(FaultInjectorTest, AllocFailTripsOnCumulativeBytes) {
+  FaultInjector injector(parse_fault_plan("dev0:alloc-fail@bytes=1000"));
+  injector.on_alloc(0, 512);
+  EXPECT_THROW(injector.on_alloc(0, 1024), DeviceLostError);
+  EXPECT_TRUE(injector.device_dead(0));
+}
+
+TEST(FaultInjectorTest, ChunkFaultsAreOneShotPerChannel) {
+  FaultInjector injector(parse_fault_plan(
+      "chan0:drop@chunk=3;chan1:corrupt@chunk=3;chan0:delay@chunk=5,ms=7"));
+  EXPECT_FALSE(injector.on_chunk(0, 2).drop);
+  EXPECT_TRUE(injector.on_chunk(0, 3).drop);
+  EXPECT_FALSE(injector.on_chunk(0, 3).drop);  // consumed
+  EXPECT_TRUE(injector.on_chunk(1, 3).corrupt);
+  EXPECT_EQ(injector.on_chunk(0, 5).delay_ms, 7);
+  EXPECT_EQ(injector.fired(), 3);
+}
+
+TEST(FaultInjectorTest, DeviceAllocatorConsultsTheInjector) {
+  vgpu::Device device(vgpu::toy_device(10.0));
+  FaultInjector injector(parse_fault_plan("dev0:alloc-fail@bytes=100"));
+  device.set_fault_injector(&injector, 0);
+  EXPECT_THROW((void)device.allocate(256), DeviceLostError);
+  device.clear_fault_injector();
+  // Disarmed: the same allocation succeeds (the failed one rolled back
+  // its accounting).
+  vgpu::DeviceBuffer buffer = device.allocate(256);
+  EXPECT_EQ(device.memory_used(), 256);
+}
+
+}  // namespace
+}  // namespace mgpusw
