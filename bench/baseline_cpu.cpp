@@ -25,12 +25,12 @@ int main(int argc, char** argv) {
   const seq::ChromosomePair pair = seq::paper_chromosome_pairs()[2];
   const seq::HomologPair homologs = seq::make_homolog_pair(
       seq::scaled_pair(pair, flags.get_int("scale")), 1);
-  const double cells = static_cast<double>(homologs.query.size()) *
-                       static_cast<double>(homologs.subject.size());
+  const std::int64_t cells =
+      homologs.query.size() * homologs.subject.size();
   std::printf("workload: %s x %s (%s cells)\n\n",
               base::human_bp(homologs.query.size()).c_str(),
               base::human_bp(homologs.subject.size()).c_str(),
-              base::with_thousands(static_cast<std::int64_t>(cells)).c_str());
+              base::with_thousands(cells).c_str());
 
   base::TextTable table({"configuration", "time", "host GCUPS", "score"});
 
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
       sw::ScoreScheme{}, homologs.query, homologs.subject);
   const double serial_s = timer.elapsed_seconds();
   table.add_row({"serial linear scan", base::human_duration(serial_s),
-                 base::format_double(cells / serial_s / 1e9, 3),
+                 base::format_double(base::gcups(cells, serial_s), 3),
                  std::to_string(serial.score)});
 
   for (int count = 1; count <= 3; ++count) {

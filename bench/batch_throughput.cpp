@@ -33,37 +33,33 @@ core::BatchResult run_mode(const core::BatchConfig& config,
 void write_batch_json(const std::string& path, std::int64_t scale,
                       int device_count,
                       const std::vector<ModeResult>& modes) {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return;
-  }
-  std::fprintf(file, "{\n");
-  std::fprintf(file, "  \"bench\": \"batch_throughput\",\n");
-  std::fprintf(file, "  \"scale\": %lld,\n", static_cast<long long>(scale));
-  std::fprintf(file, "  \"devices\": %d,\n", device_count);
-  std::fprintf(file, "  \"modes\": [\n");
-  for (std::size_t m = 0; m < modes.size(); ++m) {
-    const core::BatchResult& batch = modes[m].batch;
-    std::fprintf(file, "    {\"name\": \"%s\",\n", modes[m].name.c_str());
-    std::fprintf(file, "     \"wall_seconds\": %.6f,\n",
-                 batch.wall_seconds);
-    std::fprintf(file, "     \"aggregate_gcups\": %.4f,\n", batch.gcups());
-    std::fprintf(file, "     \"items\": [\n");
-    for (std::size_t i = 0; i < batch.items.size(); ++i) {
-      const core::BatchItemResult& item = batch.items[i];
-      std::fprintf(file,
-                   "       {\"label\": \"%s\", \"seconds\": %.6f, "
-                   "\"gcups\": %.4f, \"score\": %lld}%s\n",
-                   item.label.c_str(), item.result.wall_seconds,
-                   item.result.gcups(),
-                   static_cast<long long>(item.result.best.score),
-                   i + 1 < batch.items.size() ? "," : "");
+  base::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("batch_throughput");
+  w.key("scale").value(scale);
+  w.key("devices").value(device_count);
+  w.key("modes").begin_array();
+  for (const ModeResult& mode : modes) {
+    const core::BatchResult& batch = mode.batch;
+    w.begin_object();
+    w.key("name").value(mode.name);
+    w.key("wall_seconds").value_fixed(batch.wall_seconds, 6);
+    w.key("aggregate_gcups").value_fixed(batch.gcups(), 4);
+    w.key("items").begin_array();
+    for (const core::BatchItemResult& item : batch.items) {
+      w.begin_object(base::JsonWriter::kCompact);
+      w.key("label").value(item.label);
+      w.key("seconds").value_fixed(item.result.wall_seconds, 6);
+      w.key("gcups").value_fixed(item.result.gcups(), 4);
+      w.key("score").value(item.result.best.score);
+      w.end_object();
     }
-    std::fprintf(file, "     ]}%s\n", m + 1 < modes.size() ? "," : "");
+    w.end_array();
+    w.end_object();
   }
-  std::fprintf(file, "  ]\n}\n");
-  std::fclose(file);
+  w.end_array();
+  w.end_object();
+  if (!bench::write_json_file(path, w.str())) return;
   std::printf("(batch results written to %s)\n", path.c_str());
 }
 

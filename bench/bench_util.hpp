@@ -17,6 +17,7 @@
 
 #include "base/flags.hpp"
 #include "base/format.hpp"
+#include "base/json.hpp"
 #include "core/engine.hpp"
 #include "seq/synth.hpp"
 #include "sim/pipeline_sim.hpp"
@@ -116,6 +117,24 @@ inline base::FlagSet standard_flags(const std::string& description) {
 
 inline std::string gcups_str(double gcups) {
   return base::format_double(gcups, 2);
+}
+
+/// Writes a rendered JSON document (plus trailing newline) to `path`.
+/// Returns false with a warning on stderr when the file cannot be
+/// opened — benches keep printing their tables even when the artifact
+/// path is bad. Every BENCH_*.json emitter renders with base::JsonWriter
+/// and lands here, so the artifacts share one layout convention.
+inline bool write_json_file(const std::string& path,
+                            const std::string& json) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return true;
 }
 
 /// Writes a data series as CSV for plotting when --csv is non-empty.

@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "base/format.hpp"
+#include "base/json.hpp"
 #include "base/rng.hpp"
 #include "base/time.hpp"
+#include "bench/bench_util.hpp"
 #include "comm/channel.hpp"
 #include "comm/serialize.hpp"
 #include "sw/banded.hpp"
@@ -192,36 +194,30 @@ double measure_gcups(sw::BlockKernelFn fn, std::int64_t tile, int reps) {
     benchmark::DoNotOptimize(harness.run(fn, scheme));
     best_seconds = std::min(best_seconds, timer.elapsed_seconds());
   }
-  return static_cast<double>(tile) * static_cast<double>(tile) /
-         best_seconds / 1e9;
+  return base::gcups(tile * tile, best_seconds);
 }
 
 void write_kernels_json(const std::string& path, std::int64_t tile,
                         const std::vector<KernelRate>& rates,
                         double row_gcups) {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return;
+  base::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("micro_kernels");
+  w.key("block").value(tile);
+  w.key("simd_isa").value(sw::simd_isa_name(sw::detected_simd_isa()));
+  w.key("simd_backend").value(sw::active_simd_backend());
+  w.key("kernels").begin_array();
+  for (const KernelRate& rate : rates) {
+    w.begin_object(base::JsonWriter::kCompact);
+    w.key("name").value(rate.name);
+    w.key("gcups").value_fixed(rate.gcups, 4);
+    w.key("speedup_vs_row")
+        .value_fixed(row_gcups > 0.0 ? rate.gcups / row_gcups : 0.0, 3);
+    w.end_object();
   }
-  std::fprintf(file, "{\n");
-  std::fprintf(file, "  \"bench\": \"micro_kernels\",\n");
-  std::fprintf(file, "  \"block\": %lld,\n", static_cast<long long>(tile));
-  std::fprintf(file, "  \"simd_isa\": \"%s\",\n",
-               sw::simd_isa_name(sw::detected_simd_isa()));
-  std::fprintf(file, "  \"simd_backend\": \"%s\",\n",
-               sw::active_simd_backend());
-  std::fprintf(file, "  \"kernels\": [\n");
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    std::fprintf(file,
-                 "    {\"name\": \"%s\", \"gcups\": %.4f, "
-                 "\"speedup_vs_row\": %.3f}%s\n",
-                 rates[i].name.c_str(), rates[i].gcups,
-                 row_gcups > 0.0 ? rates[i].gcups / row_gcups : 0.0,
-                 i + 1 < rates.size() ? "," : "");
-  }
-  std::fprintf(file, "  ]\n}\n");
-  std::fclose(file);
+  w.end_array();
+  w.end_object();
+  if (!bench::write_json_file(path, w.str())) return;
   std::printf("(kernel rates written to %s)\n", path.c_str());
 }
 

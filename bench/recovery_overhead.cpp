@@ -29,36 +29,30 @@ void write_recovery_json(const std::string& path, std::int64_t scale,
                          std::int64_t interval,
                          const std::string& fault_plan,
                          const std::vector<ModeResult>& modes) {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return;
-  }
-  std::fprintf(file, "{\n");
-  std::fprintf(file, "  \"bench\": \"recovery_overhead\",\n");
-  std::fprintf(file, "  \"scale\": %lld,\n", static_cast<long long>(scale));
-  std::fprintf(file, "  \"checkpoint_interval\": %lld,\n",
-               static_cast<long long>(interval));
-  std::fprintf(file, "  \"fault\": \"%s\",\n", fault_plan.c_str());
-  std::fprintf(file, "  \"modes\": [\n");
-  for (std::size_t m = 0; m < modes.size(); ++m) {
-    const ModeResult& mode = modes[m];
-    std::fprintf(file, "    {\"name\": \"%s\",\n", mode.name.c_str());
-    std::fprintf(file, "     \"wall_seconds\": %.6f,\n",
-                 mode.run.wall_seconds);
-    std::fprintf(file, "     \"gcups\": %.4f,\n", mode.run.gcups());
-    std::fprintf(file, "     \"score\": %lld,\n",
-                 static_cast<long long>(mode.run.best.score));
-    std::fprintf(file, "     \"restarts\": %d,\n", mode.restarts);
-    std::fprintf(file, "     \"lost_devices\": [");
-    for (std::size_t d = 0; d < mode.lost_devices.size(); ++d) {
-      std::fprintf(file, "%s\"%s\"", d > 0 ? ", " : "",
-                   mode.lost_devices[d].c_str());
+  base::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("recovery_overhead");
+  w.key("scale").value(scale);
+  w.key("checkpoint_interval").value(interval);
+  w.key("fault").value(fault_plan);
+  w.key("modes").begin_array();
+  for (const ModeResult& mode : modes) {
+    w.begin_object();
+    w.key("name").value(mode.name);
+    w.key("wall_seconds").value_fixed(mode.run.wall_seconds, 6);
+    w.key("gcups").value_fixed(mode.run.gcups(), 4);
+    w.key("score").value(mode.run.best.score);
+    w.key("restarts").value(mode.restarts);
+    w.key("lost_devices").begin_array(base::JsonWriter::kCompact);
+    for (const std::string& name : mode.lost_devices) {
+      w.value(name);
     }
-    std::fprintf(file, "]}%s\n", m + 1 < modes.size() ? "," : "");
+    w.end_array();
+    w.end_object();
   }
-  std::fprintf(file, "  ]\n}\n");
-  std::fclose(file);
+  w.end_array();
+  w.end_object();
+  if (!bench::write_json_file(path, w.str())) return;
   std::printf("(recovery results written to %s)\n", path.c_str());
 }
 

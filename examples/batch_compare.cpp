@@ -27,6 +27,10 @@ int main(int argc, char** argv) {
   flags.add_int("max-in-flight", 1,
                 "comparisons running concurrently on disjoint leases");
   flags.add_bool("progress", true, "print live progress");
+  flags.add_string("trace-out", "",
+                   "write a Chrome/Perfetto trace of the batch here");
+  flags.add_string("metrics-json", "",
+                   "write the metrics registry snapshot as JSON here");
   if (!flags.parse(argc, argv)) return 0;
 
   // Build the workload: every pair the paper evaluates.
@@ -55,6 +59,13 @@ int main(int argc, char** argv) {
   core::EngineConfig& config = batch_config.engine;
   config.block_rows = 128;
   config.block_cols = 128;
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const bool want_trace = !flags.get_string("trace-out").empty();
+  const bool want_metrics = !flags.get_string("metrics-json").empty();
+  if (want_trace) config.obs.tracer = &tracer;
+  if (want_trace || want_metrics) config.obs.metrics = &metrics;
   std::atomic<std::int64_t> units_done{0};
   if (flags.get_bool("progress")) {
     config.progress = [&](const core::ProgressEvent& event) {
@@ -93,5 +104,21 @@ int main(int argc, char** argv) {
       base::human_duration(batch.wall_seconds).c_str(), batch.gcups(),
       base::human_duration(batch.total_seconds).c_str(),
       batch.summed_gcups());
+
+  if (want_trace) {
+    obs::write_chrome_trace(flags.get_string("trace-out"), tracer);
+    std::printf("trace  : %s (%zu events; open in ui.perfetto.dev)\n",
+                flags.get_string("trace-out").c_str(),
+                tracer.event_count());
+  }
+  if (want_metrics) {
+    std::FILE* file =
+        std::fopen(flags.get_string("metrics-json").c_str(), "w");
+    MGPUSW_REQUIRE(file != nullptr,
+                   "cannot open " << flags.get_string("metrics-json"));
+    std::fputs((metrics.to_json() + "\n").c_str(), file);
+    std::fclose(file);
+    std::printf("metrics: %s\n", flags.get_string("metrics-json").c_str());
+  }
   return 0;
 }

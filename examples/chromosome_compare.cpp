@@ -48,6 +48,14 @@ int main(int argc, char** argv) {
   flags.add_string("dotplot", "",
                    "write a PGM dotplot of the two sequences here");
   flags.add_string("json", "", "write the run report as JSON here");
+  flags.add_string("trace-out", "",
+                   "write a Chrome/Perfetto trace of the run here "
+                   "(open in ui.perfetto.dev or chrome://tracing)");
+  flags.add_string("metrics-json", "",
+                   "write the metrics registry snapshot as JSON here");
+  flags.add_bool("phases", false,
+                 "profile per-device phase times (implied by --trace-out "
+                 "and --metrics-json)");
   flags.add_bool("modes", false,
                  "also report global/semi-global/overlap scores (serial)");
   if (!flags.parse(argc, argv)) return 0;
@@ -116,6 +124,18 @@ int main(int argc, char** argv) {
   config.transport = flags.get_string("transport") == "tcp"
                          ? core::Transport::kTcp
                          : core::Transport::kInProcess;
+
+  // --- observability ---------------------------------------------------
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const bool want_trace = !flags.get_string("trace-out").empty();
+  const bool want_metrics = !flags.get_string("metrics-json").empty();
+  const bool want_phases =
+      flags.get_bool("phases") || want_trace || want_metrics;
+  if (want_trace) config.obs.tracer = &tracer;
+  if (want_metrics || want_phases) config.obs.metrics = &metrics;
+  config.obs.profile_phases = want_phases;
+
   core::MultiDeviceEngine engine(config, pointers);
   const core::EngineResult result = engine.run(query, subject);
 
@@ -144,13 +164,48 @@ int main(int argc, char** argv) {
   }
   std::fputs(table.str().c_str(), stdout);
 
+  if (want_phases) {
+    // Per-phase wall-time split per device; the five columns partition
+    // each driver thread's run() wall time (obs::PhaseProfiler).
+    base::TextTable phase_table({"device", "compute", "border recv",
+                                 "border send", "checkpoint", "idle"});
+    for (const core::DeviceRunStats& stats : result.devices) {
+      if (!stats.phases_tracked) continue;
+      const auto cell = [](std::int64_t ns) {
+        return base::human_duration(static_cast<double>(ns) * 1e-9);
+      };
+      phase_table.add_row({stats.device_name, cell(stats.phase_compute_ns),
+                           cell(stats.phase_recv_ns),
+                           cell(stats.phase_send_ns),
+                           cell(stats.phase_checkpoint_ns),
+                           cell(stats.phase_idle_ns)});
+    }
+    std::printf("\nper-device phase breakdown:\n");
+    std::fputs(phase_table.str().c_str(), stdout);
+  }
+
   if (!flags.get_string("json").empty()) {
     std::FILE* file = std::fopen(flags.get_string("json").c_str(), "w");
     MGPUSW_REQUIRE(file != nullptr,
                    "cannot open " << flags.get_string("json"));
-    std::fputs(core::to_json(result).c_str(), file);
+    std::fputs(core::to_json(result, config.obs.metrics).c_str(), file);
     std::fclose(file);
     std::printf("report: %s\n", flags.get_string("json").c_str());
+  }
+  if (want_trace) {
+    obs::write_chrome_trace(flags.get_string("trace-out"), tracer);
+    std::printf("trace : %s (%zu events; open in ui.perfetto.dev)\n",
+                flags.get_string("trace-out").c_str(),
+                tracer.event_count());
+  }
+  if (want_metrics) {
+    std::FILE* file =
+        std::fopen(flags.get_string("metrics-json").c_str(), "w");
+    MGPUSW_REQUIRE(file != nullptr,
+                   "cannot open " << flags.get_string("metrics-json"));
+    std::fputs((metrics.to_json() + "\n").c_str(), file);
+    std::fclose(file);
+    std::printf("metrics: %s\n", flags.get_string("metrics-json").c_str());
   }
 
   if (flags.get_bool("modes")) {

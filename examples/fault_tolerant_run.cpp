@@ -31,6 +31,10 @@ int main(int argc, char** argv) {
   flags.add_int("comm_timeout_ms", 2000,
                 "TCP read/write timeout (0 = block forever)");
   flags.add_int("max_restarts", 3, "RecoveryPolicy restart budget");
+  flags.add_string("trace-out", "",
+                   "write a Chrome/Perfetto trace of the faulted run here");
+  flags.add_string("metrics-json", "",
+                   "write the metrics registry snapshot as JSON here");
   if (!flags.parse(argc, argv)) return 0;
 
   const auto homologs = seq::make_homolog_pair(
@@ -76,6 +80,15 @@ int main(int argc, char** argv) {
       vgpu::parse_fault_plan(flags.get_string("fault")));
   config.fault = &injector;
 
+  // Observability covers the faulted run only (not the reference run),
+  // so the trace shows exactly what recovery did.
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const bool want_trace = !flags.get_string("trace-out").empty();
+  const bool want_metrics = !flags.get_string("metrics-json").empty();
+  if (want_trace) config.obs.tracer = &tracer;
+  if (want_trace || want_metrics) config.obs.metrics = &metrics;
+
   core::RecoveryPolicy policy;
   policy.max_restarts = static_cast<int>(flags.get_int("max_restarts"));
 
@@ -101,12 +114,28 @@ int main(int argc, char** argv) {
                     ? "bit-identical to the unfailed run"
                     : "MISMATCH (bug!)");
     std::printf("\nJSON report:\n%s",
-                core::to_json(recovered).c_str());
+                core::to_json(recovered, config.obs.metrics).c_str());
     recovered_ok = recovered.result.best == expected.best ? 0 : 1;
   } catch (const core::RecoveryExhaustedError& e) {
     // Structured surrender: the policy ran out of restarts or devices.
     std::printf("recovery gave up after %d restart(s): %s\n", e.restarts(),
                 e.what());
+  }
+
+  if (want_trace) {
+    obs::write_chrome_trace(flags.get_string("trace-out"), tracer);
+    std::printf("trace  : %s (%zu events; open in ui.perfetto.dev)\n",
+                flags.get_string("trace-out").c_str(),
+                tracer.event_count());
+  }
+  if (want_metrics) {
+    std::FILE* file =
+        std::fopen(flags.get_string("metrics-json").c_str(), "w");
+    MGPUSW_REQUIRE(file != nullptr,
+                   "cannot open " << flags.get_string("metrics-json"));
+    std::fputs((metrics.to_json() + "\n").c_str(), file);
+    std::fclose(file);
+    std::printf("metrics: %s\n", flags.get_string("metrics-json").c_str());
   }
 
   checkpoints.clear();

@@ -1,0 +1,170 @@
+#include "base/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace mgpusw::base {
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent(std::size_t depth) {
+  out_.push_back('\n');
+  out_.append(2 * depth, ' ');
+}
+
+void JsonWriter::begin_element() {
+  if (stack_.empty()) return;  // top-level value
+  Frame& frame = stack_.back();
+  if (frame.count > 0) out_.push_back(',');
+  if (frame.compact) {
+    if (frame.count > 0) out_.push_back(' ');
+  } else {
+    indent(stack_.size());
+  }
+  ++frame.count;
+}
+
+void JsonWriter::begin_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // `"key": ` already written
+  }
+  MGPUSW_CHECK(stack_.empty() || stack_.back().array);
+  begin_element();
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  MGPUSW_CHECK(!stack_.empty() && !stack_.back().array && !key_pending_);
+  begin_element();
+  out_.push_back('"');
+  out_ += escape(name);
+  out_ += "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+void JsonWriter::open(char bracket, Style style, bool array) {
+  begin_value();
+  out_.push_back(bracket);
+  // A compact parent forces compact children: a one-line object cannot
+  // contain multi-line layout.
+  const bool parent_compact = !stack_.empty() && stack_.back().compact;
+  stack_.push_back(Frame{array, style == kCompact || parent_compact, 0});
+}
+
+void JsonWriter::close(char bracket, bool array) {
+  MGPUSW_CHECK(!stack_.empty() && stack_.back().array == array &&
+               !key_pending_);
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  if (!frame.compact && frame.count > 0) indent(stack_.size());
+  out_.push_back(bracket);
+}
+
+JsonWriter& JsonWriter::begin_object(Style style) {
+  open('{', style, false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close('}', false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(Style style) {
+  open('[', style, true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close(']', true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  begin_value();
+  out_.push_back('"');
+  out_ += escape(text);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  begin_value();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  begin_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  begin_value();
+  if (!std::isfinite(number)) {
+    out_ += "null";  // JSON has no NaN/Inf literals
+    return *this;
+  }
+  std::ostringstream os;
+  os << number;
+  out_ += os.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_fixed(double number, int precision) {
+  begin_value();
+  if (!std::isfinite(number)) {
+    out_ += "null";
+    return *this;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, number);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+  begin_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_value(std::string_view json) {
+  begin_value();
+  out_ += json;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  MGPUSW_CHECK(stack_.empty() && !key_pending_);
+  return out_;
+}
+
+}  // namespace mgpusw::base

@@ -1,0 +1,95 @@
+// Streaming JSON writer shared by every JSON emitter in the tree
+// (core/report, the BENCH_*.json bench records, the observability
+// exports). One implementation owns escaping, layout and number
+// formatting so the emitters cannot drift apart; no external JSON
+// dependency, matching the repo's zero-dependency rule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgpusw::base {
+
+/// Builds a JSON document incrementally. Objects and arrays open in
+/// pretty mode (newline + two-space indent per level) or compact mode
+/// (single line, `", "` separators) — the layout the repo's reports have
+/// always used: pretty outer structure, compact per-row inner objects.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("score").value(42);
+///   w.key("devices").begin_array();
+///   w.begin_object(JsonWriter::kCompact);
+///   w.key("name").value("GTX 580");
+///   w.end_object();
+///   w.end_array();
+///   w.end_object();
+///   std::string json = w.str();
+///
+/// Misuse (value without key inside an object, str() with open
+/// containers) trips an internal check — emitters are test-covered, so
+/// failing loudly beats writing a malformed file.
+class JsonWriter {
+ public:
+  enum Style { kPretty, kCompact };
+
+  JsonWriter& begin_object(Style style = kPretty);
+  JsonWriter& end_object();
+  JsonWriter& begin_array(Style style = kPretty);
+  JsonWriter& end_array();
+
+  /// Writes an object key; the next call must write its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) {
+    return value(std::string_view(text));
+  }
+  JsonWriter& value(bool flag);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) {
+    return value(static_cast<std::int64_t>(number));
+  }
+  JsonWriter& value(std::size_t number) {
+    return value(static_cast<std::int64_t>(number));
+  }
+  /// Default double formatting (6 significant digits, like ostream).
+  JsonWriter& value(double number);
+  /// Fixed-precision double: value_fixed(3.14159, 2) -> 3.14.
+  JsonWriter& value_fixed(double number, int precision);
+  JsonWriter& null_value();
+
+  /// Splices pre-rendered JSON in value position (e.g. a nested
+  /// document produced by another writer). The caller guarantees it is
+  /// well-formed.
+  JsonWriter& raw_value(std::string_view json);
+
+  /// The finished document. Requires every container to be closed.
+  [[nodiscard]] const std::string& str() const;
+
+  /// Escapes `text` for embedding inside a JSON string literal (no
+  /// surrounding quotes).
+  [[nodiscard]] static std::string escape(std::string_view text);
+
+ private:
+  struct Frame {
+    bool array = false;
+    bool compact = false;
+    int count = 0;
+  };
+
+  void begin_element();  // separator + layout before a key or array value
+  void begin_value();    // like begin_element, but a key may precede
+  void open(char bracket, Style style, bool array);
+  void close(char bracket, bool array);
+  void indent(std::size_t depth);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace mgpusw::base

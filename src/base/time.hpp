@@ -30,6 +30,16 @@ class WallTimer {
   clock::time_point start_;
 };
 
+/// Billions of cell updates per wall-clock second — the paper's
+/// headline metric. Every GCUPS figure in the tree funnels through
+/// here so the convention (non-positive time yields 0 rather than inf,
+/// 1e9 divisor) cannot drift between the engine, the batch layer, the
+/// simulator and the benches.
+[[nodiscard]] constexpr double gcups(std::int64_t cells, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(cells) / seconds / 1e9;
+}
+
 /// Virtual time measured in nanoseconds. The simulator advances this
 /// explicitly; it never reads the machine clock, which keeps simulated
 /// results deterministic and host-speed independent.

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "comm/border.hpp"
+#include "obs/obs.hpp"
 
 namespace mgpusw::comm {
 
@@ -58,8 +59,11 @@ struct ChannelPair {
 };
 
 /// Creates an in-process circular-buffer channel holding at most
-/// `capacity_chunks` chunks.
-[[nodiscard]] ChannelPair make_ring_channel(std::size_t capacity_chunks);
+/// `capacity_chunks` chunks. A metrics registry in `obs` gets the
+/// comm.queue_depth gauge sampled on every send/recv (last-written
+/// depth across channels).
+[[nodiscard]] ChannelPair make_ring_channel(std::size_t capacity_chunks,
+                                            const obs::Scope& obs = {});
 
 /// Creates a loopback-TCP channel (socket pair over 127.0.0.1) whose
 /// sender still enforces `capacity_chunks` of application-level buffering
@@ -71,8 +75,11 @@ struct ChannelPair {
 /// that long instead of blocking the wavefront forever (the
 /// --comm-timeout-ms knob). 0 keeps the historical block-forever
 /// behaviour.
+/// A metrics registry in `obs` gets the comm.tcp.ack_wait_ms histogram
+/// (time spent blocked on the acknowledgement window).
 [[nodiscard]] ChannelPair make_tcp_channel(std::size_t capacity_chunks,
-                                           std::int64_t timeout_ms = 0);
+                                           std::int64_t timeout_ms = 0,
+                                           const obs::Scope& obs = {});
 
 /// What a fault layer may do to one outgoing border chunk. Corruption
 /// scrambles the chunk's sequence number — framing-level damage the
@@ -88,8 +95,11 @@ using ChunkFaultFn = std::function<ChunkFault(std::int64_t sequence)>;
 
 /// Decorates `inner` with a fault layer consulted before every send —
 /// the hook through which a vgpu::FaultInjector reaches the border
-/// traffic. close() and stats() pass through untouched.
+/// traffic. close() and stats() pass through untouched. With `obs`
+/// attached, fired faults bump the fault.chunks_dropped / _corrupted /
+/// _delayed counters and emit an instant trace event.
 [[nodiscard]] std::unique_ptr<BorderSink> make_faulty_sink(
-    std::unique_ptr<BorderSink> inner, ChunkFaultFn fault);
+    std::unique_ptr<BorderSink> inner, ChunkFaultFn fault,
+    const obs::Scope& obs = {});
 
 }  // namespace mgpusw::comm

@@ -13,6 +13,8 @@
 
 #include "base/error.hpp"
 #include "comm/channel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mgpusw::comm {
 
@@ -20,14 +22,16 @@ namespace {
 
 class FaultySink final : public BorderSink {
  public:
-  FaultySink(std::unique_ptr<BorderSink> inner, ChunkFaultFn fault)
-      : inner_(std::move(inner)), fault_(std::move(fault)) {
+  FaultySink(std::unique_ptr<BorderSink> inner, ChunkFaultFn fault,
+             const obs::Scope& obs)
+      : inner_(std::move(inner)), fault_(std::move(fault)), obs_(obs) {
     MGPUSW_REQUIRE(inner_ != nullptr, "faulty sink wants an inner sink");
     MGPUSW_REQUIRE(fault_ != nullptr, "faulty sink wants a fault hook");
   }
 
   void send(BorderChunk chunk) override {
     const ChunkFault fate = fault_(chunk.sequence_number);
+    record(fate, chunk.sequence_number);
     if (fate.delay_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(fate.delay_ms));
     }
@@ -47,15 +51,39 @@ class FaultySink final : public BorderSink {
   }
 
  private:
+  void record(const ChunkFault& fate, std::int64_t sequence) {
+    if (!fate.drop && !fate.corrupt && fate.delay_ms <= 0) return;
+    if (obs_.metrics != nullptr) {
+      if (fate.drop) obs_.metrics->counter("fault.chunks_dropped").increment();
+      if (fate.corrupt) {
+        obs_.metrics->counter("fault.chunks_corrupted").increment();
+      }
+      if (fate.delay_ms > 0) {
+        obs_.metrics->counter("fault.chunks_delayed").increment();
+      }
+    }
+    if (obs_.tracer != nullptr) {
+      obs_.tracer->instant(
+          "fault", "chunk_fault",
+          {obs::TraceArg::number("seq", sequence),
+           obs::TraceArg::text("fate", fate.drop      ? "drop"
+                                       : fate.corrupt ? "corrupt"
+                                                      : "delay")});
+    }
+  }
+
   std::unique_ptr<BorderSink> inner_;
   ChunkFaultFn fault_;
+  obs::Scope obs_;
 };
 
 }  // namespace
 
 std::unique_ptr<BorderSink> make_faulty_sink(
-    std::unique_ptr<BorderSink> inner, ChunkFaultFn fault) {
-  return std::make_unique<FaultySink>(std::move(inner), std::move(fault));
+    std::unique_ptr<BorderSink> inner, ChunkFaultFn fault,
+    const obs::Scope& obs) {
+  return std::make_unique<FaultySink>(std::move(inner), std::move(fault),
+                                      obs);
 }
 
 }  // namespace mgpusw::comm

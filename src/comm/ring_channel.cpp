@@ -3,6 +3,7 @@
 
 #include "base/queue.hpp"
 #include "comm/channel.hpp"
+#include "obs/metrics.hpp"
 
 namespace mgpusw::comm {
 
@@ -10,10 +11,21 @@ namespace {
 
 /// Shared state of an in-process channel.
 struct RingState {
-  explicit RingState(std::size_t capacity) : queue(capacity) {}
+  RingState(std::size_t capacity, const obs::Scope& obs) : queue(capacity) {
+    if (obs.metrics != nullptr) {
+      depth = &obs.metrics->gauge("comm.queue_depth");
+    }
+  }
   base::BoundedQueue<BorderChunk> queue;
   std::atomic<std::int64_t> chunks_sent{0};
   std::atomic<std::int64_t> bytes_sent{0};
+  obs::Gauge* depth = nullptr;  // sampled after every push/pop
+
+  void sample_depth() {
+    if (depth != nullptr) {
+      depth->set(static_cast<std::int64_t>(queue.size()));
+    }
+  }
 };
 
 class RingSink final : public BorderSink {
@@ -26,6 +38,7 @@ class RingSink final : public BorderSink {
     state_->queue.push(std::move(chunk));
     state_->chunks_sent.fetch_add(1, std::memory_order_relaxed);
     state_->bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+    state_->sample_depth();
   }
 
   void close() override { state_->queue.close(); }
@@ -49,7 +62,9 @@ class RingSource final : public BorderSource {
       : state_(std::move(state)) {}
 
   [[nodiscard]] std::optional<BorderChunk> recv() override {
-    return state_->queue.pop();
+    std::optional<BorderChunk> chunk = state_->queue.pop();
+    state_->sample_depth();
+    return chunk;
   }
 
   void close() override { state_->queue.close(); }
@@ -69,8 +84,9 @@ class RingSource final : public BorderSource {
 
 }  // namespace
 
-ChannelPair make_ring_channel(std::size_t capacity_chunks) {
-  auto state = std::make_shared<RingState>(capacity_chunks);
+ChannelPair make_ring_channel(std::size_t capacity_chunks,
+                              const obs::Scope& obs) {
+  auto state = std::make_shared<RingState>(capacity_chunks, obs);
   ChannelPair pair;
   pair.sink = std::make_unique<RingSink>(state);
   pair.source = std::make_unique<RingSource>(state);

@@ -25,6 +25,7 @@
 #include "base/time.hpp"
 #include "comm/channel.hpp"
 #include "comm/serialize.hpp"
+#include "obs/metrics.hpp"
 
 namespace mgpusw::comm {
 
@@ -129,6 +130,7 @@ struct TcpState {
   std::atomic<std::int64_t> producer_stall_ns{0};
   std::atomic<std::int64_t> consumer_stall_ns{0};
   std::atomic<std::int64_t> acks_seen{0};
+  obs::Histogram* ack_wait_ms = nullptr;  // null when obs is disabled
 
   ~TcpState() {
     if (producer_fd >= 0) ::close(producer_fd);
@@ -164,6 +166,9 @@ class TcpSink final : public BorderSink {
       }
       state_->producer_stall_ns.fetch_add(stall.elapsed_ns(),
                                           std::memory_order_relaxed);
+      if (state_->ack_wait_ms != nullptr) {
+        state_->ack_wait_ms->observe(stall.elapsed_seconds() * 1e3);
+      }
     }
     const std::vector<std::uint8_t> frame = serialize_chunk(chunk);
     const auto length = static_cast<std::uint32_t>(frame.size());
@@ -239,7 +244,8 @@ class TcpSource final : public BorderSource {
 }  // namespace
 
 ChannelPair make_tcp_channel(std::size_t capacity_chunks,
-                             std::int64_t timeout_ms) {
+                             std::int64_t timeout_ms,
+                             const obs::Scope& obs) {
   MGPUSW_REQUIRE(capacity_chunks > 0, "channel capacity must be positive");
   MGPUSW_REQUIRE(timeout_ms >= 0, "comm timeout must be non-negative");
 
@@ -299,6 +305,9 @@ ChannelPair make_tcp_channel(std::size_t capacity_chunks,
   state->producer_fd = producer;
   state->consumer_fd = consumer;
   state->capacity = capacity_chunks;
+  if (obs.metrics != nullptr) {
+    state->ack_wait_ms = &obs.metrics->histogram("comm.tcp.ack_wait_ms");
+  }
 
   ChannelPair pair;
   pair.sink = std::make_unique<TcpSink>(state);

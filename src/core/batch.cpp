@@ -8,6 +8,8 @@
 
 #include "base/error.hpp"
 #include "base/time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mgpusw::core {
 
@@ -48,6 +50,14 @@ BatchResult run_batch(const BatchConfig& config, DeviceFleet& fleet,
       const BatchItem& item = items[index];
       BatchItemResult& entry = batch.items[index];
       entry.label = item.label;
+      // Item lifetime span: covers the lease wait, the run(s) and any
+      // recovery retries, on the admitting worker's track.
+      const obs::Scope& obs = config.engine.obs;
+      obs::TraceSpan item_span(obs.tracer, "batch", "item " + item.label);
+      if (obs.metrics != nullptr) {
+        obs.metrics->gauge("batch.in_flight").add(1);
+      }
+      bool item_ok = false;
       try {
         if (!config.enable_recovery) {
           DeviceLease lease = fleet.acquire(per_item);
@@ -104,10 +114,19 @@ BatchResult run_batch(const BatchConfig& config, DeviceFleet& fleet,
             }
           }
         }
+        item_ok = true;
       } catch (...) {
+        if (obs.metrics != nullptr) {
+          obs.metrics->gauge("batch.in_flight").add(-1);
+          obs.metrics->counter("batch.items_failed").increment();
+        }
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
         return;
+      }
+      if (item_ok && obs.metrics != nullptr) {
+        obs.metrics->gauge("batch.in_flight").add(-1);
+        obs.metrics->counter("batch.items_completed").increment();
       }
     }
   };

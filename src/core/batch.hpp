@@ -62,17 +62,14 @@ struct BatchResult {
   /// concurrent items overlap, so this exceeds summed_gcups() when
   /// max_in_flight > 1 actually helps.
   [[nodiscard]] double gcups() const {
-    const double seconds =
-        wall_seconds > 0.0 ? wall_seconds : total_seconds;
-    if (seconds <= 0.0) return 0.0;
-    return static_cast<double>(total_cells) / seconds / 1e9;
+    return base::gcups(total_cells,
+                       wall_seconds > 0.0 ? wall_seconds : total_seconds);
   }
 
   /// GCUPS over summed per-item time (concurrency-blind; the paper's
   /// back-to-back accounting).
   [[nodiscard]] double summed_gcups() const {
-    if (total_seconds <= 0.0) return 0.0;
-    return static_cast<double>(total_cells) / total_seconds / 1e9;
+    return base::gcups(total_cells, total_seconds);
   }
 };
 

@@ -9,6 +9,8 @@
 #include "base/error.hpp"
 #include "base/log.hpp"
 #include "base/time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sw/block_simd.hpp"
 #include "vgpu/fault.hpp"
 
@@ -146,6 +148,16 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
 
   last_failure_ = RunFailure{};
 
+  obs::TraceSpan run_span(config_.obs.tracer, "engine",
+                          seed == nullptr ? "run" : "resume");
+  if (run_span.active()) {
+    config_.obs.tracer->name_this_thread("engine");
+    run_span.arg("rows", query.size())
+        .arg("cols", subject.size())
+        .arg("devices", static_cast<std::int64_t>(devices_.size()));
+    if (!config_.job.empty()) run_span.arg("job", config_.job);
+  }
+
   const std::vector<seq::Nt> query_bases = unpack(query);
   const std::vector<seq::Nt> subject_bases = unpack(subject);
 
@@ -160,12 +172,16 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
   // later run on the same devices starts clean.
   struct FaultArmGuard {
     std::vector<vgpu::Device*>* devices = nullptr;
+    vgpu::FaultInjector* injector = nullptr;
     ~FaultArmGuard() {
       if (devices == nullptr) return;
       for (vgpu::Device* device : *devices) device->clear_fault_injector();
+      if (injector != nullptr) injector->set_obs({});
     }
   } fault_guard;
   if (config_.fault != nullptr) {
+    config_.fault->set_obs(config_.obs);
+    fault_guard.injector = config_.fault;
     MGPUSW_REQUIRE(config_.fault_ordinals.empty() ||
                        config_.fault_ordinals.size() == devices_.size(),
                    "fault_ordinals must be empty or one per device");
@@ -186,9 +202,10 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
         plan.transport == Transport::kTcp
             ? comm::make_tcp_channel(
                   static_cast<std::size_t>(plan.buffer_capacity),
-                  config_.comm_timeout_ms)
+                  config_.comm_timeout_ms, config_.obs)
             : comm::make_ring_channel(
-                  static_cast<std::size_t>(plan.buffer_capacity));
+                  static_cast<std::size_t>(plan.buffer_capacity),
+                  config_.obs);
     if (config_.fault != nullptr) {
       vgpu::FaultInjector* injector = config_.fault;
       const int channel_index = static_cast<int>(c);
@@ -198,7 +215,8 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
             const vgpu::FaultInjector::ChunkFault fate =
                 injector->on_chunk(channel_index, sequence);
             return comm::ChunkFault{fate.drop, fate.corrupt, fate.delay_ms};
-          });
+          },
+          config_.obs);
     }
     channels.push_back(std::move(pair));
   }
@@ -215,6 +233,8 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
   context.checkpoint_f = config_.checkpoint_f;
   context.progress = config_.progress;
   context.job = config_.job;
+  context.obs = config_.obs;
+  context.run_epoch = std::chrono::steady_clock::now();
 
   std::atomic<sw::Score> global_best{0};
   std::vector<std::unique_ptr<SliceRunner>> runners;
@@ -277,6 +297,16 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
         static_cast<int>(d), devices_[d]->spec().name, errors[d]});
   }
   if (first_error) {
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->counter("engine.runs_failed").increment();
+    }
+    if (config_.obs.tracer != nullptr) {
+      config_.obs.tracer->instant(
+          "engine", "run_failed",
+          {obs::TraceArg::number(
+              "failed_devices",
+              static_cast<std::int64_t>(last_failure_.faults.size()))});
+    }
     // Post-mortem for the recovery layer: every block a runner reduced
     // before its thread stopped is complete, so folding the runners'
     // bests gives the exact best over the completed region.

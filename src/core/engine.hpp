@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "base/time.hpp"
 #include "comm/channel.hpp"
 #include "core/partition.hpp"
 #include "core/plan.hpp"
@@ -99,6 +100,12 @@ struct EngineConfig {
   /// socket read/write; a silent peer surfaces as TransientError instead
   /// of hanging the wavefront. 0 = block forever (historical behaviour).
   std::int64_t comm_timeout_ms = 0;
+
+  /// Observability (obs/obs.hpp): tracer + metrics registry + phase
+  /// profiling switch, threaded through every runner, channel and fault
+  /// hook of each run. Default-disabled; the referenced tracer/registry
+  /// are borrowed and must outlive the engine's runs.
+  obs::Scope obs;
 };
 
 /// One device's contribution to a failed run.
@@ -133,8 +140,7 @@ struct EngineResult {
   /// Pruned cells count as processed (they were resolved, just not
   /// recomputed), matching how CUDAlign reports GCUPS.
   [[nodiscard]] double gcups() const {
-    if (wall_seconds <= 0.0) return 0.0;
-    return static_cast<double>(matrix_cells) / wall_seconds / 1e9;
+    return base::gcups(matrix_cells, wall_seconds);
   }
 };
 

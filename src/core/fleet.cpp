@@ -1,6 +1,9 @@
 #include "core/fleet.hpp"
 
 #include "base/error.hpp"
+#include "base/time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mgpusw::core {
 
@@ -83,11 +86,18 @@ std::size_t DeviceFleet::healthy_count() const {
   return healthy_count_locked();
 }
 
+void DeviceFleet::set_obs(const obs::Scope& scope) { obs_ = scope; }
+
 void DeviceFleet::mark_unhealthy(const vgpu::Device* device) {
   {
     std::lock_guard lock(mu_);
     for (std::size_t i = 0; i < devices_.size(); ++i) {
-      if (devices_[i] == device) healthy_[i] = false;
+      if (devices_[i] == device && healthy_[i]) {
+        healthy_[i] = false;
+        if (obs_.metrics != nullptr) {
+          obs_.metrics->counter("fleet.devices_unhealthy").increment();
+        }
+      }
     }
   }
   // Blocked acquires re-evaluate: a request the degraded fleet can no
@@ -116,12 +126,23 @@ DeviceLease DeviceFleet::acquire(std::size_t count) {
   MGPUSW_REQUIRE(count <= devices_.size(),
                  "lease of " << count << " devices from a fleet of "
                              << devices_.size());
+  obs::TraceSpan wait_span(obs_.tracer, "fleet", "lease_wait");
+  wait_span.arg("count", static_cast<std::int64_t>(count));
+  base::WallTimer wait;
   std::unique_lock lock(mu_);
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->gauge("fleet.waiters").add(1);
+  }
   const std::uint64_t ticket = next_ticket_++;
   cv_.wait(lock, [&] {
     return now_serving_ == ticket && (free_count_locked() >= count ||
                                       healthy_count_locked() < count);
   });
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->gauge("fleet.waiters").add(-1);
+    obs_.metrics->histogram("fleet.lease_wait_ms")
+        .observe(wait.elapsed_seconds() * 1e3);
+  }
   if (healthy_count_locked() < count) {
     // Pass the FIFO head on before throwing, or every later acquire
     // would wait behind a ticket that will never be served.
@@ -136,6 +157,9 @@ DeviceLease DeviceFleet::acquire(std::size_t count) {
   DeviceLease lease = grab_locked(count);
   ++now_serving_;
   lock.unlock();
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter("fleet.leases_granted").increment();
+  }
   // Wake the next ticket (and any releases racing with it).
   cv_.notify_all();
   return lease;
@@ -155,6 +179,9 @@ std::optional<DeviceLease> DeviceFleet::try_acquire(std::size_t count) {
   ++next_ticket_;
   DeviceLease lease = grab_locked(count);
   ++now_serving_;
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter("fleet.leases_granted").increment();
+  }
   return lease;
 }
 

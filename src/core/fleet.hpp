@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "vgpu/device.hpp"
 #include "vgpu/spec.hpp"
 
@@ -80,6 +81,12 @@ class DeviceFleet {
 
   [[nodiscard]] std::size_t size() const { return devices_.size(); }
 
+  /// Attaches observability: lease-wait spans plus the
+  /// fleet.lease_wait_ms histogram, fleet.leases_granted counter,
+  /// fleet.waiters gauge and fleet.devices_unhealthy counter. Call
+  /// before concurrent use; the scope's targets must outlive the fleet.
+  void set_obs(const obs::Scope& scope);
+
   /// Healthy devices currently free (snapshot; for tests/monitoring).
   [[nodiscard]] std::size_t available() const;
 
@@ -114,6 +121,7 @@ class DeviceFleet {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  obs::Scope obs_;
   std::vector<std::unique_ptr<vgpu::Device>> owned_;
   std::vector<vgpu::Device*> devices_;
   std::vector<bool> in_use_;

@@ -8,6 +8,8 @@
 
 #include "base/log.hpp"
 #include "base/time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mgpusw::core {
 
@@ -166,6 +168,21 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
           restarts_used);
     }
     restart_count->fetch_add(1, std::memory_order_relaxed);
+    if (config.obs.metrics != nullptr) {
+      config.obs.metrics->counter("recovery.restarts").increment();
+      config.obs.metrics->counter("recovery.devices_lost")
+          .add(static_cast<std::int64_t>(lost.size()));
+    }
+    if (config.obs.tracer != nullptr) {
+      config.obs.tracer->instant(
+          "recovery", "restart",
+          {obs::TraceArg::number(
+               "attempt", restart_count->load(std::memory_order_relaxed)),
+           obs::TraceArg::number(
+               "devices_left", static_cast<std::int64_t>(devices.size())),
+           obs::TraceArg::number("lost",
+                                 static_cast<std::int64_t>(lost.size()))});
+    }
 
     if (backoff_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));

@@ -1,107 +1,111 @@
 #include "core/report.hpp"
 
-#include <sstream>
+#include "base/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace mgpusw::core {
 
 namespace {
 
-/// Escapes the characters JSON strings cannot carry verbatim. Device
-/// names are ASCII in practice, but stay safe for user-provided labels.
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out.push_back(c);
-        }
-    }
+/// Splices the registry snapshot under "metrics". raw_value keeps the
+/// snapshot valid JSON; its inner indentation restarts at column zero,
+/// which parsers do not care about.
+void append_metrics(base::JsonWriter& w,
+                    const obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  w.key("metrics").raw_value(metrics->to_json());
+}
+
+void device_row(base::JsonWriter& w, const DeviceRunStats& stats) {
+  w.begin_object(base::JsonWriter::kCompact);
+  w.key("name").value(stats.device_name);
+  w.key("first_col").value(stats.slice.first_col);
+  w.key("cols").value(stats.slice.cols);
+  w.key("blocks").value(stats.blocks);
+  w.key("pruned_blocks").value(stats.pruned_blocks);
+  w.key("cells").value(stats.cells);
+  w.key("pruned_cells").value(stats.pruned_cells);
+  w.key("busy_ns").value(stats.busy_ns);
+  w.key("recv_stall_ns").value(stats.recv_stall_ns);
+  w.key("send_stall_ns").value(stats.send_stall_ns);
+  w.key("chunks_sent").value(stats.chunks_sent);
+  w.key("bytes_sent").value(stats.bytes_sent);
+  if (stats.phases_tracked) {
+    w.key("phase_compute_ns").value(stats.phase_compute_ns);
+    w.key("phase_recv_ns").value(stats.phase_recv_ns);
+    w.key("phase_send_ns").value(stats.phase_send_ns);
+    w.key("phase_checkpoint_ns").value(stats.phase_checkpoint_ns);
+    w.key("phase_idle_ns").value(stats.phase_idle_ns);
   }
-  return out;
+  w.end_object();
 }
 
 }  // namespace
 
-std::string to_json(const EngineResult& result) {
-  std::ostringstream os;
-  os << "{\n";
-  os << "  \"score\": " << result.best.score << ",\n";
-  os << "  \"end_row\": " << result.best.end.row << ",\n";
-  os << "  \"end_col\": " << result.best.end.col << ",\n";
-  os << "  \"kernel\": \"" << json_escape(result.kernel) << "\",\n";
-  os << "  \"simd_isa\": \"" << json_escape(result.simd_isa) << "\",\n";
-  os << "  \"matrix_cells\": " << result.matrix_cells << ",\n";
-  os << "  \"computed_cells\": " << result.computed_cells << ",\n";
-  os << "  \"wall_seconds\": " << result.wall_seconds << ",\n";
-  os << "  \"gcups\": " << result.gcups() << ",\n";
-  os << "  \"devices\": [\n";
-  for (std::size_t d = 0; d < result.devices.size(); ++d) {
-    const DeviceRunStats& stats = result.devices[d];
-    os << "    {\"name\": \"" << json_escape(stats.device_name) << "\", "
-       << "\"first_col\": " << stats.slice.first_col << ", "
-       << "\"cols\": " << stats.slice.cols << ", "
-       << "\"blocks\": " << stats.blocks << ", "
-       << "\"pruned_blocks\": " << stats.pruned_blocks << ", "
-       << "\"cells\": " << stats.cells << ", "
-       << "\"busy_ns\": " << stats.busy_ns << ", "
-       << "\"recv_stall_ns\": " << stats.recv_stall_ns << ", "
-       << "\"send_stall_ns\": " << stats.send_stall_ns << ", "
-       << "\"chunks_sent\": " << stats.chunks_sent << ", "
-       << "\"bytes_sent\": " << stats.bytes_sent << "}"
-       << (d + 1 < result.devices.size() ? "," : "") << "\n";
+std::string to_json(const EngineResult& result,
+                    const obs::MetricsRegistry* metrics) {
+  base::JsonWriter w;
+  w.begin_object();
+  w.key("score").value(result.best.score);
+  w.key("end_row").value(result.best.end.row);
+  w.key("end_col").value(result.best.end.col);
+  w.key("kernel").value(result.kernel);
+  w.key("simd_isa").value(result.simd_isa);
+  w.key("matrix_cells").value(result.matrix_cells);
+  w.key("computed_cells").value(result.computed_cells);
+  w.key("wall_seconds").value(result.wall_seconds);
+  w.key("gcups").value(result.gcups());
+  w.key("devices").begin_array();
+  for (const DeviceRunStats& stats : result.devices) {
+    device_row(w, stats);
   }
-  os << "  ]\n}\n";
-  return os.str();
+  w.end_array();
+  append_metrics(w, metrics);
+  w.end_object();
+  return w.str() + "\n";
 }
 
-std::string to_json(const RecoveryResult& result) {
-  std::ostringstream os;
-  os << "{\n";
-  os << "  \"restarts\": " << result.restarts << ",\n";
-  os << "  \"lost_devices\": [";
-  for (std::size_t i = 0; i < result.lost_devices.size(); ++i) {
-    os << (i > 0 ? ", " : "") << "\""
-       << json_escape(result.lost_devices[i]) << "\"";
+std::string to_json(const RecoveryResult& result,
+                    const obs::MetricsRegistry* metrics) {
+  base::JsonWriter w;
+  w.begin_object();
+  w.key("restarts").value(result.restarts);
+  w.key("lost_devices").begin_array(base::JsonWriter::kCompact);
+  for (const std::string& name : result.lost_devices) {
+    w.value(name);
   }
-  os << "],\n";
+  w.end_array();
   std::string run = to_json(result.result);
   while (!run.empty() && run.back() == '\n') run.pop_back();
-  os << "  \"run\": " << run << "\n}\n";
-  return os.str();
+  w.key("run").raw_value(run);
+  append_metrics(w, metrics);
+  w.end_object();
+  return w.str() + "\n";
 }
 
 std::string to_json(const sim::SimResult& result) {
-  std::ostringstream os;
-  os << "{\n";
-  os << "  \"makespan_ns\": " << result.makespan_ns << ",\n";
-  os << "  \"total_cells\": " << result.total_cells << ",\n";
-  os << "  \"gcups\": " << result.gcups() << ",\n";
-  os << "  \"devices\": [\n";
-  for (std::size_t d = 0; d < result.devices.size(); ++d) {
-    const sim::SimDeviceStats& stats = result.devices[d];
-    os << "    {\"name\": \"" << json_escape(stats.device_name) << "\", "
-       << "\"first_col\": " << stats.slice.first_col << ", "
-       << "\"cols\": " << stats.slice.cols << ", "
-       << "\"cells\": " << stats.cells << ", "
-       << "\"busy_ns\": " << stats.busy_ns << ", "
-       << "\"recv_wait_ns\": " << stats.recv_wait_ns << ", "
-       << "\"send_wait_ns\": " << stats.send_wait_ns << ", "
-       << "\"start_ns\": " << stats.start_ns << ", "
-       << "\"finish_ns\": " << stats.finish_ns << "}"
-       << (d + 1 < result.devices.size() ? "," : "") << "\n";
+  base::JsonWriter w;
+  w.begin_object();
+  w.key("makespan_ns").value(result.makespan_ns);
+  w.key("total_cells").value(result.total_cells);
+  w.key("gcups").value(result.gcups());
+  w.key("devices").begin_array();
+  for (const sim::SimDeviceStats& stats : result.devices) {
+    w.begin_object(base::JsonWriter::kCompact);
+    w.key("name").value(stats.device_name);
+    w.key("first_col").value(stats.slice.first_col);
+    w.key("cols").value(stats.slice.cols);
+    w.key("cells").value(stats.cells);
+    w.key("busy_ns").value(stats.busy_ns);
+    w.key("recv_wait_ns").value(stats.recv_wait_ns);
+    w.key("send_wait_ns").value(stats.send_wait_ns);
+    w.key("start_ns").value(stats.start_ns);
+    w.key("finish_ns").value(stats.finish_ns);
+    w.end_object();
   }
-  os << "  ]\n}\n";
-  return os.str();
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
 }
 
 }  // namespace mgpusw::core

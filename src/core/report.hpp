@@ -2,8 +2,13 @@
 //
 // Serializes engine and simulator results to JSON so external tooling
 // (plotting scripts, regression dashboards) can consume benchmark runs
-// without scraping tables. No external JSON dependency: the document
-// structure is flat and fully controlled here.
+// without scraping tables. Built on base::JsonWriter — the document
+// structure is flat and fully controlled here, with no external JSON
+// dependency.
+//
+// Each engine/recovery overload optionally merges an observability
+// snapshot: pass the run's obs::MetricsRegistry and the report gains a
+// "metrics" object (counters/gauges/histograms, see obs/metrics.hpp).
 #pragma once
 
 #include <string>
@@ -12,14 +17,25 @@
 #include "core/recovery.hpp"
 #include "sim/pipeline_sim.hpp"
 
+namespace mgpusw::obs {
+class MetricsRegistry;
+}  // namespace mgpusw::obs
+
 namespace mgpusw::core {
 
 /// EngineResult -> JSON object (pretty-printed, stable key order).
-[[nodiscard]] std::string to_json(const EngineResult& result);
+/// Device rows carry per-phase nanosecond totals when the run profiled
+/// phases (EngineConfig::obs.profile_phases).
+[[nodiscard]] std::string to_json(
+    const EngineResult& result,
+    const obs::MetricsRegistry* metrics = nullptr);
 
 /// RecoveryResult -> JSON object: restart count, lost devices, and the
-/// recovered run under "run".
-[[nodiscard]] std::string to_json(const RecoveryResult& result);
+/// recovered run under "run". The metrics snapshot (when given) lands
+/// at the top level, covering every attempt, not just the last run.
+[[nodiscard]] std::string to_json(
+    const RecoveryResult& result,
+    const obs::MetricsRegistry* metrics = nullptr);
 
 /// SimResult -> JSON object.
 [[nodiscard]] std::string to_json(const sim::SimResult& result);

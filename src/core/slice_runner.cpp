@@ -8,6 +8,8 @@
 #include "base/math.hpp"
 #include "base/time.hpp"
 #include "comm/border.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mgpusw::core {
 
@@ -32,11 +34,20 @@ void SpecialRowCapture::save(std::int64_t block_row, std::int64_t last_row,
                              const sw::Score* bottom_h,
                              const sw::Score* bottom_f) const {
   if (!due(block_row)) return;
+  const obs::ScopedPhase phase(profiler_, obs::Phase::kCheckpoint);
+  obs::TraceSpan span(scope_.tracer, "checkpoint", "save_row");
+  span.arg("row", last_row).arg("col", c0_global).arg("width", width);
   store_->save_segment(
       last_row, c0_global,
       std::vector<sw::Score>(bottom_h, bottom_h + width),
       save_f_ ? std::vector<sw::Score>(bottom_f, bottom_f + width)
               : std::vector<sw::Score>{});
+  if (scope_.metrics != nullptr) {
+    scope_.metrics->counter("checkpoint.segments_saved").increment();
+    scope_.metrics->counter("checkpoint.bytes")
+        .add(static_cast<std::int64_t>((save_f_ ? 2 : 1) * width *
+                                       sizeof(sw::Score)));
+  }
 }
 
 sw::Score border_max(sw::Score corner, const sw::Score* top,
@@ -52,8 +63,18 @@ sw::Score border_max(sw::Score corner, const sw::Score* top,
   return best;
 }
 
+void BorderExchange::set_obs(const obs::Scope& scope) {
+  scope_ = scope;
+  if (scope.metrics != nullptr) {
+    border_wait_ms_ = &scope.metrics->histogram("comm.border_wait_ms");
+  }
+}
+
 void BorderExchange::receive(std::int64_t block_row, sw::Score* col_h,
                              sw::Score* col_e, sw::Score& corner_out) {
+  obs::TraceSpan span(scope_.tracer, "comm", "border_recv");
+  span.arg("row", block_row);
+  base::WallTimer wait;
   // Protocol violations (lost, reordered or damaged chunks) are
   // transient: the run can be restarted from the last checkpoint with a
   // fresh channel, so they throw ProtocolError rather than the fatal
@@ -84,10 +105,15 @@ void BorderExchange::receive(std::int64_t block_row, sw::Score* col_h,
             col_e + static_cast<std::ptrdiff_t>(r0));
   corner_out = static_cast<sw::Score>(chunk->corner_h);
   ++chunks_received_;
+  if (border_wait_ms_ != nullptr) {
+    border_wait_ms_->observe(wait.elapsed_seconds() * 1e3);
+  }
 }
 
 void BorderExchange::send(std::int64_t block_row, const sw::Score* col_h,
                           const sw::Score* col_e, sw::Score& sent_corner) {
+  obs::TraceSpan span(scope_.tracer, "comm", "border_send");
+  span.arg("row", block_row);
   const std::int64_t r0 = block_row * block_rows_;
   const std::int64_t bh = std::min(block_rows_, rows_ - r0);
   comm::BorderChunk chunk;
@@ -151,7 +177,19 @@ SliceRunner::SliceRunner(const RunnerContext& context,
       global_best_(global_best),
       start_block_row_(start_block_row),
       seed_h_(seed_h),
-      seed_f_(seed_f) {}
+      seed_f_(seed_f),
+      obs_(context.obs),
+      profile_(context.obs.profile_phases) {
+  exchange_.set_obs(obs_);
+  // The checkpoint phase can only be charged when save() runs on this
+  // driver thread; under the diagonal schedule with multiple device
+  // workers, compute_one runs off-thread and checkpoint time stays
+  // inside the compute phase.
+  const bool driver_inline = context.schedule == Schedule::kRowMajor ||
+                             device.worker_count() == 1;
+  special_rows_.set_obs(obs_, profile_ && driver_inline ? &profiler_
+                                                        : nullptr);
+}
 
 void SliceRunner::init_borders() {
   const std::int64_t rows = static_cast<std::int64_t>(query_.size());
@@ -190,6 +228,15 @@ void SliceRunner::init_borders() {
 
 void SliceRunner::run() {
   base::WallTimer wall;
+  obs::TraceSpan slice_span;
+  if (obs_.tracer != nullptr) {
+    obs_.tracer->name_this_thread("dev" + std::to_string(device_index_) +
+                                  " " + device_.spec().name);
+    slice_span = obs::TraceSpan(obs_.tracer, "engine", "slice");
+    slice_span.arg("device", device_index_)
+        .arg("first_col", slice_.first_col)
+        .arg("cols", slice_.cols);
+  }
   init_borders();
 
   // Track the footprint against the device's memory capacity, as the
@@ -206,13 +253,39 @@ void SliceRunner::run() {
     DiagonalSchedule{}.run(*this);
   }
 
+  phase(obs::Phase::kBorderSend);
   exchange_.close_downstream();
+  phase(obs::Phase::kIdle);
 
   stats_.wall_ns = wall.elapsed_ns();
   stats_.device_name = device_.spec().name;
   stats_.slice = slice_;
   stats_.busy_ns = device_.busy_ns() - initial_busy_ns_;
   exchange_.fill_stats(stats_);
+  flush_obs();
+}
+
+void SliceRunner::flush_obs() {
+  if (profile_) {
+    profiler_.stop();
+    stats_.phases_tracked = true;
+    stats_.phase_compute_ns = profiler_.ns(obs::Phase::kCompute);
+    stats_.phase_recv_ns = profiler_.ns(obs::Phase::kBorderRecv);
+    stats_.phase_send_ns = profiler_.ns(obs::Phase::kBorderSend);
+    stats_.phase_checkpoint_ns = profiler_.ns(obs::Phase::kCheckpoint);
+    stats_.phase_idle_ns = profiler_.ns(obs::Phase::kIdle);
+  }
+  if (obs_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *obs_.metrics;
+    m.counter("engine.blocks_computed")
+        .add(stats_.blocks - stats_.pruned_blocks);
+    m.counter("engine.blocks_pruned").add(stats_.pruned_blocks);
+    m.counter("engine.cells_computed").add(stats_.cells);
+    m.counter("engine.cells_pruned").add(stats_.pruned_cells);
+    m.counter("comm.chunks_sent").add(stats_.chunks_sent);
+    m.counter("comm.chunks_received").add(stats_.chunks_received);
+    m.counter("comm.bytes_sent").add(stats_.bytes_sent);
+  }
 }
 
 void SliceRunner::reduce_outcome(TaskOutcome& outcome) {
@@ -221,6 +294,7 @@ void SliceRunner::reduce_outcome(TaskOutcome& outcome) {
   ++stats_.blocks;
   if (outcome.pruned) {
     ++stats_.pruned_blocks;
+    stats_.pruned_cells += outcome.cells;
   } else {
     stats_.cells += outcome.cells;
   }
@@ -233,12 +307,22 @@ void SliceRunner::publish_best() { atomic_max(global_best_, best_.score); }
 
 void SliceRunner::notify_progress(std::int64_t completed,
                                   std::int64_t total) {
+  if (obs_.tracer != nullptr) {
+    // ProgressEvent re-expressed as a trace counter: one series per
+    // device, plotting completed scheduling units over time.
+    obs_.tracer->counter("engine",
+                         "progress dev" + std::to_string(device_index_),
+                         completed);
+  }
   if (!context_.progress) return;
   ProgressEvent event;
   event.device_index = device_index_;
   event.completed_units = completed;
   event.total_units = total;
   event.device_cells_done = stats_.cells;
+  event.t_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - context_.run_epoch)
+                   .count();
   event.job = context_.job;
   context_.progress(event);
 }
@@ -304,9 +388,12 @@ void SliceRunner::compute_one(std::int64_t i, std::int64_t j,
   args.right_h = left_h;
   args.right_e = left_e;
 
+  obs::TraceSpan span(obs_.tracer, "engine", "block");
+  span.arg("i", i).arg("j", j);
   base::WallTimer timer;
   outcome.block = kernel_(context_.scheme, args);
   device_.account_kernel(timer.elapsed_ns(), sw::block_cells(bh, bw));
+  span.finish();
   outcome.cells = sw::block_cells(bh, bw);
   outcome.valid = true;
 
@@ -321,9 +408,11 @@ void RowMajorSchedule::run(SliceRunner& r) const {
   TaskOutcome outcome;
   for (std::int64_t i = r.start_block_row_; i < r.nbr_; ++i) {
     if (r.exchange_.has_upstream()) {
+      r.phase(obs::Phase::kBorderRecv);
       r.exchange_.receive(i, r.col_h_.data(), r.col_e_.data(),
                           r.chunk_corner_[static_cast<std::size_t>(i)]);
     }
+    r.phase(obs::Phase::kCompute);
     for (std::int64_t j = 0; j < r.nbc_; ++j) {
       outcome = TaskOutcome{};
       r.compute_one(i, j, outcome);
@@ -331,9 +420,11 @@ void RowMajorSchedule::run(SliceRunner& r) const {
     }
     r.publish_best();
     if (r.exchange_.has_downstream()) {
+      r.phase(obs::Phase::kBorderSend);
       r.exchange_.send(i, r.col_h_.data(), r.col_e_.data(),
                        r.sent_corner_);
     }
+    r.phase(obs::Phase::kIdle);
     r.notify_progress(i + 1, r.nbr_);
   }
 }
@@ -351,6 +442,7 @@ void DiagonalSchedule::run(SliceRunner& r) const {
     // 1. Receive the border chunk feeding this diagonal's first-column
     //    block (device d > 0 only).
     if (r.exchange_.has_upstream() && diag < nbr_eff) {
+      r.phase(obs::Phase::kBorderRecv);
       const std::int64_t i_recv = start + diag;
       r.exchange_.receive(
           i_recv, r.col_h_.data(), r.col_e_.data(),
@@ -361,6 +453,7 @@ void DiagonalSchedule::run(SliceRunner& r) const {
     //    throw (kernel fault, dying device); on a worker thread the
     //    exception is parked in the outcome — letting it escape would
     //    terminate the pool — and rethrown by reduce on the driver.
+    r.phase(obs::Phase::kCompute);
     const std::int64_t li_lo =
         std::max<std::int64_t>(0, diag - (r.nbc_ - 1));
     const std::int64_t li_hi = std::min<std::int64_t>(nbr_eff - 1, diag);
@@ -410,10 +503,12 @@ void DiagonalSchedule::run(SliceRunner& r) const {
     if (r.exchange_.has_downstream()) {
       const std::int64_t li_send = diag - (r.nbc_ - 1);
       if (li_send >= 0 && li_send < nbr_eff) {
+        r.phase(obs::Phase::kBorderSend);
         r.exchange_.send(start + li_send, r.col_h_.data(),
                          r.col_e_.data(), r.sent_corner_);
       }
     }
+    r.phase(obs::Phase::kIdle);
     r.notify_progress(diag + 1, nbr_eff + r.nbc_ - 1);
   }
 }

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -30,10 +31,16 @@
 #include "comm/channel.hpp"
 #include "core/plan.hpp"
 #include "core/special_rows.hpp"
+#include "obs/obs.hpp"
+#include "obs/phase_profiler.hpp"
 #include "seq/alphabet.hpp"
 #include "sw/kernel.hpp"
 #include "sw/scoring.hpp"
 #include "vgpu/device.hpp"
+
+namespace mgpusw::obs {
+class Histogram;
+}  // namespace mgpusw::obs
 
 namespace mgpusw::core {
 
@@ -45,6 +52,10 @@ struct ProgressEvent {
   std::int64_t completed_units = 0;
   std::int64_t total_units = 0;
   std::int64_t device_cells_done = 0;
+  /// Monotonic timestamp: steady-clock nanoseconds since the run's
+  /// epoch (RunnerContext::run_epoch), so consumers can order events
+  /// across device threads without reading the wall clock.
+  std::int64_t t_ns = 0;
   /// Job label of the comparison this device is working on (the batch
   /// scheduler threads the item label through here; empty for plain
   /// engine runs).
@@ -61,6 +72,7 @@ struct DeviceRunStats {
   std::int64_t blocks = 0;
   std::int64_t pruned_blocks = 0;
   std::int64_t cells = 0;          // actually computed (pruned excluded)
+  std::int64_t pruned_cells = 0;   // skipped by block pruning
   std::int64_t busy_ns = 0;        // kernel time incl. throttle penalty
   std::int64_t recv_stall_ns = 0;  // waiting for upstream border chunks
   std::int64_t send_stall_ns = 0;  // blocked on a full circular buffer
@@ -68,6 +80,16 @@ struct DeviceRunStats {
   std::int64_t chunks_received = 0;
   std::int64_t chunks_sent = 0;
   std::int64_t bytes_sent = 0;
+
+  /// Driver-thread phase attribution (obs::PhaseProfiler). Filled only
+  /// when phases_tracked; the five fields then partition wall_ns up to
+  /// scheduling noise.
+  bool phases_tracked = false;
+  std::int64_t phase_compute_ns = 0;
+  std::int64_t phase_recv_ns = 0;
+  std::int64_t phase_send_ns = 0;
+  std::int64_t phase_checkpoint_ns = 0;
+  std::int64_t phase_idle_ns = 0;
 };
 
 /// The slice-level view of the engine configuration: exactly what a
@@ -84,6 +106,13 @@ struct RunnerContext {
   bool checkpoint_f = false;
   std::function<void(const ProgressEvent&)> progress;
   std::string job;  // threaded into every ProgressEvent
+
+  /// Observability handles (null/disabled by default: every hook then
+  /// costs one branch). The engine threads its EngineConfig scope here.
+  obs::Scope obs;
+  /// Timebase of ProgressEvent::t_ns; the engine stamps it at run start.
+  std::chrono::steady_clock::time_point run_epoch =
+      std::chrono::steady_clock::now();
 };
 
 /// Result of one block task, reduced by the driver after each scheduling
@@ -143,6 +172,14 @@ class SpecialRowCapture {
                     bool save_f)
       : interval_(interval), store_(store), save_f_(save_f) {}
 
+  /// Attaches tracing/metrics. `profiler` must be null unless save()
+  /// always runs on the profiler's driver thread (the runner passes it
+  /// only for inline execution).
+  void set_obs(const obs::Scope& scope, obs::PhaseProfiler* profiler) {
+    scope_ = scope;
+    profiler_ = profiler;
+  }
+
   [[nodiscard]] bool due(std::int64_t block_row) const {
     return interval_ > 0 && (block_row + 1) % interval_ == 0;
   }
@@ -157,6 +194,8 @@ class SpecialRowCapture {
   std::int64_t interval_ = 0;
   SpecialRowStore* store_ = nullptr;
   bool save_f_ = false;
+  obs::Scope scope_;
+  obs::PhaseProfiler* profiler_ = nullptr;
 };
 
 /// Border chunk traffic with the two neighbour devices: validates the
@@ -173,6 +212,10 @@ class BorderExchange {
 
   [[nodiscard]] bool has_upstream() const { return in_ != nullptr; }
   [[nodiscard]] bool has_downstream() const { return out_ != nullptr; }
+
+  /// Attaches tracing (border-recv/send spans on the calling thread's
+  /// track) and metrics (comm.border_wait_ms histogram).
+  void set_obs(const obs::Scope& scope);
 
   /// Receives the chunk feeding block row `block_row`, scattering it
   /// into the vertical border arrays; stores the chunk's corner in
@@ -202,6 +245,8 @@ class BorderExchange {
   std::int64_t block_rows_ = 0;
   std::int64_t rows_ = 0;
   std::int64_t chunks_received_ = 0;
+  obs::Scope scope_;
+  obs::Histogram* border_wait_ms_ = nullptr;
 };
 
 class SliceRunner;
@@ -255,6 +300,12 @@ class SliceRunner {
   void publish_best();
   void notify_progress(std::int64_t completed, std::int64_t total);
 
+  /// One-branch phase hook used by the schedules.
+  void phase(obs::Phase next) {
+    if (profile_) profiler_.switch_to(next);
+  }
+  void flush_obs();  // phase totals into stats_, bulk metric adds
+
   const RunnerContext& context_;
   const sw::BlockKernelFn kernel_;
   const int device_index_ = 0;
@@ -281,6 +332,10 @@ class SliceRunner {
   DeviceRunStats stats_;
   sw::ScoreResult best_;
   std::int64_t initial_busy_ns_ = 0;
+
+  const obs::Scope obs_;        // from RunnerContext
+  const bool profile_ = false;  // obs_.profile_phases
+  obs::PhaseProfiler profiler_;
 };
 
 }  // namespace mgpusw::core

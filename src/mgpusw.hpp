@@ -22,6 +22,7 @@
 #include "base/format.hpp"    // IWYU pragma: export
 #include "base/log.hpp"       // IWYU pragma: export
 #include "base/rng.hpp"       // IWYU pragma: export
+#include "base/json.hpp"      // IWYU pragma: export
 #include "base/time.hpp"      // IWYU pragma: export
 #include "comm/channel.hpp"   // IWYU pragma: export
 #include "core/balance.hpp"   // IWYU pragma: export
@@ -35,6 +36,12 @@
 #include "core/report.hpp"    // IWYU pragma: export
 #include "core/slice_runner.hpp"  // IWYU pragma: export
 #include "core/special_rows.hpp"  // IWYU pragma: export
+#include "obs/json_parse.hpp" // IWYU pragma: export
+#include "obs/metrics.hpp"    // IWYU pragma: export
+#include "obs/obs.hpp"        // IWYU pragma: export
+#include "obs/phase_profiler.hpp" // IWYU pragma: export
+#include "obs/trace.hpp"      // IWYU pragma: export
+#include "obs/trace_export.hpp"   // IWYU pragma: export
 #include "seq/dotplot.hpp"    // IWYU pragma: export
 #include "seq/fasta.hpp"      // IWYU pragma: export
 #include "seq/sequence.hpp"   // IWYU pragma: export

@@ -1,0 +1,57 @@
+// Minimal recursive-descent JSON parser.
+//
+// Exists so the repo can validate its own JSON artifacts (Chrome
+// traces, metrics snapshots, BENCH_*.json records) in tests, CI smoke
+// runs and the examples/trace_view summarizer without an external
+// dependency. It parses strict JSON plus nothing else; errors throw
+// InvalidArgument with an offset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mgpusw::obs::json {
+
+/// A parsed JSON value. Objects keep their members in document order
+/// (duplicate keys are kept; find() returns the first).
+struct Value {
+  enum Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_null() const { return type == kNull; }
+  [[nodiscard]] bool is_object() const { return type == kObject; }
+  [[nodiscard]] bool is_array() const { return type == kArray; }
+  [[nodiscard]] bool is_string() const { return type == kString; }
+  [[nodiscard]] bool is_number() const { return type == kNumber; }
+
+  /// First member named `key`, or nullptr. Non-objects have no members.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// find(), but throws InvalidArgument when the member is missing.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+  /// The number as int64 (truncating); throws unless is_number().
+  [[nodiscard]] std::int64_t as_int() const;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+/// Throws InvalidArgument on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace mgpusw::obs::json

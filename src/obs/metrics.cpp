@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "base/json.hpp"
+
+namespace mgpusw::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  MGPUSW_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket");
+  MGPUSW_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must be sorted ascending");
+  counts_ =
+      std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // std::atomic<double>::fetch_add is C++20 but not implemented
+  // everywhere; CAS loops keep this portable.
+  double seen = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + value,
+                                     std::memory_order_relaxed)) {
+  }
+  double top = max_.load(std::memory_order_relaxed);
+  while (value > top && !max_.compare_exchange_weak(
+                            top, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> default_ms_buckets() {
+  return {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0};
+}
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::int64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second->value() : 0;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.get() : nullptr;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  base::JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, counter] : counters_) {
+    w.key(name).value(counter->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, gauge] : gauges_) {
+    w.key(name).value(gauge->value());
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, histogram] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(histogram->count());
+    w.key("sum").value(histogram->sum());
+    w.key("max").value(histogram->max());
+    w.key("buckets").begin_array();
+    const auto& bounds = histogram->bounds();
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+      w.begin_object(base::JsonWriter::kCompact);
+      if (i < bounds.size()) {
+        w.key("le").value(bounds[i]);
+      } else {
+        w.key("le").value("+Inf");
+      }
+      w.key("count").value(histogram->bucket_count(i));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace mgpusw::obs

@@ -1,0 +1,128 @@
+// Metrics: named counters, gauges and fixed-bucket histograms with a
+// JSON snapshot (merged into core::report output and the
+// --metrics-json artifacts).
+//
+// Instruments are created on first use and live as long as the
+// registry; the returned references are stable, so hot paths look up a
+// metric once and then touch only atomics. All instruments are
+// thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgpusw::obs {
+
+/// Monotonically increasing integer (events, bytes, cells, restarts).
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A settable level (queue depth, in-flight items, healthy devices).
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over doubles. Bucket i counts observations
+/// `v <= bounds[i]` that missed every lower bucket (Prometheus-style
+/// `le` semantics, non-cumulative counts); one overflow bucket catches
+/// the rest. Bounds are fixed at creation, so merging and JSON export
+/// need no locking beyond the atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Count for bucket i (i == bounds().size() is the overflow bucket).
+  [[nodiscard]] std::int64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max() const {
+    return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  }
+
+ private:
+  std::vector<double> bounds_;  // sorted ascending, validated in ctor
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;  // bounds+overflow
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Default latency bucket bounds in milliseconds, used by the
+/// border-wait and lease-wait histograms.
+[[nodiscard]] std::vector<double> default_ms_buckets();
+
+/// Owns named instruments. Lookup takes a mutex; the returned
+/// references stay valid for the registry's lifetime, so components
+/// resolve their instruments once at setup.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Creates the histogram with `upper_bounds` on first use; later calls
+  /// return the existing instrument regardless of the bounds argument.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds = default_ms_buckets());
+
+  /// Current value of a counter/gauge, 0 if absent (test/report helper).
+  [[nodiscard]] std::int64_t counter_value(std::string_view name) const;
+  [[nodiscard]] std::int64_t gauge_value(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  /// Snapshot as a JSON object:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {name: {count, sum, max, buckets: [{le, count}...]}}}
+  /// Instruments are sorted by name for stable output.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace mgpusw::obs

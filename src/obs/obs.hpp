@@ -1,0 +1,38 @@
+// Observability subsystem — the shared handle.
+//
+// The engine, runner, fleet, batch scheduler, recovery driver and comm
+// channels all accept an obs::Scope: a borrowed (tracer, metrics
+// registry) pair plus a phase-profiling switch. A default Scope is
+// fully disabled and costs each instrumentation point exactly one
+// branch, so production hot paths pay nothing until a caller opts in.
+//
+// Three pillars (see DESIGN.md §11):
+//   * tracing  (obs/trace.hpp)          — RAII spans, per-thread
+//     buffers, Chrome/Perfetto JSON export (obs/trace_export.hpp);
+//   * metrics  (obs/metrics.hpp)        — counters, gauges, fixed-
+//     bucket histograms, JSON snapshots;
+//   * phases   (obs/phase_profiler.hpp) — exact per-device wall-time
+//     attribution (compute / border waits / checkpoint / idle).
+#pragma once
+
+namespace mgpusw::obs {
+
+class Tracer;
+class MetricsRegistry;
+
+/// Borrowed observability handles threaded through a run. Copyable and
+/// cheap; both pointers may be null independently. The pointed-to
+/// objects must outlive every component holding the scope.
+struct Scope {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  /// Attach an obs::PhaseProfiler to every SliceRunner, filling the
+  /// phase_*_ns fields of DeviceRunStats.
+  bool profile_phases = false;
+
+  [[nodiscard]] bool enabled() const {
+    return tracer != nullptr || metrics != nullptr || profile_phases;
+  }
+};
+
+}  // namespace mgpusw::obs

@@ -1,0 +1,16 @@
+#include "obs/phase_profiler.hpp"
+
+namespace mgpusw::obs {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kCompute: return "compute";
+    case Phase::kBorderRecv: return "border_recv";
+    case Phase::kBorderSend: return "border_send";
+    case Phase::kCheckpoint: return "checkpoint";
+    case Phase::kIdle: return "idle";
+  }
+  return "?";
+}
+
+}  // namespace mgpusw::obs

@@ -1,0 +1,125 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+
+namespace mgpusw::obs {
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer() : id_(next_tracer_id()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Slot* Tracer::local_slot() {
+  // Cache (tracer id → slot) per thread. Keyed by the process-unique id
+  // rather than `this` so a new tracer allocated at a dead tracer's
+  // address can never alias a stale cache entry. The cache itself holds
+  // raw Slot pointers, but a slot outlives its tracer's destructor only
+  // as long as the tracer does — callers own that lifetime contract
+  // (the tracer must outlive every component emitting into it).
+  struct CacheEntry {
+    std::uint64_t tracer_id;
+    Slot* slot;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.tracer_id == id_) return entry.slot;
+  }
+  Slot* slot = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    slots_.push_back(std::make_unique<Slot>());
+    slot = slots_.back().get();
+    slot->track = static_cast<int>(slots_.size()) - 1;
+    if (names_.size() < slots_.size()) names_.resize(slots_.size());
+  }
+  cache.push_back(CacheEntry{id_, slot});
+  return slot;
+}
+
+void Tracer::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& slot : slots_) {
+    const std::lock_guard<std::mutex> slot_lock(slot->mu);
+    slot->events.clear();
+  }
+  for (auto& name : names_) name.clear();
+  epoch_.reset();
+}
+
+void Tracer::emit(TraceEvent event) {
+  Slot* slot = local_slot();
+  if (event.track < 0) event.track = slot->track;
+  const std::lock_guard<std::mutex> lock(slot->mu);
+  slot->events.push_back(std::move(event));
+}
+
+void Tracer::instant(const char* category, std::string name,
+                     std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.type = TraceEvent::kInstant;
+  event.category = category;
+  event.name = std::move(name);
+  event.start_ns = now_ns();
+  event.args = std::move(args);
+  emit(std::move(event));
+}
+
+void Tracer::counter(const char* category, std::string name,
+                     std::int64_t value) {
+  TraceEvent event;
+  event.type = TraceEvent::kCounter;
+  event.category = category;
+  event.start_ns = now_ns();
+  event.args.push_back(TraceArg::number(name, value));
+  event.name = std::move(name);
+  emit(std::move(event));
+}
+
+int Tracer::thread_track() { return local_slot()->track; }
+
+void Tracer::name_this_thread(std::string name) {
+  name_track(thread_track(), std::move(name));
+}
+
+void Tracer::name_track(int track, std::string name) {
+  if (track < 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (names_.size() <= static_cast<std::size_t>(track)) {
+    names_.resize(static_cast<std::size_t>(track) + 1);
+  }
+  names_[static_cast<std::size_t>(track)] = std::move(name);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& slot : slots_) {
+    const std::lock_guard<std::mutex> slot_lock(slot->mu);
+    out.insert(out.end(), slot->events.begin(), slot->events.end());
+  }
+  return out;
+}
+
+std::vector<std::string> Tracer::track_names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return names_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t total = 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& slot : slots_) {
+    const std::lock_guard<std::mutex> slot_lock(slot->mu);
+    total += slot->events.size();
+  }
+  return total;
+}
+
+}  // namespace mgpusw::obs

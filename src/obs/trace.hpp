@@ -1,0 +1,195 @@
+// Structured tracing: RAII spans buffered per thread, exportable as
+// Chrome chrome://tracing / Perfetto JSON (obs/trace_export.hpp).
+//
+// Design constraints, in order:
+//   1. thread-safe emission from device driver threads, comm helpers
+//     and the batch scheduler at once;
+//   2. low overhead on the emitting thread — one mutex that is only
+//     ever contended by a concurrent snapshot(), no allocation beyond
+//     the buffered event itself;
+//   3. a null Tracer* must be free: TraceSpan is inert when
+//     constructed without a tracer, so call sites can write
+//     `obs::TraceSpan span(scope.tracer, ...)` unconditionally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/time.hpp"
+
+namespace mgpusw::obs {
+
+/// One key/value annotation attached to a trace event. `value` holds the
+/// final JSON token text; `quoted` says whether the exporter must wrap
+/// (and escape) it as a string.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool quoted = true;
+
+  static TraceArg number(std::string key, std::int64_t v) {
+    return TraceArg{std::move(key), std::to_string(v), false};
+  }
+  static TraceArg text(std::string key, std::string v) {
+    return TraceArg{std::move(key), std::move(v), true};
+  }
+};
+
+/// A buffered trace record. Timestamps are nanoseconds since the owning
+/// tracer's epoch (its construction or last reset()).
+struct TraceEvent {
+  enum Type : std::uint8_t {
+    kComplete,  // span: start_ns .. start_ns + duration_ns
+    kInstant,   // point event at start_ns
+    kCounter,   // sampled value (args carry the series) at start_ns
+  };
+
+  Type type = kComplete;
+  const char* category = "";  // static string: "engine", "comm", ...
+  std::string name;
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;
+  int track = -1;  // tracer-assigned lane; -1 = emitting thread's lane
+  std::vector<TraceArg> args;
+};
+
+class TraceSpan;
+
+/// Collects TraceEvents from many threads. Each emitting thread gets a
+/// private slot (buffer + track id) the first time it touches a given
+/// tracer, so steady-state emission locks a mutex nobody else is
+/// waiting on. snapshot() is non-destructive and may run concurrently
+/// with emission.
+///
+/// Tracks map to Perfetto "threads": every emitting thread is one lane,
+/// named via name_this_thread(). Events may also be pinned to an
+/// explicit lane (e.g. a per-device lane) with TraceEvent::track.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Nanoseconds since this tracer's epoch; the timebase of every event.
+  [[nodiscard]] std::int64_t now_ns() const { return epoch_.elapsed_ns(); }
+
+  /// Restarts the epoch and drops all buffered events and track names.
+  /// Not safe concurrently with emission.
+  void reset();
+
+  /// Buffers one event. If event.track is -1 it is stamped with the
+  /// calling thread's track. Thread-safe.
+  void emit(TraceEvent event);
+
+  /// Convenience: an instant event now on the calling thread's track.
+  void instant(const char* category, std::string name,
+               std::vector<TraceArg> args = {});
+
+  /// Convenience: a counter sample (one series named like the counter).
+  void counter(const char* category, std::string name, std::int64_t value);
+
+  /// The calling thread's track id under this tracer (assigned on first
+  /// use, dense from 0).
+  int thread_track();
+
+  /// Names the calling thread's track in the exported trace.
+  void name_this_thread(std::string name);
+
+  /// Names an arbitrary track (e.g. before handing work to a pool).
+  void name_track(int track, std::string name);
+
+  /// Copies out all buffered events, ordered by track then emission
+  /// order. Thread-safe; emission continues unhindered on other slots.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Track names by track id (unnamed tracks are empty strings).
+  [[nodiscard]] std::vector<std::string> track_names() const;
+
+  [[nodiscard]] std::size_t event_count() const;
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    int track = -1;
+  };
+
+  Slot* local_slot();
+
+  const std::uint64_t id_;  // process-unique, keys the thread-local cache
+  base::WallTimer epoch_;
+
+  mutable std::mutex mu_;  // guards slots_ growth and names_
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::string> names_;
+};
+
+/// RAII span: starts timing at construction, emits a kComplete event on
+/// finish() or destruction. Constructed with a null tracer it is inert
+/// (every method is a no-op), which is how disabled observability costs
+/// one branch. Move-only.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(Tracer* tracer, const char* category, std::string name,
+            int track = -1)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    event_.category = category;
+    event_.name = std::move(name);
+    event_.track = track;
+    event_.start_ns = tracer_->now_ns();
+  }
+
+  TraceSpan(TraceSpan&& other) noexcept
+      : tracer_(std::exchange(other.tracer_, nullptr)),
+        event_(std::move(other.event_)) {}
+  TraceSpan& operator=(TraceSpan&& other) noexcept {
+    if (this != &other) {
+      finish();
+      tracer_ = std::exchange(other.tracer_, nullptr);
+      event_ = std::move(other.event_);
+    }
+    return *this;
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { finish(); }
+
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+
+  TraceSpan& arg(std::string key, std::int64_t value) {
+    if (tracer_ != nullptr) {
+      event_.args.push_back(TraceArg::number(std::move(key), value));
+    }
+    return *this;
+  }
+  TraceSpan& arg(std::string key, std::string value) {
+    if (tracer_ != nullptr) {
+      event_.args.push_back(TraceArg::text(std::move(key), std::move(value)));
+    }
+    return *this;
+  }
+
+  /// Ends the span early (idempotent; the destructor then does nothing).
+  void finish() {
+    if (tracer_ == nullptr) return;
+    event_.duration_ns = tracer_->now_ns() - event_.start_ns;
+    tracer_->emit(std::move(event_));
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TraceEvent event_;
+};
+
+}  // namespace mgpusw::obs

@@ -1,0 +1,98 @@
+#include "obs/trace_export.hpp"
+
+#include <fstream>
+
+#include "base/error.hpp"
+#include "base/json.hpp"
+
+namespace mgpusw::obs {
+namespace {
+
+constexpr int kPid = 1;  // single-process tree; Perfetto needs some pid
+
+void write_common(base::JsonWriter& w, const TraceEvent& event) {
+  w.key("pid").value(kPid);
+  w.key("tid").value(event.track);
+  // Chrome-trace timestamps are microseconds; keep nanosecond precision
+  // in the decimals.
+  w.key("ts").value_fixed(static_cast<double>(event.start_ns) / 1000.0, 3);
+  w.key("cat").value(event.category);
+  w.key("name").value(event.name);
+}
+
+void write_args(base::JsonWriter& w, const std::vector<TraceArg>& args) {
+  if (args.empty()) return;
+  w.key("args").begin_object(base::JsonWriter::kCompact);
+  for (const TraceArg& arg : args) {
+    w.key(arg.key);
+    if (arg.quoted) {
+      w.value(arg.value);
+    } else {
+      w.raw_value(arg.value);
+    }
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  const std::vector<TraceEvent> events = tracer.snapshot();
+  const std::vector<std::string> names = tracer.track_names();
+
+  base::JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+
+  for (std::size_t track = 0; track < names.size(); ++track) {
+    if (names[track].empty()) continue;
+    w.begin_object(base::JsonWriter::kCompact);
+    w.key("ph").value("M");
+    w.key("pid").value(kPid);
+    w.key("tid").value(static_cast<std::int64_t>(track));
+    w.key("name").value("thread_name");
+    w.key("args").begin_object();
+    w.key("name").value(names[track]);
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const TraceEvent& event : events) {
+    w.begin_object(base::JsonWriter::kCompact);
+    switch (event.type) {
+      case TraceEvent::kComplete:
+        w.key("ph").value("X");
+        write_common(w, event);
+        w.key("dur").value_fixed(
+            static_cast<double>(event.duration_ns) / 1000.0, 3);
+        write_args(w, event.args);
+        break;
+      case TraceEvent::kInstant:
+        w.key("ph").value("i");
+        write_common(w, event);
+        w.key("s").value("t");  // thread-scoped instant
+        write_args(w, event.args);
+        break;
+      case TraceEvent::kCounter:
+        w.key("ph").value("C");
+        write_common(w, event);
+        write_args(w, event.args);
+        break;
+    }
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_chrome_trace(const std::string& path, const Tracer& tracer) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open trace output file: " + path);
+  out << chrome_trace_json(tracer) << '\n';
+  if (!out) throw IoError("failed writing trace output file: " + path);
+}
+
+}  // namespace mgpusw::obs

@@ -1,0 +1,25 @@
+// Chrome-trace / Perfetto JSON export for obs::Tracer.
+//
+// The output is the classic `{"traceEvents": [...]}` document that
+// loads in chrome://tracing and https://ui.perfetto.dev — see
+// README.md "Viewing a trace" for the Perfetto quickstart. Spans map
+// to ph "X" (complete) events, instants to ph "i", counters to ph "C",
+// and named tracks to ph "M" thread_name metadata; timestamps are
+// microseconds since the tracer's epoch with nanosecond precision kept
+// as decimals.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace mgpusw::obs {
+
+/// Renders everything the tracer has buffered so far.
+[[nodiscard]] std::string chrome_trace_json(const Tracer& tracer);
+
+/// Writes chrome_trace_json(tracer) to `path`. Throws IoError on
+/// failure.
+void write_chrome_trace(const std::string& path, const Tracer& tracer);
+
+}  // namespace mgpusw::obs

@@ -80,6 +80,8 @@ struct SimResult {
   std::vector<SimDeviceStats> devices;
 
   [[nodiscard]] double gcups() const {
+    // Equivalent to base::gcups(total_cells, seconds()) but computed in
+    // nanoseconds directly, keeping simulated figures bit-deterministic.
     if (makespan_ns <= 0) return 0.0;
     return static_cast<double>(total_cells) /
            static_cast<double>(makespan_ns);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "base/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace mgpusw::vgpu {
 
@@ -210,6 +211,16 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   consumed_.assign(plan_.faults.size(), false);
 }
 
+void FaultInjector::set_obs(const obs::Scope& scope) {
+  std::lock_guard lock(mu_);
+  metrics_ = scope.metrics;
+}
+
+void FaultInjector::record_fired() {
+  ++fired_;  // mu_ already held by the calling hook
+  if (metrics_ != nullptr) metrics_->counter("fault.injected").increment();
+}
+
 void FaultInjector::ensure_device(int device) {
   const auto needed = static_cast<std::size_t>(device) + 1;
   if (launches_.size() < needed) launches_.resize(needed, 0);
@@ -240,7 +251,7 @@ void FaultInjector::on_kernel_launch(int device, std::int64_t block_i,
                       now_ms >= spec.ms);
     if (!hit) continue;
     consumed_[s] = true;
-    ++fired_;
+    record_fired();
     if (spec.kind == FaultKind::kDie) {
       dead_[static_cast<std::size_t>(device)] = true;
       throw DeviceLostError("device " + std::to_string(device) +
@@ -271,7 +282,7 @@ void FaultInjector::on_alloc(int device, std::int64_t cumulative_bytes) {
     if (cumulative_bytes < spec.bytes) continue;
     if (!consumed_[s]) {
       consumed_[s] = true;
-      ++fired_;
+      record_fired();
     }
     dead_[static_cast<std::size_t>(device)] = true;
     throw DeviceLostError("device " + std::to_string(device) +
@@ -302,7 +313,7 @@ FaultInjector::ChunkFault FaultInjector::on_chunk(int channel,
         continue;
     }
     consumed_[s] = true;
-    ++fired_;
+    record_fired();
   }
   return fault;
 }

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "base/time.hpp"
+#include "obs/obs.hpp"
 
 namespace mgpusw::vgpu {
 
@@ -115,6 +116,11 @@ class FaultInjector {
   /// Channel hook, called before chunk `sequence` is sent on `channel`.
   [[nodiscard]] ChunkFault on_chunk(int channel, std::int64_t sequence);
 
+  /// Attaches a metrics registry: every fault that fires from now on
+  /// also bumps the fault.injected counter. The engine arms this with
+  /// its run's scope; pass an empty scope to detach.
+  void set_obs(const obs::Scope& scope);
+
   /// Faults that have fired so far (for logs and tests).
   [[nodiscard]] std::int64_t fired() const;
 
@@ -129,7 +135,9 @@ class FaultInjector {
   std::vector<bool> dead_;            // per-device death flags
   base::WallTimer clock_;             // armed at construction
   std::int64_t fired_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
 
+  void record_fired();  // ++fired_ plus the fault.injected counter
   void ensure_device(int device);
 };
 

@@ -1,0 +1,491 @@
+// Observability subsystem: tracer/span semantics, metrics instruments,
+// Chrome-trace export validity (checked with the repo's own JSON
+// parser), the phase profiler, and an end-to-end assertion that a
+// two-device engine run's per-phase times partition its wall time.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/json.hpp"
+#include "core/engine.hpp"
+#include "core/report.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/phase_profiler.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "tests/test_util.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/spec.hpp"
+
+namespace mgpusw {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tracer + spans
+
+TEST(TraceSpanTest, NestedSpansRecorded) {
+  obs::Tracer tracer;
+  {
+    obs::TraceSpan outer(&tracer, "test", "outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      obs::TraceSpan inner(&tracer, "test", "inner");
+      inner.arg("depth", std::int64_t{2});
+    }
+  }
+  const std::vector<obs::TraceEvent> events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are emitted at destruction: inner closes first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].track, events[1].track);
+  // The outer span contains the inner one in time.
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].start_ns + events[1].duration_ns,
+            events[0].start_ns + events[0].duration_ns);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].key, "depth");
+  EXPECT_EQ(events[0].args[0].value, "2");
+  EXPECT_FALSE(events[0].args[0].quoted);
+}
+
+TEST(TraceSpanTest, NullTracerIsInert) {
+  obs::TraceSpan span(nullptr, "test", "ghost");
+  EXPECT_FALSE(span.active());
+  span.arg("k", std::int64_t{1});
+  span.finish();  // must not crash
+}
+
+TEST(TraceSpanTest, MoveTransfersOwnership) {
+  obs::Tracer tracer;
+  {
+    obs::TraceSpan a(&tracer, "test", "moved");
+    obs::TraceSpan b(std::move(a));
+    EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.active());
+  }
+  EXPECT_EQ(tracer.event_count(), 1u);  // emitted once, not twice
+}
+
+TEST(TraceSpanTest, FinishIsIdempotent) {
+  obs::Tracer tracer;
+  obs::TraceSpan span(&tracer, "test", "once");
+  span.finish();
+  span.finish();
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(TracerTest, ThreadsGetDistinctDenseTracks) {
+  obs::Tracer tracer;
+  tracer.name_this_thread("main");
+  const int main_track = tracer.thread_track();
+  int worker_track = -1;
+  std::thread worker([&] {
+    tracer.instant("test", "from-worker");
+    worker_track = tracer.thread_track();
+  });
+  worker.join();
+  EXPECT_NE(main_track, worker_track);
+  EXPECT_GE(worker_track, 0);
+  const std::vector<std::string> names = tracer.track_names();
+  ASSERT_GT(names.size(), static_cast<std::size_t>(main_track));
+  EXPECT_EQ(names[static_cast<std::size_t>(main_track)], "main");
+}
+
+// The TSan target for this suite: many threads emitting spans, instants
+// and counters into one tracer while the main thread snapshots.
+TEST(TracerTest, ConcurrentEmissionAndSnapshot) {
+  obs::Tracer tracer;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, &go, t] {
+      while (!go.load()) {
+      }
+      tracer.name_this_thread("worker" + std::to_string(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::TraceSpan span(&tracer, "test", "work");
+        span.arg("i", i);
+        tracer.counter("test", "progress", i);
+      }
+    });
+  }
+  go.store(true);
+  // Concurrent snapshots must observe a consistent prefix of each slot.
+  for (int i = 0; i < 50; ++i) {
+    const auto partial = tracer.snapshot();
+    EXPECT_LE(partial.size(),
+              static_cast<std::size_t>(kThreads * kSpansPerThread * 2));
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(tracer.event_count(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread * 2));
+  // Tracks are dense: every event's track is in [0, #threads).
+  for (const obs::TraceEvent& event : tracer.snapshot()) {
+    EXPECT_GE(event.track, 0);
+    EXPECT_LT(event.track, kThreads);
+  }
+}
+
+TEST(TracerTest, ResetDropsEventsAndNames) {
+  obs::Tracer tracer;
+  tracer.instant("test", "before");
+  tracer.name_this_thread("old");
+  tracer.reset();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  for (const std::string& name : tracer.track_names()) {
+    EXPECT_TRUE(name.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(HistogramTest, BucketEdgesUseLessOrEqual) {
+  obs::Histogram histogram({1.0, 2.0, 4.0});
+  histogram.observe(1.0);  // on the edge: belongs to bucket le=1
+  histogram.observe(1.5);
+  histogram.observe(4.0);  // on the last finite edge
+  histogram.observe(4.1);  // overflow
+  EXPECT_EQ(histogram.bucket_count(0), 1);
+  EXPECT_EQ(histogram.bucket_count(1), 1);
+  EXPECT_EQ(histogram.bucket_count(2), 1);
+  EXPECT_EQ(histogram.bucket_count(3), 1);  // +Inf bucket
+  EXPECT_EQ(histogram.count(), 4);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 10.6);
+  EXPECT_DOUBLE_EQ(histogram.max(), 4.1);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeroMax) {
+  obs::Histogram histogram(obs::default_ms_buckets());
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+}
+
+TEST(HistogramTest, RejectsInvalidBounds) {
+  EXPECT_THROW(obs::Histogram({}), InvalidArgument);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), InvalidArgument);
+}
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAndNamed) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("a.count");
+  counter.add(3);
+  registry.counter("a.count").increment();
+  EXPECT_EQ(&registry.counter("a.count"), &counter);
+  EXPECT_EQ(registry.counter_value("a.count"), 4);
+  EXPECT_EQ(registry.counter_value("missing"), 0);
+  registry.gauge("a.level").set(7);
+  registry.gauge("a.level").add(-2);
+  EXPECT_EQ(registry.gauge_value("a.level"), 5);
+  EXPECT_EQ(registry.find_histogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotParses) {
+  obs::MetricsRegistry registry;
+  registry.counter("runs").add(2);
+  registry.gauge("depth").set(-3);
+  registry.histogram("wait_ms", {1.0, 10.0}).observe(0.5);
+  registry.histogram("wait_ms").observe(100.0);
+
+  const obs::json::Value doc = obs::json::parse(registry.to_json());
+  EXPECT_EQ(doc.at("counters").at("runs").as_int(), 2);
+  EXPECT_EQ(doc.at("gauges").at("depth").as_int(), -3);
+  const obs::json::Value& hist = doc.at("histograms").at("wait_ms");
+  EXPECT_EQ(hist.at("count").as_int(), 2);
+  const obs::json::Value& buckets = hist.at("buckets");
+  ASSERT_TRUE(buckets.is_array());
+  ASSERT_EQ(buckets.array.size(), 3u);  // 2 bounds + overflow
+  EXPECT_EQ(buckets.array[0].at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(buckets.array[0].at("le").number, 1.0);
+  EXPECT_EQ(buckets.array[2].at("le").string, "+Inf");
+  EXPECT_EQ(buckets.array[2].at("count").as_int(), 1);
+}
+
+// Concurrent hammering of one registry: counters, gauges and histogram
+// observations from several threads (TSan coverage for the atomics and
+// the CAS loops in Histogram::observe).
+TEST(MetricsRegistryTest, ConcurrentUpdates) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      obs::Counter& counter = registry.counter("ops");
+      obs::Histogram& histogram = registry.histogram("lat_ms");
+      for (int i = 0; i < kOps; ++i) {
+        counter.increment();
+        registry.gauge("level").add(1);
+        histogram.observe(static_cast<double>(i % 7));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter_value("ops"), kThreads * kOps);
+  EXPECT_EQ(registry.gauge_value("level"), kThreads * kOps);
+  EXPECT_EQ(registry.find_histogram("lat_ms")->count(), kThreads * kOps);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace export
+
+TEST(ChromeTraceTest, ExportIsValidAndComplete) {
+  obs::Tracer tracer;
+  tracer.name_this_thread("driver \"0\"");  // exercises escaping
+  {
+    obs::TraceSpan span(&tracer, "engine", "block");
+    span.arg("i", std::int64_t{3}).arg("label", std::string("a\"b"));
+  }
+  tracer.instant("recovery", "restart",
+                 {obs::TraceArg::number("attempt", 1)});
+  tracer.counter("engine", "progress", 42);
+
+  const obs::json::Value doc =
+      obs::json::parse(obs::chrome_trace_json(tracer));
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  const obs::json::Value& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  // 1 thread_name metadata + span + instant + counter.
+  ASSERT_EQ(events.array.size(), 4u);
+
+  int metadata = 0;
+  int complete = 0;
+  int instant = 0;
+  int counter = 0;
+  for (const obs::json::Value& event : events.array) {
+    const std::string& ph = event.at("ph").string;
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(event.at("args").at("name").string, "driver \"0\"");
+    } else if (ph == "X") {
+      ++complete;
+      EXPECT_TRUE(event.at("ts").is_number());
+      EXPECT_TRUE(event.at("dur").is_number());
+      EXPECT_EQ(event.at("cat").string, "engine");
+      EXPECT_EQ(event.at("args").at("i").as_int(), 3);
+      EXPECT_EQ(event.at("args").at("label").string, "a\"b");
+    } else if (ph == "i") {
+      ++instant;
+      EXPECT_EQ(event.at("s").string, "t");
+      EXPECT_EQ(event.at("args").at("attempt").as_int(), 1);
+    } else if (ph == "C") {
+      ++counter;
+      EXPECT_EQ(event.at("args").at("progress").as_int(), 42);
+    }
+  }
+  EXPECT_EQ(metadata, 1);
+  EXPECT_EQ(complete, 1);
+  EXPECT_EQ(instant, 1);
+  EXPECT_EQ(counter, 1);
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer + parser round trips
+
+TEST(JsonWriterTest, PrettyAndCompactLayout) {
+  base::JsonWriter w;
+  w.begin_object();
+  w.key("score").value(42);
+  w.key("rows").begin_array();
+  w.begin_object(base::JsonWriter::kCompact);
+  w.key("name").value("a\nb");
+  w.key("ratio").value_fixed(0.12345, 3);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\n  \"score\": 42,\n  \"rows\": [\n"
+            "    {\"name\": \"a\\nb\", \"ratio\": 0.123}\n  ]\n}");
+}
+
+TEST(JsonParseTest, HandlesEscapesAndNumbers) {
+  const obs::json::Value doc = obs::json::parse(
+      R"({"s": "a\"\\\nA", "n": -1.5e2, "b": true,)"
+      R"( "x": null, "a": [1, 2]})");
+  EXPECT_EQ(doc.at("s").string, "a\"\\\nA");
+  EXPECT_DOUBLE_EQ(doc.at("n").number, -150.0);
+  EXPECT_TRUE(doc.at("b").boolean);
+  EXPECT_TRUE(doc.at("x").is_null());
+  EXPECT_EQ(doc.at("a").array.size(), 2u);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)obs::json::parse("{"), InvalidArgument);
+  EXPECT_THROW((void)obs::json::parse("{} trailing"), InvalidArgument);
+  EXPECT_THROW((void)obs::json::parse("{'single': 1}"), InvalidArgument);
+  EXPECT_THROW((void)obs::json::parse(""), InvalidArgument);
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_THROW((void)obs::json::parse(deep), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Phase profiler
+
+TEST(PhaseProfilerTest, PhasesPartitionElapsedTime) {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::PhaseProfiler profiler;
+  profiler.switch_to(obs::Phase::kCompute);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  {
+    obs::ScopedPhase checkpoint(&profiler, obs::Phase::kCheckpoint);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(profiler.current(), obs::Phase::kCompute);  // restored
+  profiler.stop();
+  const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  std::int64_t sum = 0;
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    sum += profiler.ns(static_cast<obs::Phase>(p));
+  }
+  EXPECT_EQ(sum, profiler.total_ns());
+  // The profiler lived strictly inside [t0, now]: its closed intervals
+  // can never sum past the elapsed wall time, and the sleeps guarantee
+  // they dominate it.
+  EXPECT_LE(sum, wall_ns);
+  EXPECT_GE(sum, wall_ns / 2);
+  EXPECT_GT(profiler.ns(obs::Phase::kCompute), 0);
+  EXPECT_GT(profiler.ns(obs::Phase::kCheckpoint), 0);
+}
+
+TEST(PhaseProfilerTest, ScopedPhaseOnNullProfilerIsInert) {
+  obs::ScopedPhase scoped(nullptr, obs::Phase::kCheckpoint);
+}
+
+TEST(PhaseProfilerTest, PhaseNamesAreStable) {
+  EXPECT_STREQ(obs::phase_name(obs::Phase::kCompute), "compute");
+  EXPECT_STREQ(obs::phase_name(obs::Phase::kBorderRecv), "border_recv");
+  EXPECT_STREQ(obs::phase_name(obs::Phase::kBorderSend), "border_send");
+  EXPECT_STREQ(obs::phase_name(obs::Phase::kCheckpoint), "checkpoint");
+  EXPECT_STREQ(obs::phase_name(obs::Phase::kIdle), "idle");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a two-device engine run under full observability
+
+TEST(ObsIntegrationTest, TwoDeviceRunProducesCoherentArtifacts) {
+  vgpu::Device d0(vgpu::toy_device(10.0));
+  vgpu::Device d1(vgpu::toy_device(20.0));
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  core::EngineConfig config;
+  config.block_rows = 64;
+  config.block_cols = 64;
+  config.obs.tracer = &tracer;
+  config.obs.metrics = &metrics;
+  config.obs.profile_phases = true;
+
+  core::MultiDeviceEngine engine(config, {&d0, &d1});
+  auto [a, b] = testutil::related_pair(1500, 99);
+  const core::EngineResult result = engine.run(a, b);
+
+  // The five phases partition each device's driver-thread time: the
+  // profiler's window is a superset of the wall_ns window (it opens at
+  // runner construction, closes after wall_ns is read), so the sum is
+  // never below wall_ns and exceeds it only by scheduling slack.
+  ASSERT_EQ(result.devices.size(), 2u);
+  for (const core::DeviceRunStats& stats : result.devices) {
+    ASSERT_TRUE(stats.phases_tracked);
+    const std::int64_t sum = stats.phase_compute_ns +
+                             stats.phase_recv_ns + stats.phase_send_ns +
+                             stats.phase_checkpoint_ns +
+                             stats.phase_idle_ns;
+    EXPECT_GT(stats.phase_compute_ns, 0);
+    EXPECT_GE(sum, stats.wall_ns);
+    EXPECT_LE(sum, stats.wall_ns + 250'000'000);  // thread-start slack
+  }
+
+  // Metrics agree with the result's own accounting.
+  std::int64_t blocks = 0;
+  std::int64_t chunks = 0;
+  for (const core::DeviceRunStats& stats : result.devices) {
+    blocks += stats.blocks - stats.pruned_blocks;
+    chunks += stats.chunks_sent;
+  }
+  EXPECT_EQ(metrics.counter_value("engine.blocks_computed"), blocks);
+  EXPECT_EQ(metrics.counter_value("engine.cells_computed"),
+            result.computed_cells);
+  EXPECT_EQ(metrics.counter_value("comm.chunks_sent"), chunks);
+  EXPECT_EQ(metrics.counter_value("comm.chunks_received"), chunks);
+
+  // The trace parses, covers both devices, and shows compute next to
+  // border waits.
+  const obs::json::Value doc =
+      obs::json::parse(obs::chrome_trace_json(tracer));
+  bool block_span = false;
+  bool border_span = false;
+  std::vector<std::string> device_threads;
+  for (const obs::json::Value& event : doc.at("traceEvents").array) {
+    const std::string& ph = event.at("ph").string;
+    if (ph == "M") {
+      const std::string& name = event.at("args").at("name").string;
+      if (name.rfind("dev", 0) == 0) device_threads.push_back(name);
+    } else if (ph == "X") {
+      const std::string& cat = event.at("cat").string;
+      const std::string& name = event.at("name").string;
+      block_span = block_span || (cat == "engine" && name == "block");
+      border_span = border_span ||
+                    (cat == "comm" && (name == "border_recv" ||
+                                       name == "border_send"));
+    }
+  }
+  EXPECT_TRUE(block_span);
+  EXPECT_TRUE(border_span);
+  EXPECT_EQ(device_threads.size(), 2u);
+
+  // The merged report carries the metrics object.
+  const obs::json::Value report =
+      obs::json::parse(core::to_json(result, &metrics));
+  EXPECT_EQ(report.at("metrics").at("counters")
+                .at("engine.cells_computed").as_int(),
+            result.computed_cells);
+  EXPECT_TRUE(report.at("devices").array[0]
+                  .find("phase_compute_ns") != nullptr);
+}
+
+// ProgressEvent timestamps (satellite of the tracing work): steady-clock
+// nanoseconds since the run started, non-decreasing per device.
+TEST(ObsIntegrationTest, ProgressEventsCarryMonotonicTimestamps) {
+  vgpu::Device d0(vgpu::toy_device(10.0));
+  vgpu::Device d1(vgpu::toy_device(20.0));
+  core::EngineConfig config;
+  config.block_rows = 64;
+  config.block_cols = 64;
+  std::mutex mu;
+  std::map<int, std::vector<std::int64_t>> stamps;
+  config.progress = [&](const core::ProgressEvent& event) {
+    const std::lock_guard<std::mutex> lock(mu);
+    stamps[event.device_index].push_back(event.t_ns);
+  };
+  core::MultiDeviceEngine engine(config, {&d0, &d1});
+  auto [a, b] = testutil::related_pair(800, 7);
+  (void)engine.run(a, b);
+  ASSERT_EQ(stamps.size(), 2u);
+  for (const auto& [device, series] : stamps) {
+    ASSERT_FALSE(series.empty());
+    EXPECT_GE(series.front(), 0);
+    for (std::size_t i = 1; i < series.size(); ++i) {
+      EXPECT_GE(series[i], series[i - 1]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgpusw
