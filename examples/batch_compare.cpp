@@ -9,8 +9,8 @@
 // leases at once.
 //
 //   $ ./batch_compare --scale=8192 --devices=3
-//   $ ./batch_compare --scale=8192 --devices=4 \
-//         --devices-per-item=2 --max-in-flight=2
+//   $ ./batch_compare --scale=8192 --devices=4 --devices-per-item=2
+//         --max-in-flight=2
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -26,6 +26,9 @@ int main(int argc, char** argv) {
                 "devices leased per comparison (0 = whole fleet)");
   flags.add_int("max-in-flight", 1,
                 "comparisons running concurrently on disjoint leases");
+  flags.add_int("interseq-max-len", 0,
+                "pairs this short run on the inter-sequence SIMD kernel, "
+                "many per vector (0 = off)");
   flags.add_bool("progress", true, "print live progress");
   flags.add_string("trace-out", "",
                    "write a Chrome/Perfetto trace of the batch here");
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.get_int("devices-per-item"));
   batch_config.max_in_flight =
       static_cast<int>(flags.get_int("max-in-flight"));
+  batch_config.interseq_max_len = flags.get_int("interseq-max-len");
   core::EngineConfig& config = batch_config.engine;
   config.block_rows = 128;
   config.block_cols = 128;

@@ -10,8 +10,92 @@
 #include "base/time.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sw/batch_simd.hpp"
+#include "sw/block_simd.hpp"
 
 namespace mgpusw::core {
+
+namespace {
+
+/// Runs every item short enough for the inter-sequence kernel through
+/// sw::batch_align_scores (many pairs per vector) and fills its batch
+/// entry; marks those items handled so the device workers skip them.
+void run_interseq_prepass(const BatchConfig& config,
+                          const std::vector<BatchItem>& items,
+                          BatchResult& batch, std::vector<char>& handled) {
+  std::vector<std::size_t> selected;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].query.size() <= config.interseq_max_len &&
+        items[i].subject.size() <= config.interseq_max_len) {
+      selected.push_back(i);
+    }
+  }
+  if (selected.empty()) return;
+
+  // Unpack all selected pairs into one contiguous code buffer; PairViews
+  // point into it.
+  std::int64_t total_bases = 0;
+  for (const std::size_t i : selected) {
+    total_bases += items[i].query.size() + items[i].subject.size();
+  }
+  std::vector<seq::Nt> codes(static_cast<std::size_t>(total_bases));
+  std::vector<sw::PairView> pairs(selected.size());
+  std::int64_t offset = 0;
+  for (std::size_t k = 0; k < selected.size(); ++k) {
+    const BatchItem& item = items[selected[k]];
+    sw::PairView& pair = pairs[k];
+    pair.query = codes.data() + offset;
+    pair.query_len = item.query.size();
+    item.query.extract(0, pair.query_len, codes.data() + offset);
+    offset += pair.query_len;
+    pair.subject = codes.data() + offset;
+    pair.subject_len = item.subject.size();
+    item.subject.extract(0, pair.subject_len, codes.data() + offset);
+    offset += pair.subject_len;
+  }
+
+  const obs::Scope& obs = config.engine.obs;
+  obs::TraceSpan span(obs.tracer, "batch",
+                      "interseq x" + std::to_string(selected.size()));
+  base::WallTimer timer;
+  sw::BatchStats stats;
+  const std::vector<sw::ScoreResult> scores = sw::batch_align_scores(
+      config.engine.scheme, pairs, config.interseq_kernel, &stats);
+  const double seconds = timer.elapsed_seconds();
+
+  std::int64_t total_cells = 0;
+  for (const sw::PairView& pair : pairs) {
+    total_cells += pair.query_len * pair.subject_len;
+  }
+  for (std::size_t k = 0; k < selected.size(); ++k) {
+    const std::size_t index = selected[k];
+    BatchItemResult& entry = batch.items[index];
+    entry.label = items[index].label;
+    entry.result.best = scores[k];
+    entry.result.kernel = config.interseq_kernel;
+    entry.result.simd_isa = sw::simd_isa_name(sw::detected_simd_isa());
+    entry.result.matrix_cells =
+        pairs[k].query_len * pairs[k].subject_len;
+    entry.result.computed_cells = entry.result.matrix_cells;
+    // Per-item share of the pre-pass wall time, proportional to cells.
+    entry.result.wall_seconds =
+        total_cells > 0 ? seconds * static_cast<double>(
+                                        entry.result.matrix_cells) /
+                              static_cast<double>(total_cells)
+                        : seconds / static_cast<double>(selected.size());
+    handled[index] = 1;
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->counter("kernel.overflow_reruns")
+        .add(stats.overflow_reruns);
+    obs.metrics->counter("batch.items_completed")
+        .add(static_cast<std::int64_t>(selected.size()));
+    obs.metrics->counter("batch.interseq_items")
+        .add(static_cast<std::int64_t>(selected.size()));
+  }
+}
+
+}  // namespace
 
 BatchResult run_batch(const BatchConfig& config, DeviceFleet& fleet,
                       const std::vector<BatchItem>& items) {
@@ -30,6 +114,12 @@ BatchResult run_batch(const BatchConfig& config, DeviceFleet& fleet,
   BatchResult batch;
   batch.items.resize(items.size());
 
+  base::WallTimer wall;
+  std::vector<char> handled(items.size(), 0);
+  if (config.interseq_max_len > 0) {
+    run_interseq_prepass(config, items, batch, handled);
+  }
+
   const std::size_t worker_count = std::min<std::size_t>(
       static_cast<std::size_t>(config.max_in_flight), items.size());
 
@@ -37,12 +127,12 @@ BatchResult run_batch(const BatchConfig& config, DeviceFleet& fleet,
   std::mutex error_mu;
   std::exception_ptr first_error;
 
-  base::WallTimer wall;
   auto worker = [&] {
     for (;;) {
       const std::size_t index =
           next_item.fetch_add(1, std::memory_order_relaxed);
       if (index >= items.size()) return;
+      if (handled[index] != 0) continue;  // solved by the interseq pass
       {
         std::lock_guard<std::mutex> lock(error_mu);
         if (first_error) return;  // abort: stop admitting items

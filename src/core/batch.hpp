@@ -50,6 +50,17 @@ struct BatchConfig {
   /// died retries on a fresh lease from the surviving pool.
   bool enable_recovery = false;
   RecoveryPolicy recovery;
+
+  /// Items whose query AND subject are both at most this many bases skip
+  /// the block engine and run through the inter-sequence SIMD kernel
+  /// (sw/batch_simd.hpp) — one pair per vector lane, 16/32 short
+  /// comparisons at a time — before the device workers start. 0 = off.
+  /// Results are bit-identical to engine runs; the per-item EngineResult
+  /// then reports the batch kernel's name and a proportional share of
+  /// the pre-pass wall time.
+  std::int64_t interseq_max_len = 0;
+  /// Batch kernel for the short-item pre-pass (sw::batch_kernel_names()).
+  std::string interseq_kernel = "interseq";
 };
 
 struct BatchResult {

@@ -30,6 +30,7 @@ void device_row(base::JsonWriter& w, const DeviceRunStats& stats) {
   w.key("send_stall_ns").value(stats.send_stall_ns);
   w.key("chunks_sent").value(stats.chunks_sent);
   w.key("bytes_sent").value(stats.bytes_sent);
+  w.key("overflow_reruns").value(stats.overflow_reruns);
   if (stats.phases_tracked) {
     w.key("phase_compute_ns").value(stats.phase_compute_ns);
     w.key("phase_recv_ns").value(stats.phase_recv_ns);
@@ -55,6 +56,11 @@ std::string to_json(const EngineResult& result,
   w.key("computed_cells").value(result.computed_cells);
   w.key("wall_seconds").value(result.wall_seconds);
   w.key("gcups").value(result.gcups());
+  std::int64_t overflow_reruns = 0;
+  for (const DeviceRunStats& stats : result.devices) {
+    overflow_reruns += stats.overflow_reruns;
+  }
+  w.key("overflow_reruns").value(overflow_reruns);
   w.key("devices").begin_array();
   for (const DeviceRunStats& stats : result.devices) {
     device_row(w, stats);

@@ -285,6 +285,7 @@ void SliceRunner::flush_obs() {
     m.counter("comm.chunks_sent").add(stats_.chunks_sent);
     m.counter("comm.chunks_received").add(stats_.chunks_received);
     m.counter("comm.bytes_sent").add(stats_.bytes_sent);
+    m.counter("kernel.overflow_reruns").add(stats_.overflow_reruns);
   }
 }
 
@@ -297,6 +298,7 @@ void SliceRunner::reduce_outcome(TaskOutcome& outcome) {
     stats_.pruned_cells += outcome.cells;
   } else {
     stats_.cells += outcome.cells;
+    stats_.overflow_reruns += outcome.block.overflow_reruns;
   }
   if (sw::improves(outcome.block.best, best_)) {
     best_ = outcome.block.best;

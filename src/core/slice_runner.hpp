@@ -80,6 +80,9 @@ struct DeviceRunStats {
   std::int64_t chunks_received = 0;
   std::int64_t chunks_sent = 0;
   std::int64_t bytes_sent = 0;
+  /// Blocks a low-precision kernel re-ran at a wider precision after
+  /// hitting its saturation watermark (kernel.overflow_reruns metric).
+  std::int64_t overflow_reruns = 0;
 
   /// Driver-thread phase attribution (obs::PhaseProfiler). Filled only
   /// when phases_tracked; the five fields then partition wall_ns up to

@@ -58,6 +58,11 @@ struct BlockArgs {
 struct BlockResult {
   ScoreResult best;        // best cell inside the block (global coords)
   Score border_max = 0;    // max H over the block's bottom row + right col
+  /// How many times a low-precision kernel hit its saturation watermark
+  /// and re-ran this block at the next wider precision (0 for the full-
+  /// precision kernels). Aggregated into the `kernel.overflow_reruns`
+  /// metric by the engine.
+  int overflow_reruns = 0;
 };
 
 /// Computes one block. args.bottom/right receive the outgoing borders.

@@ -6,7 +6,9 @@
 // this TU was not actually compiled for.
 #define MGPUSW_SIMD_NS simd_avx2
 
+#include "sw/batch_simd_impl.hpp"
 #include "sw/block_simd_impl.hpp"
+#include "sw/block_simd_lp_impl.hpp"
 
 namespace mgpusw::sw::simd_avx2 {
 

@@ -1,0 +1,76 @@
+// Runtime dispatcher + precision ladder for the low-precision kernels.
+//
+// Mirrors block_simd.cpp: pick the strongest backend whose compiled code
+// the CPU can run (honouring the MGPUSW_SIMD cap via detected_simd_isa),
+// then walk the precision ladder — run narrow, and when the narrow pass
+// reports a possible saturation re-run the untouched block at the next
+// wider precision, counting each escalation in
+// BlockResult::overflow_reruns.
+#include "sw/block_simd_lp.hpp"
+
+#include "sw/block.hpp"
+
+namespace mgpusw::sw {
+
+namespace {
+
+using LpFn = BlockResult (*)(const ScoreScheme&, const BlockArgs&, bool*);
+
+struct LpDispatch {
+  LpFn i16;
+  LpFn i8;
+};
+
+LpDispatch resolve() {
+  const SimdIsa isa = detected_simd_isa();
+  if (isa >= SimdIsa::kAvx2 && simd_backend_runnable(SimdIsa::kAvx2)) {
+    return {&simd_avx2::compute_block_i16_impl,
+            &simd_avx2::compute_block_i8_impl};
+  }
+  if (isa >= SimdIsa::kSse42 && simd_backend_runnable(SimdIsa::kSse42)) {
+    return {&simd_sse42::compute_block_i16_impl,
+            &simd_sse42::compute_block_i8_impl};
+  }
+  return {&simd_scalar::compute_block_i16_impl,
+          &simd_scalar::compute_block_i8_impl};
+}
+
+const LpDispatch& lp_dispatch() {
+  static const LpDispatch d = resolve();
+  return d;
+}
+
+}  // namespace
+
+BlockResult compute_block_i16(const ScoreScheme& scheme,
+                              const BlockArgs& args) {
+  bool overflow = false;
+  BlockResult result = lp_dispatch().i16(scheme, args, &overflow);
+  if (!overflow) return result;
+  result = compute_block_simd(scheme, args);
+  result.overflow_reruns = 1;
+  return result;
+}
+
+BlockResult compute_block_i8(const ScoreScheme& scheme,
+                             const BlockArgs& args) {
+  bool overflow = false;
+  BlockResult result = lp_dispatch().i8(scheme, args, &overflow);
+  if (!overflow) return result;
+  overflow = false;
+  result = lp_dispatch().i16(scheme, args, &overflow);
+  if (!overflow) {
+    result.overflow_reruns = 1;
+    return result;
+  }
+  result = compute_block_simd(scheme, args);
+  result.overflow_reruns = 2;
+  return result;
+}
+
+BlockResult compute_block_auto(const ScoreScheme& scheme,
+                               const BlockArgs& args) {
+  return compute_block_i8(scheme, args);
+}
+
+}  // namespace mgpusw::sw

@@ -6,7 +6,9 @@
 #define MGPUSW_SIMD_FORCE_SCALAR 1
 #define MGPUSW_SIMD_NS simd_scalar
 
+#include "sw/batch_simd_impl.hpp"
 #include "sw/block_simd_impl.hpp"
+#include "sw/block_simd_lp_impl.hpp"
 
 namespace mgpusw::sw::simd_scalar {
 

@@ -3,7 +3,9 @@
 // block_simd_avx2.cpp for the dispatch contract.
 #define MGPUSW_SIMD_NS simd_sse42
 
+#include "sw/batch_simd_impl.hpp"
 #include "sw/block_simd_impl.hpp"
+#include "sw/block_simd_lp_impl.hpp"
 
 namespace mgpusw::sw::simd_sse42 {
 

@@ -13,11 +13,21 @@
 //   strip4       4-row strip-mined scalar sweep
 //   simd         8-lane SIMD anti-diagonal, runtime-dispatched to the
 //                strongest ISA backend the CPU supports
+//   simd16       16-lane saturating int16 SIMD with overflow detection;
+//                escalates to the int32 simd kernel when a block might
+//                have saturated (bit-identical either way)
+//   simd8        32-lane saturating int8 SIMD; escalates int8 -> int16
+//                -> int32
+//   auto         narrowest safe precision — the full int8 ladder, named
+//                for DeviceSpec::kernel / calibration to select
 //   simd-scalar  the SIMD kernel pinned to its scalar backend (always
 //                present — the guaranteed fallback)
 //   simd-sse42 / simd-avx2
 //                pinned vector backends, registered only when the running
 //                CPU can execute them (ablation + parity testing)
+//   simd16-* / simd8-*
+//                the narrow ladders pinned per backend, same registration
+//                rule as the pinned simd-* entries
 //
 // All entries satisfy the same contract and are bit-identical to `row`
 // (tests/sw_kernel_parity_test.cpp sweeps the whole table).

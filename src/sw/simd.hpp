@@ -75,10 +75,16 @@ inline Vec8 v_blend(Vec8 a, Vec8 b, Vec8 mask) {
   return {_mm256_blendv_epi8(a.v, b.v, mask.v)};
 }
 /// Lane 0 <- x, lane r <- a[r-1]: the anti-diagonal wavefront rotation.
+/// This is on the kernel's loop-carried chain, so merge the incoming
+/// lane with one OR: the 0x08 permute selector zeroes the low half, so
+/// alignr leaves lane 0 zero, and vmovd puts x in lane 0 of an
+/// otherwise-zero vector off the carried chain. An insert would split
+/// and rejoin the 128-bit halves for 2-3 extra on-chain cycles.
 inline Vec8 v_shift_in(Vec8 a, std::int32_t x) {
   const __m256i low_to_high = _mm256_permute2x128_si256(a.v, a.v, 0x08);
-  __m256i shifted = _mm256_alignr_epi8(a.v, low_to_high, 12);
-  return {_mm256_insert_epi32(shifted, x, 0)};
+  const __m256i shifted = _mm256_alignr_epi8(a.v, low_to_high, 12);
+  const __m256i incoming = _mm256_castsi128_si256(_mm_cvtsi32_si128(x));
+  return {_mm256_or_si256(shifted, incoming)};
 }
 inline std::int32_t v_extract_last(Vec8 a) {
   return _mm256_extract_epi32(a.v, 7);

@@ -1,0 +1,323 @@
+// Low-precision (int16 / int8) saturating vector shims for the narrow
+// block kernels and the inter-sequence batch kernel.
+//
+// Same per-TU backend scheme as sw/simd.hpp (which must be included
+// first to pick the backend): each backend translation unit defines
+// MGPUSW_SIMD_NS and gets an ODR-distinct instantiation compiled with its
+// own -m flags. This header adds two width traits on top of the 8x32
+// shim:
+//
+//   LpI16 — 16 lanes of int16 per 256-bit AVX2 vector (8 per native
+//           128-bit SSE4.2 vector; the scalar fallback emulates 16);
+//   LpI8  — 32 lanes of int8 (16 on SSE4.2).
+//
+// All arithmetic is *saturating* (adds/subs clamp at the type limits
+// instead of wrapping), which is what makes overflow detection possible:
+// a Smith-Waterman H value can only leave the representable range
+// upwards, saturating at kMax, and any saturated cell is >= the
+// saturation watermark (kMax - match), so a post-hoc check of the
+// maximum observed H proves whether every computed value was exact.
+// Down-saturation only happens on the neg-inf gap sentinels, which can
+// never win a max against a reachable value (H >= 0 keeps the H-derived
+// branch above every clamped chain), so it never changes a result.
+//
+// The operation set mirrors sw/simd.hpp: load/store/broadcast,
+// saturating add/sub, max, compares producing all-ones lane masks, mask
+// blends, a one-lane shift-in and a last-lane extract. shift_in's
+// incoming-element pointer must have 4 readable bytes: the vector
+// backends fetch the element with a single 32-bit load (cheaper than a
+// sub-32-bit broadcast or insert on the shuffle port) and mask off the
+// stray bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "sw/simd.hpp"
+
+namespace mgpusw::sw::MGPUSW_SIMD_NS {
+
+#if defined(MGPUSW_SIMD_BACKEND_AVX2)
+
+struct LpI16 {
+  static constexpr int kLanes = 16;
+  using Elem = std::int16_t;
+  static constexpr Elem kMax = 32767;
+  static constexpr Elem kMin = -32768;
+  /// Narrow neg-inf sentinel; one gap subtraction cannot cross zero.
+  static constexpr Elem kNegInf = kMin / 2;
+  /// Steps per best-cell tracking segment (column offsets must fit Elem).
+  static constexpr int kSegSteps = 16384;
+
+  struct Vec {
+    __m256i v;
+  };
+
+  static Vec load(const Elem* p) {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  static void store(Elem* p, Vec a) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), a.v);
+  }
+  static Vec broadcast(Elem x) { return {_mm256_set1_epi16(x)}; }
+  static Vec adds(Vec a, Vec b) { return {_mm256_adds_epi16(a.v, b.v)}; }
+  static Vec subs(Vec a, Vec b) { return {_mm256_subs_epi16(a.v, b.v)}; }
+  static Vec max(Vec a, Vec b) { return {_mm256_max_epi16(a.v, b.v)}; }
+  static Vec cmpgt(Vec a, Vec b) { return {_mm256_cmpgt_epi16(a.v, b.v)}; }
+  static Vec cmpeq(Vec a, Vec b) { return {_mm256_cmpeq_epi16(a.v, b.v)}; }
+  /// Per lane: mask ? b : a (mask lanes are all-ones or all-zero).
+  static Vec blend(Vec a, Vec b, Vec mask) {
+    return {_mm256_blendv_epi8(a.v, b.v, mask.v)};
+  }
+  /// Lane 0 <- *p, lane r <- a[r-1]: the wavefront rotation. MAY READ 4
+  /// BYTES AT p — callers give the source array that much tail runway.
+  ///
+  /// The kernel is bound by this operation twice over, so both of its
+  /// costs are minimized. Latency: the 0x08 permute selector zeroes the
+  /// low half, which makes alignr leave lane 0 zero, so the incoming
+  /// lane can be OR'd in for one on-chain cycle (an insert or blend
+  /// would pay 2-3 to split and rejoin the 128-bit halves). Shuffle-port
+  /// pressure: two shift_ins per column plus the two row extracts keep
+  /// Intel's lone shuffle port the kernel's throughput limit, so the
+  /// incoming element arrives via a plain 32-bit load masked to lane 0
+  /// — a pure load-port op — not a 16-bit broadcast, whose memory form
+  /// still issues a shuffle.
+  static Vec shift_in(Vec a, const Elem* p) {
+    const __m256i low_to_high = _mm256_permute2x128_si256(a.v, a.v, 0x08);
+    const __m256i shifted = _mm256_alignr_epi8(a.v, low_to_high, 14);
+    const __m256i lane0 =
+        _mm256_setr_epi16(-1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0);
+    const __m256i incoming = _mm256_and_si256(
+        _mm256_castsi128_si256(_mm_loadu_si32(p)), lane0);
+    return {_mm256_or_si256(shifted, incoming)};
+  }
+  static Elem extract_last(Vec a) {
+    return static_cast<Elem>(_mm256_extract_epi16(a.v, 15));
+  }
+};
+
+struct LpI8 {
+  static constexpr int kLanes = 32;
+  using Elem = std::int8_t;
+  static constexpr Elem kMax = 127;
+  static constexpr Elem kMin = -128;
+  static constexpr Elem kNegInf = kMin / 2;
+  static constexpr int kSegSteps = 96;
+
+  struct Vec {
+    __m256i v;
+  };
+
+  static Vec load(const Elem* p) {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  static void store(Elem* p, Vec a) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), a.v);
+  }
+  static Vec broadcast(Elem x) { return {_mm256_set1_epi8(x)}; }
+  static Vec adds(Vec a, Vec b) { return {_mm256_adds_epi8(a.v, b.v)}; }
+  static Vec subs(Vec a, Vec b) { return {_mm256_subs_epi8(a.v, b.v)}; }
+  static Vec max(Vec a, Vec b) { return {_mm256_max_epi8(a.v, b.v)}; }
+  static Vec cmpgt(Vec a, Vec b) { return {_mm256_cmpgt_epi8(a.v, b.v)}; }
+  static Vec cmpeq(Vec a, Vec b) { return {_mm256_cmpeq_epi8(a.v, b.v)}; }
+  static Vec blend(Vec a, Vec b, Vec mask) {
+    return {_mm256_blendv_epi8(a.v, b.v, mask.v)};
+  }
+  /// Same zeroed-lane-0 OR merge and shuffle-free 32-bit incoming load
+  /// as LpI16::shift_in. MAY READ 4 BYTES AT p.
+  static Vec shift_in(Vec a, const Elem* p) {
+    const __m256i low_to_high = _mm256_permute2x128_si256(a.v, a.v, 0x08);
+    const __m256i shifted = _mm256_alignr_epi8(a.v, low_to_high, 15);
+    const __m256i lane0 = _mm256_setr_epi8(
+        -1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  //
+        0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0);
+    const __m256i incoming = _mm256_and_si256(
+        _mm256_castsi128_si256(_mm_loadu_si32(p)), lane0);
+    return {_mm256_or_si256(shifted, incoming)};
+  }
+  static Elem extract_last(Vec a) {
+    return static_cast<Elem>(_mm256_extract_epi8(a.v, 31));
+  }
+};
+
+#elif defined(MGPUSW_SIMD_BACKEND_SSE42)
+
+// The SSE4.2 backends use the ISA's native 128-bit width — 8×int16 and
+// 16×int8 lanes — rather than double-pumping two registers to match
+// AVX2's lane count. The narrow kernels keep ~14 logical vectors live in
+// the steady loop; at two xmm each that is twice the architectural
+// register file and the compiler spills every iteration, while one xmm
+// each fits. This also keeps the per-backend benchmark comparison
+// meaningful: each ISA runs at its own register width.
+
+struct LpI16 {
+  static constexpr int kLanes = 8;
+  using Elem = std::int16_t;
+  static constexpr Elem kMax = 32767;
+  static constexpr Elem kMin = -32768;
+  static constexpr Elem kNegInf = kMin / 2;
+  static constexpr int kSegSteps = 16384;
+
+  struct Vec {
+    __m128i v;
+  };
+
+  static Vec load(const Elem* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  static void store(Elem* p, Vec a) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), a.v);
+  }
+  static Vec broadcast(Elem x) { return {_mm_set1_epi16(x)}; }
+  static Vec adds(Vec a, Vec b) { return {_mm_adds_epi16(a.v, b.v)}; }
+  static Vec subs(Vec a, Vec b) { return {_mm_subs_epi16(a.v, b.v)}; }
+  static Vec max(Vec a, Vec b) { return {_mm_max_epi16(a.v, b.v)}; }
+  static Vec cmpgt(Vec a, Vec b) { return {_mm_cmpgt_epi16(a.v, b.v)}; }
+  static Vec cmpeq(Vec a, Vec b) { return {_mm_cmpeq_epi16(a.v, b.v)}; }
+  static Vec blend(Vec a, Vec b, Vec mask) {
+    return {_mm_blendv_epi8(a.v, b.v, mask.v)};
+  }
+  /// Lane 0 <- *p, lane r <- a[r-1]. MAY READ 4 BYTES AT p: like the
+  /// AVX2 backend, the incoming element arrives as a masked 32-bit load
+  /// and an OR — load-port ops — so the byte shift is the rotation's
+  /// only shuffle-port uop (pinsrw would be a second).
+  static Vec shift_in(Vec a, const Elem* p) {
+    const __m128i lane0 = _mm_setr_epi16(-1, 0, 0, 0, 0, 0, 0, 0);
+    const __m128i incoming = _mm_and_si128(_mm_loadu_si32(p), lane0);
+    return {_mm_or_si128(_mm_slli_si128(a.v, 2), incoming)};
+  }
+  static Elem extract_last(Vec a) {
+    return static_cast<Elem>(_mm_extract_epi16(a.v, 7));
+  }
+};
+
+struct LpI8 {
+  static constexpr int kLanes = 16;
+  using Elem = std::int8_t;
+  static constexpr Elem kMax = 127;
+  static constexpr Elem kMin = -128;
+  static constexpr Elem kNegInf = kMin / 2;
+  static constexpr int kSegSteps = 96;
+
+  struct Vec {
+    __m128i v;
+  };
+
+  static Vec load(const Elem* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  static void store(Elem* p, Vec a) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), a.v);
+  }
+  static Vec broadcast(Elem x) { return {_mm_set1_epi8(x)}; }
+  static Vec adds(Vec a, Vec b) { return {_mm_adds_epi8(a.v, b.v)}; }
+  static Vec subs(Vec a, Vec b) { return {_mm_subs_epi8(a.v, b.v)}; }
+  static Vec max(Vec a, Vec b) { return {_mm_max_epi8(a.v, b.v)}; }
+  static Vec cmpgt(Vec a, Vec b) { return {_mm_cmpgt_epi8(a.v, b.v)}; }
+  static Vec cmpeq(Vec a, Vec b) { return {_mm_cmpeq_epi8(a.v, b.v)}; }
+  static Vec blend(Vec a, Vec b, Vec mask) {
+    return {_mm_blendv_epi8(a.v, b.v, mask.v)};
+  }
+  /// Same masked 32-bit incoming load as LpI16. MAY READ 4 BYTES AT p.
+  static Vec shift_in(Vec a, const Elem* p) {
+    const __m128i lane0 = _mm_setr_epi8(-1, 0, 0, 0, 0, 0, 0, 0,  //
+                                        0, 0, 0, 0, 0, 0, 0, 0);
+    const __m128i incoming = _mm_and_si128(_mm_loadu_si32(p), lane0);
+    return {_mm_or_si128(_mm_slli_si128(a.v, 1), incoming)};
+  }
+  static Elem extract_last(Vec a) {
+    return static_cast<Elem>(_mm_extract_epi8(a.v, 15));
+  }
+};
+
+#else  // scalar fallback
+
+namespace lp_detail {
+
+/// Shared scalar implementation of the saturating lane ops; the
+/// autovectorizer may still turn these loops into vector code.
+template <typename E, int N, int Seg>
+struct ScalarLp {
+  static constexpr int kLanes = N;
+  using Elem = E;
+  static constexpr Elem kMax = std::numeric_limits<E>::max();
+  static constexpr Elem kMin = std::numeric_limits<E>::min();
+  static constexpr Elem kNegInf = static_cast<E>(kMin / 2);
+  static constexpr int kSegSteps = Seg;
+
+  struct Vec {
+    Elem lane[N];
+  };
+
+  static Elem sat(int x) {
+    if (x > kMax) return kMax;
+    if (x < kMin) return kMin;
+    return static_cast<Elem>(x);
+  }
+  static Vec load(const Elem* p) {
+    Vec r;
+    std::memcpy(r.lane, p, sizeof(r.lane));
+    return r;
+  }
+  static void store(Elem* p, Vec a) { std::memcpy(p, a.lane, sizeof(a.lane)); }
+  static Vec broadcast(Elem x) {
+    Vec r;
+    for (int i = 0; i < N; ++i) r.lane[i] = x;
+    return r;
+  }
+  static Vec adds(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < N; ++i) r.lane[i] = sat(a.lane[i] + b.lane[i]);
+    return r;
+  }
+  static Vec subs(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < N; ++i) r.lane[i] = sat(a.lane[i] - b.lane[i]);
+    return r;
+  }
+  static Vec max(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < N; ++i) {
+      r.lane[i] = a.lane[i] > b.lane[i] ? a.lane[i] : b.lane[i];
+    }
+    return r;
+  }
+  static Vec cmpgt(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < N; ++i) {
+      r.lane[i] = a.lane[i] > b.lane[i] ? static_cast<Elem>(-1) : 0;
+    }
+    return r;
+  }
+  static Vec cmpeq(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < N; ++i) {
+      r.lane[i] = a.lane[i] == b.lane[i] ? static_cast<Elem>(-1) : 0;
+    }
+    return r;
+  }
+  static Vec blend(Vec a, Vec b, Vec mask) {
+    Vec r;
+    for (int i = 0; i < N; ++i) {
+      r.lane[i] = mask.lane[i] != 0 ? b.lane[i] : a.lane[i];
+    }
+    return r;
+  }
+  static Vec shift_in(Vec a, const Elem* p) {
+    Vec r;
+    r.lane[0] = *p;
+    for (int i = 1; i < N; ++i) r.lane[i] = a.lane[i - 1];
+    return r;
+  }
+  static Elem extract_last(Vec a) { return a.lane[N - 1]; }
+};
+
+}  // namespace lp_detail
+
+using LpI16 = lp_detail::ScalarLp<std::int16_t, 16, 16384>;
+using LpI8 = lp_detail::ScalarLp<std::int8_t, 32, 96>;
+
+#endif
+
+}  // namespace mgpusw::sw::MGPUSW_SIMD_NS

@@ -14,6 +14,8 @@
 #include "base/error.hpp"
 #include "core/batch.hpp"
 #include "core/fleet.hpp"
+#include "obs/metrics.hpp"
+#include "sw/linear.hpp"
 #include "tests/test_util.hpp"
 #include "vgpu/spec.hpp"
 
@@ -185,6 +187,73 @@ TEST(BatchTest, RejectsBadConfigs) {
     config.devices_per_item = 2;  // fleet has one device
     EXPECT_THROW((void)run_batch(config, fleet, items), InvalidArgument);
   }
+}
+
+TEST(BatchTest, InterseqPrepassMatchesEnginePath) {
+  // Mixed batch: two short pairs (eligible for the inter-sequence SIMD
+  // pre-pass) and two long ones (engine path). Scores and end cells must
+  // be identical to a run with the pre-pass off, the short items must
+  // report the batch kernel's name, and the metrics must attribute them
+  // to the pre-pass.
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 2; ++i) {
+    auto [a, b] = testutil::related_pair(120 + 30 * i, 90 + i);
+    items.push_back(BatchItem{"short-" + std::to_string(i), a, b});
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto [a, b] = testutil::related_pair(400 + 50 * i, 95 + i);
+    items.push_back(BatchItem{"long-" + std::to_string(i), a, b});
+  }
+
+  DeviceFleet plain_fleet = DeviceFleet::from_specs(
+      {vgpu::toy_device(10.0), vgpu::toy_device(15.0)});
+  BatchConfig plain;
+  plain.engine = small_config();
+  const BatchResult baseline = run_batch(plain, plain_fleet, items);
+
+  obs::MetricsRegistry metrics;
+  DeviceFleet prepass_fleet = DeviceFleet::from_specs(
+      {vgpu::toy_device(10.0), vgpu::toy_device(15.0)});
+  BatchConfig prepass;
+  prepass.engine = small_config();
+  prepass.engine.obs.metrics = &metrics;
+  prepass.interseq_max_len = 200;
+  const BatchResult mixed = run_batch(prepass, prepass_fleet, items);
+
+  expect_identical(mixed, baseline);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const bool is_short = i < 2;
+    EXPECT_EQ(mixed.items[i].result.kernel,
+              is_short ? "interseq" : plain.engine.kernel)
+        << items[i].label;
+    EXPECT_GT(mixed.items[i].result.wall_seconds, 0.0);
+  }
+  EXPECT_EQ(metrics.counter_value("batch.interseq_items"), 2);
+  EXPECT_EQ(metrics.counter_value("batch.items_completed"), 4);
+}
+
+TEST(BatchTest, InterseqPrepassCanHandleWholeBatch) {
+  // Every item short enough: the device workers find nothing to do and
+  // the batch still completes with exact results.
+  std::vector<BatchItem> items;
+  for (int i = 0; i < 5; ++i) {
+    auto [a, b] = testutil::related_pair(80 + 10 * i, 70 + i);
+    items.push_back(BatchItem{"p" + std::to_string(i), a, b});
+  }
+  DeviceFleet fleet = DeviceFleet::from_specs({vgpu::toy_device(10.0)});
+  BatchConfig config;
+  config.engine = small_config();
+  config.interseq_max_len = 1000;
+  const BatchResult result = run_batch(config, fleet, items);
+  ASSERT_EQ(result.items.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(result.items[i].result.best,
+              sw::linear_score(config.engine.scheme, items[i].query,
+                               items[i].subject))
+        << items[i].label;
+    EXPECT_EQ(result.items[i].result.kernel, "interseq");
+  }
+  EXPECT_GT(result.total_cells, 0);
 }
 
 TEST(BatchTest, ItemFailureAbortsBatch) {

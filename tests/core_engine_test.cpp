@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "base/error.hpp"
 #include "core/balance.hpp"
 #include "core/engine.hpp"
+#include "core/report.hpp"
 #include "core/special_rows.hpp"
+#include "obs/metrics.hpp"
 #include "sw/block_simd.hpp"
 #include "sw/kernel.hpp"
 #include "sw/linear.hpp"
@@ -395,6 +398,50 @@ TEST(EngineKernelTest, PerDeviceSpecOverrideIsExact) {
   auto [a, b] = testutil::related_pair(400, 23);
   EXPECT_EQ(engine.run(a, b).best,
             linear_score(sw::ScoreScheme{}, a, b));
+}
+
+TEST(EngineKernelTest, LowPrecisionLadderIsExactAndCountsReruns) {
+  // match=25 saturates int8 on any decent homology run, so the simd8
+  // ladder must escalate (int8 -> int16) on most blocks — and the rerun
+  // count must surface through DeviceRunStats, the metrics registry and
+  // the JSON report, while the result stays bit-identical.
+  DeviceFleet fleet(3, 10.0, 5.0);
+  obs::MetricsRegistry metrics;
+  EngineConfig config = small_config();
+  // Blocks must clear the int8 kernel's vector-geometry floor (32 rows,
+  // 64 cols) or it delegates to the exact kernel and never reruns.
+  config.block_rows = 64;
+  config.block_cols = 128;
+  config.kernel = "simd8";
+  config.scheme = sw::ScoreScheme{25, -2, 2, 1};
+  config.obs.metrics = &metrics;
+  MultiDeviceEngine engine(config, fleet.pointers());
+  auto [a, b] = testutil::related_pair(700, 11);
+  const EngineResult result = engine.run(a, b);
+  EXPECT_EQ(result.best, linear_score(config.scheme, a, b));
+  EXPECT_EQ(result.kernel, "simd8");
+
+  std::int64_t reruns = 0;
+  for (const core::DeviceRunStats& stats : result.devices) {
+    reruns += stats.overflow_reruns;
+  }
+  EXPECT_GT(reruns, 0);
+  EXPECT_EQ(metrics.counter_value("kernel.overflow_reruns"), reruns);
+  const std::string json = core::to_json(result, &metrics);
+  EXPECT_NE(json.find("\"overflow_reruns\""), std::string::npos);
+}
+
+TEST(EngineKernelTest, NarrowKernelsAreExactAcrossDevices) {
+  DeviceFleet fleet(2, 10.0, 5.0);
+  auto [a, b] = testutil::related_pair(500, 17);
+  for (const std::string kernel : {"simd16", "simd8", "auto"}) {
+    EngineConfig config = small_config();
+    config.kernel = kernel;
+    MultiDeviceEngine engine(config, fleet.pointers());
+    const EngineResult result = engine.run(a, b);
+    EXPECT_EQ(result.best, linear_score(config.scheme, a, b)) << kernel;
+    EXPECT_EQ(result.kernel, kernel);
+  }
 }
 
 TEST(EngineKernelTest, RejectsUnknownPerDeviceKernel) {
