@@ -67,6 +67,17 @@ class ProtocolError : public TransientError {
   explicit ProtocolError(const std::string& what) : TransientError(what) {}
 };
 
+/// Cooperative interruption: a runner observed EngineConfig::stop_request
+/// raised at a scheduling-unit boundary. The dynamic load rebalancer uses
+/// this to stop a mis-split run so the remaining rows can be re-split;
+/// everything completed before the stop is intact, so a restart from the
+/// newest checkpoint is always safe — hence transient.
+class InterruptedError : public TransientError {
+ public:
+  explicit InterruptedError(const std::string& what)
+      : TransientError(what) {}
+};
+
 /// A device is gone for good (death fault, exhausted memory arena). The
 /// recovery layer must remove it from the pool before restarting.
 class DeviceLostError : public Error {

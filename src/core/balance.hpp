@@ -24,11 +24,13 @@ namespace mgpusw::core {
 
 /// Measures each device's effective cell rate with a short sweep of
 /// `sample_rows` x `sample_cols` random-sequence cells (devices timed one
-/// at a time). Returns cells/second per device, usable directly as
-/// partition weights. The sweep runs the named block kernel — pass the
-/// kernel the real comparison will use (a device whose spec names its own
-/// kernel is calibrated with that one), so the calibration measures the
-/// code path that actually runs.
+/// at a time; per device: one unclocked warmup sweep, then the minimum
+/// over a few timed repetitions, so cold-start skew cannot seed a bad
+/// split). Returns cells/second per device, usable directly as partition
+/// weights. The sweep runs the named block kernel — pass the kernel the
+/// real comparison will use (a device whose spec names its own kernel is
+/// calibrated with that one), so the calibration measures the code path
+/// that actually runs.
 [[nodiscard]] std::vector<double> calibrate_weights(
     const std::vector<vgpu::Device*>& devices, const sw::ScoreScheme& scheme,
     std::int64_t sample_rows = 2048, std::int64_t sample_cols = 2048,

@@ -59,15 +59,18 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
                    "restarts");
   }
 
-  // Stamp every ProgressEvent with the restart count so consumers can
-  // tell attempts apart. Shared atomic: the wrapper outlives this frame
-  // inside engine copies of the callback.
+  // Stamp every ProgressEvent with the restart/rebalance counts so
+  // consumers can tell attempts apart. Shared atomics: the wrapper
+  // outlives this frame inside engine copies of the callback.
   auto restart_count = std::make_shared<std::atomic<int>>(0);
+  auto rebalance_count = std::make_shared<std::atomic<int>>(0);
   if (base_config.progress) {
-    config.progress = [inner = base_config.progress,
-                       restart_count](const ProgressEvent& event) {
+    config.progress = [inner = base_config.progress, restart_count,
+                       rebalance_count](const ProgressEvent& event) {
       ProgressEvent stamped = event;
       stamped.restarts = restart_count->load(std::memory_order_relaxed);
+      stamped.rebalances =
+          rebalance_count->load(std::memory_order_relaxed);
       inner(stamped);
     };
   }
@@ -83,6 +86,7 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
   base::WallTimer total_wall;
   RecoveryResult out;
   sw::ScoreResult carried_best;
+  std::vector<double> rebalanced_weights;
   std::int64_t resume_row = -1;
   std::int64_t backoff_ms = policy.backoff_ms;
   const std::int64_t rows = query.size();
@@ -90,7 +94,39 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
 
   while (true) {
     if (config.fault != nullptr) config.fault_ordinals = ordinals;
-    MultiDeviceEngine engine(config, devices);
+
+    // Arm a rebalance controller for this attempt when the policy asks
+    // for one and both budgets (re-splits, shared restarts) have room —
+    // arming with no restart left would stop a run it cannot restart.
+    EngineConfig attempt = config;
+    std::shared_ptr<RebalanceController> controller;
+    if (config.rebalance.enabled &&
+        rebalance_count->load(std::memory_order_relaxed) <
+            config.rebalance.max_resplits &&
+        restart_count->load(std::memory_order_relaxed) <
+            policy.max_restarts) {
+      controller =
+          std::make_shared<RebalanceController>(config.rebalance);
+      attempt.stop_request = controller->stop_flag();
+      attempt.progress = [inner = config.progress,
+                          controller](const ProgressEvent& event) {
+        controller->observe(event);
+        if (inner) inner(event);
+      };
+    }
+    MultiDeviceEngine engine(attempt, devices);
+    if (controller != nullptr) {
+      // The shares the controller judges against are the block columns
+      // the plan actually allocated, not the raw weights — rounding to
+      // block granularity is part of the split being observed.
+      const AlignmentPlan plan = engine.plan(rows, cols);
+      std::vector<double> shares;
+      shares.reserve(plan.devices.size());
+      for (const SlicePlan& slice : plan.devices) {
+        shares.push_back(static_cast<double>(slice.block_columns));
+      }
+      controller->set_planned_shares(std::move(shares));
+    }
     std::exception_ptr error;
     try {
       EngineResult result =
@@ -108,10 +144,17 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
       result.wall_seconds = total_wall.elapsed_seconds();
       out.result = std::move(result);
       out.restarts = restart_count->load(std::memory_order_relaxed);
+      out.rebalances = rebalance_count->load(std::memory_order_relaxed);
+      out.rebalanced_weights = rebalanced_weights;
       return out;
     } catch (...) {
       error = std::current_exception();
     }
+
+    const bool rebalance_stop =
+        controller != nullptr && controller->stop_requested();
+    std::vector<double> new_weights;
+    if (rebalance_stop) new_weights = controller->observed_weights();
 
     // Judge the failure by *all* per-device faults, not just the first
     // error the engine rethrew: when a device dies, its neighbours often
@@ -143,6 +186,11 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
               config.custom_weights.begin() +
               static_cast<std::ptrdiff_t>(d));
         }
+        // Keep the measured rates parallel to the shrunken pool.
+        if (rebalance_stop && d < new_weights.size()) {
+          new_weights.erase(new_weights.begin() +
+                            static_cast<std::ptrdiff_t>(d));
+        }
       }
     }
 
@@ -168,6 +216,34 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
           restarts_used);
     }
     restart_count->fetch_add(1, std::memory_order_relaxed);
+    if (rebalance_stop && !new_weights.empty()) {
+      // Re-split the remaining rows in proportion to the rates actually
+      // measured; the restart below resumes from the newest checkpoint,
+      // so the answer stays bit-identical (same recovery invariant as a
+      // device-loss restart).
+      rebalance_count->fetch_add(1, std::memory_order_relaxed);
+      config.balance = BalanceMode::kCustomWeights;
+      config.custom_weights = normalize_weights(std::move(new_weights));
+      rebalanced_weights = config.custom_weights;
+      MGPUSW_LOG(kInfo) << "recovery: rebalance "
+                        << rebalance_count->load(std::memory_order_relaxed)
+                        << ", observed imbalance "
+                        << controller->last_imbalance();
+      if (config.obs.metrics != nullptr) {
+        config.obs.metrics->counter("recovery.rebalances").increment();
+      }
+      if (config.obs.tracer != nullptr) {
+        config.obs.tracer->instant(
+            "recovery", "rebalance",
+            {obs::TraceArg::number("resplit",
+                                   rebalance_count->load(
+                                       std::memory_order_relaxed)),
+             obs::TraceArg::number(
+                 "imbalance_pct",
+                 static_cast<std::int64_t>(
+                     controller->last_imbalance() * 100.0))});
+      }
+    }
     if (config.obs.metrics != nullptr) {
       config.obs.metrics->counter("recovery.restarts").increment();
       config.obs.metrics->counter("recovery.devices_lost")

@@ -49,6 +49,12 @@ struct RecoveryResult {
   EngineResult result;
   int restarts = 0;
   std::vector<std::string> lost_devices;  // spec names, in loss order
+  /// Restarts that were rebalance re-splits (EngineConfig::rebalance);
+  /// they share the max_restarts budget, so rebalances <= restarts.
+  int rebalances = 0;
+  /// The measured-rate column weights of the last re-split; empty when
+  /// no rebalance fired.
+  std::vector<double> rebalanced_weights;
 };
 
 /// The run failed more times than RecoveryPolicy allows, or no healthy
@@ -76,6 +82,15 @@ class RecoveryExhaustedError : public Error {
 /// `config.special_rows` may be null — recovery then checkpoints into a
 /// private in-memory store per `policy.checkpoint_interval`. A non-null
 /// store must have checkpoint_f = true and a positive interval.
+///
+/// When `config.rebalance.enabled`, each attempt runs under a
+/// RebalanceController fed by the progress stream: if the observed
+/// per-device cell rates say the column split is lopsided beyond
+/// `rebalance.min_imbalance`, the run is stopped cooperatively and
+/// restarted from the newest checkpoint with the measured rates as
+/// custom weights. Rebalance restarts consume the same max_restarts
+/// budget as failures and are counted in RecoveryResult::rebalances;
+/// the recovered result stays bit-identical either way.
 [[nodiscard]] RecoveryResult run_with_recovery(
     const EngineConfig& config, std::vector<vgpu::Device*> devices,
     const seq::Sequence& query, const seq::Sequence& subject,

@@ -326,7 +326,17 @@ void SliceRunner::notify_progress(std::int64_t completed,
                    std::chrono::steady_clock::now() - context_.run_epoch)
                    .count();
   event.job = context_.job;
+  event.busy_ns = device_.busy_ns() - initial_busy_ns_;
   context_.progress(event);
+}
+
+void SliceRunner::throw_if_stop_requested() const {
+  if (context_.stop_request == nullptr ||
+      !context_.stop_request->load(std::memory_order_acquire)) {
+    return;
+  }
+  throw InterruptedError("device " + std::to_string(device_index_) +
+                         " stopped cooperatively (rebalance requested)");
 }
 
 void SliceRunner::compute_one(std::int64_t i, std::int64_t j,
@@ -409,6 +419,7 @@ void SliceRunner::compute_one(std::int64_t i, std::int64_t j,
 void RowMajorSchedule::run(SliceRunner& r) const {
   TaskOutcome outcome;
   for (std::int64_t i = r.start_block_row_; i < r.nbr_; ++i) {
+    r.throw_if_stop_requested();
     if (r.exchange_.has_upstream()) {
       r.phase(obs::Phase::kBorderRecv);
       r.exchange_.receive(i, r.col_h_.data(), r.col_e_.data(),
@@ -441,6 +452,7 @@ void DiagonalSchedule::run(SliceRunner& r) const {
   const std::int64_t start = r.start_block_row_;
   const std::int64_t nbr_eff = r.nbr_ - start;
   for (std::int64_t diag = 0; diag <= nbr_eff + r.nbc_ - 2; ++diag) {
+    r.throw_if_stop_requested();
     // 1. Receive the border chunk feeding this diagonal's first-column
     //    block (device d > 0 only).
     if (r.exchange_.has_upstream() && diag < nbr_eff) {

@@ -60,9 +60,17 @@ struct ProgressEvent {
   /// scheduler threads the item label through here; empty for plain
   /// engine runs).
   std::string job;
+  /// This device's cumulative kernel time (incl. throttle penalty) this
+  /// run, in nanoseconds. Border waits and buffer stalls are excluded,
+  /// so device_cells_done / busy_ns is the device's effective compute
+  /// rate — what the rebalance controller feeds on.
+  std::int64_t busy_ns = 0;
   /// How many recovery restarts preceded this event (0 on a clean run;
   /// stamped by run_with_recovery so consumers can tell attempts apart).
   int restarts = 0;
+  /// How many of those restarts were rebalance re-splits (stamped by
+  /// run_with_recovery; always <= restarts).
+  int rebalances = 0;
 };
 
 /// Per-device outcome of a run.
@@ -109,6 +117,11 @@ struct RunnerContext {
   bool checkpoint_f = false;
   std::function<void(const ProgressEvent&)> progress;
   std::string job;  // threaded into every ProgressEvent
+
+  /// Cooperative stop flag (EngineConfig::stop_request): polled at every
+  /// scheduling-unit boundary; when raised, the runner throws
+  /// InterruptedError so the run unwinds restartably. Null disables.
+  std::atomic<bool>* stop_request = nullptr;
 
   /// Observability handles (null/disabled by default: every hook then
   /// costs one branch). The engine threads its EngineConfig scope here.
@@ -302,6 +315,11 @@ class SliceRunner {
   void reduce_outcome(TaskOutcome& outcome);
   void publish_best();
   void notify_progress(std::int64_t completed, std::int64_t total);
+
+  /// Throws InterruptedError when the engine's cooperative stop flag is
+  /// raised. The schedules call it at unit boundaries only, so every
+  /// block (and checkpoint segment) completed so far stays intact.
+  void throw_if_stop_requested() const;
 
   /// One-branch phase hook used by the schedules.
   void phase(obs::Phase next) {

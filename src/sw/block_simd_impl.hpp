@@ -183,8 +183,12 @@ void process_strip(const ScoreScheme& scheme, const BlockArgs& args,
     row_f[t - (kL - 1)] = v_extract_last(vf);
 
     vj = v_add(vj, v_one);
+    // Best tracking, narrow-kernel style: the compare reads the
+    // pre-update running max, then the max itself is a plain max — one
+    // uop against a blend's two on the shuffle-starved front end. Only
+    // the column offset needs the mask blend.
     const Vec8 vgt = v_cmpgt(vh, vbest_h);
-    vbest_h = v_blend(vbest_h, vh, vgt);
+    vbest_h = v_max(vbest_h, vh);
     vbest_j = v_blend(vbest_j, vj, vgt);
 
     vh_prev2 = vh_prev;

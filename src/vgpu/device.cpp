@@ -27,8 +27,15 @@ Device::Device(DeviceSpec spec, DeviceOptions options)
     : spec_(std::move(spec)), options_(options) {
   MGPUSW_REQUIRE(options_.slowdown >= 1.0,
                  "slowdown must be >= 1.0, got " << options_.slowdown);
+  slowdown_.store(options_.slowdown, std::memory_order_relaxed);
   pool_ = std::make_unique<base::ThreadPool>(
       static_cast<std::size_t>(resolve_workers(spec_, options_)));
+}
+
+void Device::set_slowdown(double slowdown) {
+  MGPUSW_REQUIRE(slowdown >= 1.0,
+                 "slowdown must be >= 1.0, got " << slowdown);
+  slowdown_.store(slowdown, std::memory_order_relaxed);
 }
 
 Device::~Device() { pool_->shutdown(); }
@@ -45,10 +52,10 @@ void Device::account_kernel(std::int64_t busy_ns, std::int64_t cells) {
   kernels_.fetch_add(1, std::memory_order_relaxed);
   cells_.fetch_add(cells, std::memory_order_relaxed);
   std::int64_t total_ns = busy_ns;
-  if (options_.slowdown > 1.0) {
-    const auto penalty =
-        static_cast<std::int64_t>((options_.slowdown - 1.0) *
-                                  static_cast<double>(busy_ns));
+  const double slowdown = slowdown_.load(std::memory_order_relaxed);
+  if (slowdown > 1.0) {
+    const auto penalty = static_cast<std::int64_t>(
+        (slowdown - 1.0) * static_cast<double>(busy_ns));
     // Busy-wait: sleeping would release the core to other virtual
     // devices, inflating aggregate throughput beyond what a slower
     // physical device would deliver.

@@ -47,7 +47,15 @@ class Device {
 
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
   [[nodiscard]] int worker_count() const;
-  [[nodiscard]] double slowdown() const { return options_.slowdown; }
+  [[nodiscard]] double slowdown() const {
+    return slowdown_.load(std::memory_order_relaxed);
+  }
+
+  /// Changes the speed throttle mid-run (>= 1.0). Kernels already in
+  /// flight finish at the old rate; later ones pay the new penalty. This
+  /// is how tests and benches model a device degrading under load —
+  /// thermal throttling, a noisy co-tenant — after the split was planned.
+  void set_slowdown(double slowdown);
 
   /// Submits a task to the device's workers (kernel launch stand-in).
   void execute(std::function<void()> task);
@@ -98,6 +106,7 @@ class Device {
 
   const DeviceSpec spec_;
   const DeviceOptions options_;
+  std::atomic<double> slowdown_{1.0};  // runtime throttle, mutable mid-run
   std::unique_ptr<base::ThreadPool> pool_;
   std::atomic<FaultInjector*> fault_{nullptr};
   std::atomic<int> fault_ordinal_{0};
