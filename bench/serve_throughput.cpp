@@ -1,0 +1,201 @@
+// Service-path throughput: jobs/sec and submit-to-result latency of the
+// mgpusw-serve daemon, measured through the real wire protocol against
+// an in-process server (loopback TCP, the same path mgpusw-client
+// takes). Each job size runs twice: on a healthy fleet and with a
+// device death injected mid-run (--fault plan), so the artifact records
+// what recovery costs the service tail.
+//
+// Latency is measured per job by a dedicated client thread (submit,
+// then RESULT with wait) — queue wait, scheduling, the engine run and
+// result publication are all inside the clock, which is what a tenant
+// sees. Writes BENCH_serve.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "base/flags.hpp"
+#include "base/json.hpp"
+#include "bench/bench_util.hpp"
+#include "serve/client_lib.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace mgpusw;
+using Clock = std::chrono::steady_clock;
+
+struct SizeResult {
+  std::int64_t size = 0;
+  bool fault = false;
+  int jobs = 0;
+  double wall_seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  int restarts = 0;  // summed over jobs (nonzero only under fault)
+  int failed = 0;    // jobs not in state done (must stay 0)
+};
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+SizeResult run_config(std::int64_t size, int jobs, const std::string& fault,
+                      int devices) {
+  serve::ServerConfig config;
+  config.port = 0;
+  config.devices = devices;
+  config.scheduler_threads = devices;  // death degrades concurrency
+  config.devices_per_job = 1;
+  config.block = 128;
+  config.quota.max_running_per_tenant = 0;  // the bench is the only tenant
+  config.quota.max_pending_per_tenant = 0;
+  config.fault_plan = fault;
+  serve::AlignServer server(config);
+  server.start();
+
+  std::vector<double> latency_ms(jobs, 0.0);
+  std::vector<int> restarts(jobs, 0);
+  std::vector<char> done_ok(jobs, 0);
+  const Clock::time_point wall_start = Clock::now();
+  std::vector<std::thread> tenants;
+  tenants.reserve(jobs);
+  for (int j = 0; j < jobs; ++j) {
+    tenants.emplace_back([&, j] {
+      serve::ServeClient client =
+          serve::ServeClient::connect("127.0.0.1", server.port());
+      serve::SubmitRequest request;
+      request.tenant = "bench-" + std::to_string(j);
+      request.rows = size;
+      request.cols = size;
+      request.seed = 100 + j;
+      const Clock::time_point t0 = Clock::now();
+      const serve::JobStatus done = client.result(client.submit(request));
+      latency_ms[j] = std::chrono::duration<double, std::milli>(
+                          Clock::now() - t0)
+                          .count();
+      restarts[j] = done.restarts;
+      done_ok[j] = done.state == serve::JobState::kDone ? 1 : 0;
+    });
+  }
+  for (std::thread& tenant : tenants) tenant.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+  server.stop();
+
+  SizeResult result;
+  result.size = size;
+  result.fault = !fault.empty();
+  result.jobs = jobs;
+  result.wall_seconds = wall;
+  result.jobs_per_sec = static_cast<double>(jobs) / wall;
+  std::sort(latency_ms.begin(), latency_ms.end());
+  result.p50_ms = percentile(latency_ms, 0.50);
+  result.p99_ms = percentile(latency_ms, 0.99);
+  for (const int r : restarts) result.restarts += r;
+  for (const char ok : done_ok) result.failed += ok ? 0 : 1;
+  return result;
+}
+
+void write_serve_json(const std::string& path, int devices, int jobs,
+                      const std::string& fault,
+                      const std::vector<SizeResult>& results) {
+  base::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("serve_throughput");
+  w.key("devices").value(devices);
+  w.key("jobs_per_config").value(jobs);
+  w.key("fault_plan").value(fault);
+  w.key("configs").begin_array();
+  for (const SizeResult& r : results) {
+    w.begin_object();
+    w.key("size").value(r.size);
+    w.key("fault").value(r.fault);
+    w.key("wall_seconds").value_fixed(r.wall_seconds, 6);
+    w.key("jobs_per_sec").value_fixed(r.jobs_per_sec, 2);
+    w.key("p50_ms").value_fixed(r.p50_ms, 3);
+    w.key("p99_ms").value_fixed(r.p99_ms, 3);
+    w.key("restarts").value(r.restarts);
+    w.key("failed").value(r.failed);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  if (!bench::write_json_file(path, w.str())) return;
+  std::printf("(serve results written to %s)\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  base::FlagSet flags(
+      "Alignment-service throughput: jobs/sec and submit-to-result "
+      "latency through the wire protocol, healthy vs device-death runs.");
+  flags.add_int("devices", 3, "fleet size (and scheduler threads)");
+  flags.add_int("jobs", 12, "concurrent jobs per configuration");
+  flags.add_string("sizes", "512,2048,8192",
+                   "comma-separated synthetic job sizes (rows = cols)");
+  // kernel=10 fires even for the smallest default size (512/128 squared
+  // = 16 launches on the first device).
+  flags.add_string("fault", "dev0:die@kernel=10",
+                   "fault plan for the death runs (empty skips them)");
+  flags.add_string("json", "BENCH_serve.json", "artifact path");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const int devices = static_cast<int>(flags.get_int("devices"));
+  const int jobs = static_cast<int>(flags.get_int("jobs"));
+  const std::string fault = flags.get_string("fault");
+
+  std::vector<std::int64_t> sizes;
+  {
+    const std::string spec = flags.get_string("sizes");
+    std::size_t at = 0;
+    while (at < spec.size()) {
+      const std::size_t comma = spec.find(',', at);
+      sizes.push_back(std::atoll(spec.substr(at, comma - at).c_str()));
+      if (comma == std::string::npos) break;
+      at = comma + 1;
+    }
+  }
+
+  bench::print_header(
+      "SERVE-1: service throughput and latency (jobs/sec, p50/p99)",
+      "a daemon front door adds queueing but keeps the fleet saturated; "
+      "a device death degrades, never kills, a tenant's job");
+
+  std::vector<SizeResult> results;
+  std::printf("%8s %6s %8s %10s %10s %10s %9s %7s\n", "size", "fault",
+              "jobs/s", "p50 ms", "p99 ms", "wall s", "restarts", "failed");
+  int total_failed = 0;
+  for (const std::int64_t size : sizes) {
+    for (const bool with_fault : {false, true}) {
+      if (with_fault && fault.empty()) continue;
+      const SizeResult r =
+          run_config(size, jobs, with_fault ? fault : std::string(), devices);
+      std::printf("%8lld %6s %8.2f %10.3f %10.3f %10.3f %9d %7d\n",
+                  static_cast<long long>(r.size), r.fault ? "yes" : "no",
+                  r.jobs_per_sec, r.p50_ms, r.p99_ms, r.wall_seconds,
+                  r.restarts, r.failed);
+      results.push_back(r);
+      total_failed += r.failed;
+    }
+  }
+
+  bench::print_shape_check(
+      {"jobs/sec falls as job size grows (bigger matrices, same fleet)",
+       "death runs record >= 1 restart (the replayed job) and 0 failed "
+       "jobs — the death degrades the fleet, never a tenant's result",
+       "p50 latency grows with job size in both modes"});
+
+  write_serve_json(flags.get_string("json"), devices, jobs, fault, results);
+  if (total_failed > 0) {
+    std::fprintf(stderr, "FAIL: %d job(s) did not complete\n", total_failed);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// mgpusw-serve — the alignment service daemon.
+//
+// Serves the multi-device engine over TCP: clients submit comparisons
+// (inline bases or synthetic specs), the daemon queues them with
+// per-tenant quotas, schedules them onto the device fleet through the
+// batch scheduler under full recovery, and answers STATUS / PROGRESS /
+// RESULT / METRICS. A plain `curl http://127.0.0.1:PORT/` scrapes the
+// metrics registry.
+//
+//   $ ./mgpusw-serve --port=7421 --devices=4 --scheduler-threads=2
+//         --devices-per-job=2
+//   $ ./mgpusw-serve --port=0            # ephemeral; port printed
+//   $ ./mgpusw-serve --fault "dev0:die@kernel=40"   # chaos drill
+#include <cstdio>
+
+#include "base/flags.hpp"
+#include "serve/server.hpp"
+#include "vgpu/fault.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mgpusw;
+  base::FlagSet flags("Alignment service daemon");
+  flags.add_int("port", 7421, "TCP port to bind (0 = ephemeral)");
+  flags.add_int("devices", 3, "number of virtual devices in the fleet");
+  flags.add_int("scheduler-threads", 2, "jobs running concurrently");
+  flags.add_int("devices-per-job", 0,
+                "devices leased per job (0 = whole fleet)");
+  flags.add_int("block", 128, "block size for served jobs");
+  flags.add_int("max-running-per-tenant", 1,
+                "per-tenant concurrent-job quota");
+  flags.add_int("max-pending-per-tenant", 8, "per-tenant queued-job quota");
+  flags.add_bool("reject-when-full", true,
+                 "reject (vs queue) submits over the pending quota");
+  flags.add_bool("recovery", true,
+                 "wrap jobs in run_with_recovery (device-death survival)");
+  flags.add_int("max-restarts", 2, "recovery restart budget per job");
+  flags.add_string("fault", "",
+                   "fault plan armed on the first job; " +
+                       vgpu::fault_plan_grammar());
+  if (!flags.parse(argc, argv)) return 0;
+
+  serve::ServerConfig config;
+  config.port = static_cast<std::uint16_t>(flags.get_int("port"));
+  config.devices = static_cast<int>(flags.get_int("devices"));
+  config.scheduler_threads =
+      static_cast<int>(flags.get_int("scheduler-threads"));
+  config.devices_per_job =
+      static_cast<int>(flags.get_int("devices-per-job"));
+  config.block = flags.get_int("block");
+  config.quota.max_running_per_tenant =
+      static_cast<int>(flags.get_int("max-running-per-tenant"));
+  config.quota.max_pending_per_tenant =
+      static_cast<int>(flags.get_int("max-pending-per-tenant"));
+  config.quota.reject_when_full = flags.get_bool("reject-when-full");
+  config.enable_recovery = flags.get_bool("recovery");
+  config.recovery.max_restarts =
+      static_cast<int>(flags.get_int("max-restarts"));
+  config.fault_plan = flags.get_string("fault");
+
+  serve::AlignServer server(config);
+  std::printf("mgpusw-serve listening on 127.0.0.1:%u (%d devices, %d "
+              "scheduler threads)\n",
+              server.port(), config.devices, config.scheduler_threads);
+  std::fflush(stdout);
+  server.run();
+  std::printf("mgpusw-serve: shutdown complete\n");
+  return 0;
+}

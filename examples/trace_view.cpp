@@ -5,7 +5,7 @@
 // batch_compare or fault_tolerant_run (--trace-out=FILE) and prints,
 // per thread track, the time spent in each span type plus counts of
 // instant events — the textual cousin of the Perfetto timeline. Parses
-// with the repo's own obs::json, so it doubles as an end-to-end check
+// with the repo's own base::json, so it doubles as an end-to-end check
 // that the exported artifact is well-formed.
 //
 //   $ ./chromosome_compare --devices=2 --trace-out=trace.json
@@ -37,9 +37,9 @@ struct TrackSummary {
 
 /// Span key: "engine/block" — category plus name, the pair the exporter
 /// emits. Counter series collapse per name (their per-sample args vary).
-std::string span_key(const obs::json::Value& event) {
-  const obs::json::Value* cat = event.find("cat");
-  const obs::json::Value* name = event.find("name");
+std::string span_key(const base::json::Value& event) {
+  const base::json::Value* cat = event.find("cat");
+  const base::json::Value* name = event.find("name");
   return (cat != nullptr && cat->is_string() ? cat->string : "?") + "/" +
          (name != nullptr && name->is_string() ? name->string : "?");
 }
@@ -63,14 +63,14 @@ int main(int argc, char** argv) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
 
-  obs::json::Value doc;
+  base::json::Value doc;
   try {
-    doc = obs::json::parse(buffer.str());
+    doc = base::json::parse(buffer.str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: not valid JSON: %s\n", path.c_str(), e.what());
     return 1;
   }
-  const obs::json::Value* events = doc.find("traceEvents");
+  const base::json::Value* events = doc.find("traceEvents");
   if (events == nullptr || !events->is_array()) {
     std::fprintf(stderr, "%s: no traceEvents array — not a Chrome trace\n",
                  path.c_str());
@@ -81,19 +81,19 @@ int main(int argc, char** argv) {
   std::int64_t complete = 0;
   std::int64_t instants = 0;
   std::int64_t counters = 0;
-  for (const obs::json::Value& event : events->array) {
-    const obs::json::Value* ph = event.find("ph");
-    const obs::json::Value* tid = event.find("tid");
+  for (const base::json::Value& event : events->array) {
+    const base::json::Value* ph = event.find("ph");
+    const base::json::Value* tid = event.find("tid");
     if (ph == nullptr || !ph->is_string() || tid == nullptr) continue;
     TrackSummary& track = tracks[tid->as_int()];
     if (ph->string == "M") {
-      const obs::json::Value* args = event.find("args");
-      const obs::json::Value* name =
+      const base::json::Value* args = event.find("args");
+      const base::json::Value* name =
           args != nullptr ? args->find("name") : nullptr;
       if (name != nullptr && name->is_string()) track.name = name->string;
       continue;
     }
-    const obs::json::Value* ts = event.find("ts");
+    const base::json::Value* ts = event.find("ts");
     const double start_us =
         ts != nullptr && ts->is_number() ? ts->number : 0.0;
     if (track.first_ts_us < 0.0 || start_us < track.first_ts_us) {
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
     }
     if (ph->string == "X") {
       ++complete;
-      const obs::json::Value* dur = event.find("dur");
+      const base::json::Value* dur = event.find("dur");
       const double dur_us =
           dur != nullptr && dur->is_number() ? dur->number : 0.0;
       SpanStats& stats = track.spans[span_key(event)];

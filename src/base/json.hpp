@@ -1,13 +1,17 @@
-// Streaming JSON writer shared by every JSON emitter in the tree
-// (core/report, the BENCH_*.json bench records, the observability
-// exports). One implementation owns escaping, layout and number
-// formatting so the emitters cannot drift apart; no external JSON
-// dependency, matching the repo's zero-dependency rule.
+// JSON handling shared by every emitter and consumer in the tree: the
+// streaming JsonWriter (core/report, the BENCH_*.json bench records,
+// the observability exports, the service wire protocol) and the strict
+// recursive-descent parser (artifact validation in tests and CI, the
+// trace_view summarizer, service protocol payloads, the client's result
+// pretty-printer). One implementation owns escaping, layout, number
+// formatting and parsing so producers and consumers cannot drift apart;
+// no external JSON dependency, matching the repo's zero-dependency rule.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace mgpusw::base {
@@ -91,5 +95,59 @@ class JsonWriter {
   std::vector<Frame> stack_;
   bool key_pending_ = false;
 };
+
+namespace json {
+
+/// A parsed JSON value. Objects keep their members in document order
+/// (duplicate keys are kept; find() returns the first).
+struct Value {
+  enum Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_null() const { return type == kNull; }
+  [[nodiscard]] bool is_object() const { return type == kObject; }
+  [[nodiscard]] bool is_array() const { return type == kArray; }
+  [[nodiscard]] bool is_string() const { return type == kString; }
+  [[nodiscard]] bool is_number() const { return type == kNumber; }
+
+  /// First member named `key`, or nullptr. Non-objects have no members.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// find(), but throws InvalidArgument when the member is missing.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+  /// The number as int64 (truncating); throws unless is_number().
+  [[nodiscard]] std::int64_t as_int() const;
+};
+
+/// Parses one strict JSON document; trailing non-whitespace is an
+/// error. Throws InvalidArgument on malformed input with an offset.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Writes `value` in value position on `writer` (containers open with
+/// `style`). Together with parse() this re-renders any subtree of a
+/// parsed document — the service protocol uses it to forward nested run
+/// reports, the client to pretty-print them.
+void write(JsonWriter& writer, const Value& value,
+           JsonWriter::Style style = JsonWriter::kCompact);
+
+/// parse()'s inverse as a one-liner: `value` rendered as a document.
+[[nodiscard]] std::string dump(const Value& value,
+                               JsonWriter::Style style = JsonWriter::kCompact);
+
+}  // namespace json
 
 }  // namespace mgpusw::base

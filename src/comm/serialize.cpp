@@ -1,7 +1,9 @@
 #include "comm/serialize.hpp"
 
 #include <cstring>
+#include <string>
 
+#include "base/crc32.hpp"
 #include "base/error.hpp"
 
 namespace mgpusw::comm {
@@ -73,6 +75,57 @@ BorderChunk deserialize_chunk(const std::uint8_t* data, std::size_t size) {
     std::memcpy(chunk.e.data(), cursor + payload, payload);
   }
   return chunk;
+}
+
+std::vector<std::uint8_t> serialize_message(const MessageFrame& message) {
+  MGPUSW_REQUIRE(message.body.size() <= kMaxMessageBytes,
+                 "message body exceeds the frame cap");
+  std::vector<std::uint8_t> out;
+  out.reserve(kMessageHeaderBytes + message.body.size());
+  append<std::uint32_t>(out, kMessageFrameMagic);
+  out.push_back(message.type);
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  append<std::uint32_t>(out,
+                        base::crc32(message.body.data(), message.body.size()));
+  out.insert(out.end(), message.body.begin(), message.body.end());
+  return out;
+}
+
+MessageFrame deserialize_message(const std::uint8_t* data, std::size_t size) {
+  if (size < kMessageHeaderBytes) {
+    throw ProtocolError("message frame truncated: " + std::to_string(size) +
+                        " bytes is smaller than the " +
+                        std::to_string(kMessageHeaderBytes) +
+                        "-byte envelope");
+  }
+  if (size - kMessageHeaderBytes > kMaxMessageBytes) {
+    throw ProtocolError("message body of " +
+                        std::to_string(size - kMessageHeaderBytes) +
+                        " bytes exceeds the frame cap");
+  }
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, data, sizeof(magic));
+  if (magic != kMessageFrameMagic) {
+    throw ProtocolError("message frame has bad magic (not an mgpusw-serve "
+                        "protocol stream)");
+  }
+  MessageFrame message;
+  message.type = data[4];
+  if (data[5] != 0 || data[6] != 0 || data[7] != 0) {
+    throw ProtocolError("message frame has nonzero reserved bytes "
+                        "(version mismatch or corruption)");
+  }
+  std::uint32_t expected_crc = 0;
+  std::memcpy(&expected_crc, data + 8, sizeof(expected_crc));
+  const std::uint8_t* body = data + kMessageHeaderBytes;
+  const std::size_t body_size = size - kMessageHeaderBytes;
+  if (base::crc32(body, body_size) != expected_crc) {
+    throw ProtocolError("message body failed its CRC check");
+  }
+  message.body.assign(body, body + body_size);
+  return message;
 }
 
 }  // namespace mgpusw::comm

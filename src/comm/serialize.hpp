@@ -1,7 +1,6 @@
-// Wire format for border chunks (little-endian framing shared by the TCP
-// transport and any future file/MPI transports).
+// Wire formats (little-endian) shared by the TCP transports.
 //
-// Frame layout:
+// Border chunk frames — the engine's inter-device border traffic:
 //   u64 magic            'MGSWBRD1'
 //   i64 sequence_number
 //   i64 first_row
@@ -9,6 +8,17 @@
 //   i64 rows
 //   i32 h[rows]
 //   i32 e[rows]
+//
+// Message frames — the service protocol envelope (src/serve). Unlike
+// border chunks, these cross a trust boundary (any process can connect
+// to the daemon), so the envelope carries a CRC and every malformation
+// maps to ProtocolError, which the server turns into an ERROR reply
+// instead of dying:
+//   u32 magic            'MGSV'
+//   u8  type             frame type tag (opaque to this layer)
+//   u8  reserved[3]      must be zero
+//   u32 crc32(body)
+//   u8  body[...]        payload (typically JSON; opaque to this layer)
 #pragma once
 
 #include <cstdint>
@@ -34,5 +44,33 @@ constexpr std::uint64_t kBorderFrameMagic = 0x3144524257534D47ULL;  // "GMSWRBD1
   return 5 * sizeof(std::int64_t) +
          2 * static_cast<std::size_t>(rows) * sizeof(sw::Score);
 }
+
+constexpr std::uint32_t kMessageFrameMagic = 0x5653474DU;  // "MGSV"
+
+/// Envelope overhead of a message frame (magic + type + reserved + crc).
+constexpr std::size_t kMessageHeaderBytes = 12;
+
+/// Largest message body the deserializer accepts. Matches the stream
+/// layer's frame cap minus the envelope so a maximal body still fits in
+/// one TCP frame.
+constexpr std::size_t kMaxMessageBytes = (64u << 20) - kMessageHeaderBytes;
+
+/// One service-protocol message: a type tag plus an opaque body. The
+/// meaning of `type` and the body encoding belong to serve/protocol;
+/// this layer only owns the envelope (magic, CRC, size limits).
+struct MessageFrame {
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> body;
+};
+
+/// Wraps a message in the CRC-protected envelope.
+[[nodiscard]] std::vector<std::uint8_t> serialize_message(
+    const MessageFrame& message);
+
+/// Parses a frame produced by serialize_message. Throws ProtocolError on
+/// any malformation: truncated envelope, bad magic, nonzero reserved
+/// bytes, body CRC mismatch, or a body larger than kMaxMessageBytes.
+[[nodiscard]] MessageFrame deserialize_message(const std::uint8_t* data,
+                                               std::size_t size);
 
 }  // namespace mgpusw::comm

@@ -5,13 +5,13 @@
 // serialized payload) and the circular-buffer capacity is enforced as an
 // acknowledgement window: the sender blocks once `capacity` chunks are
 // unacknowledged, which gives the same back-pressure semantics as the
-// in-process ring buffer.
+// in-process ring buffer. The raw socket plumbing (read/write loops,
+// connect timeout, per-socket timeouts) lives in comm/tcp_stream and is
+// shared with the service daemon's listener.
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -25,6 +25,7 @@
 #include "base/time.hpp"
 #include "comm/channel.hpp"
 #include "comm/serialize.hpp"
+#include "comm/tcp_stream.hpp"
 #include "obs/metrics.hpp"
 
 namespace mgpusw::comm {
@@ -35,90 +36,6 @@ constexpr std::uint32_t kCloseSentinel = 0xFFFFFFFFu;
 
 [[noreturn]] void throw_errno(const char* what) {
   throw IoError(std::string(what) + ": " + std::strerror(errno));
-}
-
-void write_all(int fd, const void* data, std::size_t size) {
-  const char* cursor = static_cast<const char*>(data);
-  while (size > 0) {
-    // MSG_NOSIGNAL: a peer that shut down mid-run (failure-unblock path)
-    // must surface as EPIPE, not a process-killing SIGPIPE.
-    const ssize_t written = ::send(fd, cursor, size, MSG_NOSIGNAL);
-    if (written < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        // SO_SNDTIMEO expired: the peer stopped draining.
-        throw TransientError(
-            "tcp write timed out (peer not draining; --comm-timeout-ms)");
-      }
-      throw_errno("tcp write");
-    }
-    cursor += written;
-    size -= static_cast<std::size_t>(written);
-  }
-}
-
-void read_all(int fd, void* data, std::size_t size) {
-  char* cursor = static_cast<char*>(data);
-  while (size > 0) {
-    const ssize_t got = ::read(fd, cursor, size);
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        // SO_RCVTIMEO expired: a silent peer must surface as an error
-        // the recovery layer can classify, not a hung wavefront.
-        throw TransientError(
-            "tcp read timed out (silent peer; --comm-timeout-ms)");
-      }
-      throw_errno("tcp read");
-    }
-    if (got == 0) throw IoError("tcp peer closed unexpectedly");
-    cursor += got;
-    size -= static_cast<std::size_t>(got);
-  }
-}
-
-/// Applies `timeout_ms` to every blocking read/write on `fd`.
-void set_socket_timeouts(int fd, std::int64_t timeout_ms) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-/// connect() bounded by `timeout_ms` (0 = block): non-blocking connect,
-/// poll for writability, then check SO_ERROR — the portable idiom.
-void connect_with_timeout(int fd, const sockaddr_in& addr,
-                          std::int64_t timeout_ms) {
-  if (timeout_ms <= 0) {
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) < 0) {
-      throw_errno("connect");
-    }
-    return;
-  }
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                           sizeof(addr));
-  if (rc < 0) {
-    if (errno != EINPROGRESS) throw_errno("connect");
-    pollfd pfd{fd, POLLOUT, 0};
-    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
-    if (ready == 0) {
-      throw TransientError("tcp connect timed out after " +
-                           std::to_string(timeout_ms) + " ms");
-    }
-    if (ready < 0) throw_errno("poll");
-    int err = 0;
-    socklen_t len = sizeof(err);
-    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
-    if (err != 0) {
-      errno = err;
-      throw_errno("connect");
-    }
-  }
-  ::fcntl(fd, F_SETFL, flags);
 }
 
 struct TcpState {
@@ -160,7 +77,7 @@ class TcpSink final : public BorderSink {
       base::WallTimer stall;
       while (in_flight_ >= state_->capacity) {
         std::uint8_t ack = 0;
-        read_all(state_->producer_fd, &ack, 1);
+        read_fd_all(state_->producer_fd, &ack, 1);
         --in_flight_;
         state_->acks_seen.fetch_add(1, std::memory_order_relaxed);
       }
@@ -172,8 +89,8 @@ class TcpSink final : public BorderSink {
     }
     const std::vector<std::uint8_t> frame = serialize_chunk(chunk);
     const auto length = static_cast<std::uint32_t>(frame.size());
-    write_all(state_->producer_fd, &length, sizeof(length));
-    write_all(state_->producer_fd, frame.data(), frame.size());
+    write_fd_all(state_->producer_fd, &length, sizeof(length));
+    write_fd_all(state_->producer_fd, frame.data(), frame.size());
     ++in_flight_;
     state_->chunks_sent.fetch_add(1, std::memory_order_relaxed);
     state_->bytes_sent.fetch_add(static_cast<std::int64_t>(frame.size()),
@@ -183,7 +100,8 @@ class TcpSink final : public BorderSink {
   void close() override {
     if (closed_) return;
     closed_ = true;
-    write_all(state_->producer_fd, &kCloseSentinel, sizeof(kCloseSentinel));
+    write_fd_all(state_->producer_fd, &kCloseSentinel,
+                 sizeof(kCloseSentinel));
     ::shutdown(state_->producer_fd, SHUT_WR);
   }
 
@@ -206,7 +124,7 @@ class TcpSource final : public BorderSource {
     if (done_) return std::nullopt;
     base::WallTimer stall;
     std::uint32_t length = 0;
-    read_all(state_->consumer_fd, &length, sizeof(length));
+    read_fd_all(state_->consumer_fd, &length, sizeof(length));
     state_->consumer_stall_ns.fetch_add(stall.elapsed_ns(),
                                         std::memory_order_relaxed);
     if (length == kCloseSentinel) {
@@ -214,11 +132,11 @@ class TcpSource final : public BorderSource {
       return std::nullopt;
     }
     buffer_.resize(length);
-    read_all(state_->consumer_fd, buffer_.data(), buffer_.size());
+    read_fd_all(state_->consumer_fd, buffer_.data(), buffer_.size());
     BorderChunk chunk = deserialize_chunk(buffer_.data(), buffer_.size());
     // Acknowledge so the producer's window opens one slot.
     const std::uint8_t ack = 1;
-    write_all(state_->consumer_fd, &ack, 1);
+    write_fd_all(state_->consumer_fd, &ack, 1);
     return chunk;
   }
 
@@ -249,61 +167,45 @@ ChannelPair make_tcp_channel(std::size_t capacity_chunks,
   MGPUSW_REQUIRE(capacity_chunks > 0, "channel capacity must be positive");
   MGPUSW_REQUIRE(timeout_ms >= 0, "comm timeout must be non-negative");
 
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) throw_errno("socket");
+  // One-shot rendezvous: an ephemeral listener pairs the two loopback
+  // sockets, then goes away. TcpListener brings SO_REUSEADDR and the
+  // hardened accept with it.
+  TcpListener listener(0, /*backlog=*/1);
+
+  const int producer = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (producer < 0) throw_errno("socket");
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(listener);
-    throw_errno("bind");
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
-                    &addr_len) < 0) {
-    ::close(listener);
-    throw_errno("getsockname");
-  }
-  if (::listen(listener, 1) < 0) {
-    ::close(listener);
-    throw_errno("listen");
-  }
-
-  const int producer = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (producer < 0) {
-    ::close(listener);
-    throw_errno("socket");
-  }
+  addr.sin_port = htons(listener.port());
   try {
-    connect_with_timeout(producer, addr, timeout_ms);
+    if (::connect(producer, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      throw_errno("connect");
+    }
   } catch (...) {
-    ::close(listener);
     ::close(producer);
     throw;
   }
-  const int consumer = ::accept(listener, nullptr, nullptr);
-  ::close(listener);
-  if (consumer < 0) {
+  std::optional<TcpStream> accepted = listener.accept();
+  if (!accepted.has_value()) {
     ::close(producer);
-    throw_errno("accept");
+    throw IoError("tcp channel rendezvous: listener closed");
   }
 
   // Border chunks are latency-sensitive (they gate the downstream
-  // device's wavefront); disable Nagle.
+  // device's wavefront); disable Nagle. The accepted side already has
+  // TCP_NODELAY from the listener.
   const int one = 1;
   ::setsockopt(producer, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  ::setsockopt(consumer, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  if (timeout_ms > 0) {
-    set_socket_timeouts(producer, timeout_ms);
-    set_socket_timeouts(consumer, timeout_ms);
-  }
+  set_socket_timeouts(producer, timeout_ms);
 
   auto state = std::make_shared<TcpState>();
   state->producer_fd = producer;
-  state->consumer_fd = consumer;
+  // TcpState owns both descriptors from here.
+  state->consumer_fd = accepted->release();
+  set_socket_timeouts(state->consumer_fd, timeout_ms);
   state->capacity = capacity_chunks;
   if (obs.metrics != nullptr) {
     state->ack_wait_ms = &obs.metrics->histogram("comm.tcp.ack_wait_ms");

@@ -1,0 +1,298 @@
+#include "comm/tcp_stream.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "base/error.hpp"
+#include "base/log.hpp"
+
+namespace mgpusw::comm {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// connect() bounded by `timeout_ms` (0 = block): non-blocking connect,
+/// poll for writability, then check SO_ERROR — the portable idiom.
+void connect_with_timeout(int fd, const sockaddr_in& addr,
+                          std::int64_t timeout_ms) {
+  if (timeout_ms <= 0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      throw_errno("connect");
+    }
+    return;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc < 0) {
+    if (errno != EINPROGRESS) throw_errno("connect");
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready == 0) {
+      throw TransientError("tcp connect timed out after " +
+                           std::to_string(timeout_ms) + " ms");
+    }
+    if (ready < 0) throw_errno("poll");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      errno = err;
+      throw_errno("connect");
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+void write_fd_all(int fd, const void* data, std::size_t size) {
+  const char* cursor = static_cast<const char*>(data);
+  while (size > 0) {
+    // MSG_NOSIGNAL: a peer that shut down mid-stream must surface as
+    // EPIPE, not a process-killing SIGPIPE.
+    const ssize_t written = ::send(fd, cursor, size, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer stopped draining.
+        throw TransientError(
+            "tcp write timed out (peer not draining; --comm-timeout-ms)");
+      }
+      throw_errno("tcp write");
+    }
+    cursor += written;
+    size -= static_cast<std::size_t>(written);
+  }
+}
+
+void read_fd_all(int fd, void* data, std::size_t size) {
+  char* cursor = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t got = ::read(fd, cursor, size);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: a silent peer must surface as an error
+        // the recovery layer can classify, not a hung wavefront.
+        throw TransientError(
+            "tcp read timed out (silent peer; --comm-timeout-ms)");
+      }
+      throw_errno("tcp read");
+    }
+    if (got == 0) throw IoError("tcp peer closed unexpectedly");
+    cursor += got;
+    size -= static_cast<std::size_t>(got);
+  }
+}
+
+void set_socket_timeouts(int fd, std::int64_t timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// ---------------------------------------------------------------------------
+// TcpStream
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port,
+                             std::int64_t timeout_ms) {
+  sockaddr_in addr = loopback_addr(port);
+  if (host != "localhost" && !host.empty() && host != "127.0.0.1") {
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      throw InvalidArgument("tcp connect: bad IPv4 address \"" + host +
+                            "\"");
+    }
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  try {
+    connect_with_timeout(fd, addr, timeout_ms);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  set_nodelay(fd);
+  set_socket_timeouts(fd, timeout_ms);
+  return TcpStream(fd);
+}
+
+void TcpStream::send_frame(const std::vector<std::uint8_t>& payload) {
+  MGPUSW_CHECK(valid());
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  write_fd_all(fd_, &length, sizeof(length));
+  if (!payload.empty()) write_fd_all(fd_, payload.data(), payload.size());
+}
+
+std::optional<std::vector<std::uint8_t>> TcpStream::recv_frame(
+    std::size_t max_bytes) {
+  MGPUSW_CHECK(valid());
+  std::uint32_t length = 0;
+  // A clean EOF on the first byte of the prefix is a normal disconnect;
+  // EOF mid-prefix is a torn frame.
+  char* cursor = reinterpret_cast<char*>(&length);
+  std::size_t need = sizeof(length);
+  const std::size_t first = read_some(cursor, need);
+  if (first == 0) return std::nullopt;
+  read_fd_all(fd_, cursor + first, need - first);
+  if (length > max_bytes) {
+    throw ProtocolError("frame length " + std::to_string(length) +
+                        " exceeds the " + std::to_string(max_bytes) +
+                        "-byte cap (corrupt or hostile stream)");
+  }
+  std::vector<std::uint8_t> payload(length);
+  if (length > 0) read_fd_all(fd_, payload.data(), payload.size());
+  return payload;
+}
+
+void TcpStream::write_all(const void* data, std::size_t size) {
+  MGPUSW_CHECK(valid());
+  write_fd_all(fd_, data, size);
+}
+
+void TcpStream::read_all(void* data, std::size_t size) {
+  MGPUSW_CHECK(valid());
+  read_fd_all(fd_, data, size);
+}
+
+std::size_t TcpStream::read_some(void* data, std::size_t size) {
+  MGPUSW_CHECK(valid());
+  for (;;) {
+    const ssize_t got = ::read(fd_, data, size);
+    if (got >= 0) return static_cast<std::size_t>(got);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw TransientError("tcp read timed out (silent peer)");
+    }
+    throw_errno("tcp read");
+  }
+}
+
+void TcpStream::shutdown() {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpStream::close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  // SO_REUSEADDR: a daemon restarted after a crash must rebind its port
+  // immediately instead of waiting out TIME_WAIT.
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("bind");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) <
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_, backlog) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("listen");
+  }
+}
+
+TcpListener::~TcpListener() {
+  close();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<TcpStream> TcpListener::accept() {
+  std::int64_t backoff_ms = 10;
+  for (;;) {
+    if (closed_.load(std::memory_order_acquire)) return std::nullopt;
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      set_nodelay(conn);
+      return TcpStream(conn);
+    }
+    if (closed_.load(std::memory_order_acquire)) return std::nullopt;
+    // Transient conditions a daemon-lifetime accept loop must survive:
+    // a signal (EINTR), a connection that died between SYN and accept
+    // (ECONNABORTED), and descriptor exhaustion (EMFILE/ENFILE), where
+    // retrying immediately would spin — back off until an fd frees up.
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EMFILE || errno == ENFILE) {
+      MGPUSW_LOG(kWarn) << "accept: out of file descriptors; retrying in "
+                        << backoff_ms << " ms";
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min<std::int64_t>(backoff_ms * 2, 1000);
+      continue;
+    }
+    throw_errno("accept");
+  }
+}
+
+void TcpListener::close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  // shutdown() wakes a blocked accept() (it fails with EINVAL on
+  // Linux); the descriptor itself is closed in the destructor so a
+  // racing accept() never sees a recycled fd number.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace mgpusw::comm

@@ -1,0 +1,134 @@
+// TCP socket layer: the low-level plumbing under both the border-chunk
+// loopback transport (comm/tcp_channel) and the alignment service
+// daemon (src/serve).
+//
+// Three pieces:
+//   * free helpers (read_fd_all / write_fd_all / connect timeout /
+//     socket timeouts) — the portable blocking-socket idioms, shared so
+//     the transports cannot drift apart in their EINTR/EPIPE handling;
+//   * TcpStream      — a connected socket with length-prefixed frame
+//     send/recv (u32 length + payload) and a hard frame-size cap;
+//   * TcpListener    — a daemon-lifetime accept loop: SO_REUSEADDR so a
+//     restart-after-crash rebinds immediately, accept() retried on
+//     EINTR/ECONNABORTED, EMFILE/ENFILE survived with backoff instead
+//     of throwing out of the loop, thread-safe close() to wake a
+//     blocked accept.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mgpusw::comm {
+
+/// Writes all `size` bytes to `fd` (a socket), retrying EINTR. EPIPE
+/// (dead peer) surfaces as IoError; a send timeout (SO_SNDTIMEO) as
+/// TransientError. Uses send() with MSG_NOSIGNAL so a dead peer cannot
+/// kill the process with SIGPIPE.
+void write_fd_all(int fd, const void* data, std::size_t size);
+
+/// Reads exactly `size` bytes, retrying EINTR. EOF mid-read is IoError;
+/// a receive timeout (SO_RCVTIMEO) is TransientError.
+void read_fd_all(int fd, void* data, std::size_t size);
+
+/// Applies `timeout_ms` to every blocking read/write on `fd` (0 = none).
+void set_socket_timeouts(int fd, std::int64_t timeout_ms);
+
+/// Largest frame recv_frame() accepts by default. A length prefix past
+/// this is treated as protocol corruption (the stream position is
+/// unrecoverable after it), not as a huge allocation request.
+constexpr std::size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// A connected TCP socket with length-prefixed framing. Move-only;
+/// closes its descriptor on destruction.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  /// Adopts a connected descriptor (from TcpListener::accept or a
+  /// socketpair in tests).
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream();
+
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+  TcpStream(TcpStream&& other) noexcept { *this = std::move(other); }
+  TcpStream& operator=(TcpStream&& other) noexcept;
+
+  /// Connects to host:port (dotted-quad or "localhost"), bounded by
+  /// `timeout_ms` (0 = block). TCP_NODELAY is set; `timeout_ms` also
+  /// becomes the socket's read/write timeout. Throws IoError /
+  /// TransientError (timeout).
+  [[nodiscard]] static TcpStream connect(const std::string& host,
+                                         std::uint16_t port,
+                                         std::int64_t timeout_ms = 0);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Sends one frame: u32 length prefix + payload bytes.
+  void send_frame(const std::vector<std::uint8_t>& payload);
+
+  /// Receives one frame. Returns nullopt on clean EOF at a frame
+  /// boundary (peer closed). Throws ProtocolError when the length
+  /// prefix exceeds `max_bytes` — the stream is unusable after that —
+  /// and IoError/TransientError on the usual socket failures.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> recv_frame(
+      std::size_t max_bytes = kMaxFrameBytes);
+
+  /// Raw escape hatches for protocol sniffing (the server's GET
+  /// detection) and tests.
+  void write_all(const void* data, std::size_t size);
+  void read_all(void* data, std::size_t size);
+  /// One read() of at most `size` bytes; 0 = EOF.
+  [[nodiscard]] std::size_t read_some(void* data, std::size_t size);
+
+  /// Half-close both directions (wakes a peer blocked on this socket).
+  void shutdown();
+  void close();
+
+  /// Relinquishes ownership of the descriptor (caller must close it).
+  [[nodiscard]] int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket for daemon use. Thread-safe close(): another
+/// thread closing the listener wakes a blocked accept(), which then
+/// returns nullopt instead of throwing.
+class TcpListener {
+ public:
+  /// Binds 127.0.0.1:port (0 = ephemeral; see port()) with SO_REUSEADDR
+  /// and starts listening. Throws IoError on bind/listen failure.
+  explicit TcpListener(std::uint16_t port, int backlog = 64);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. Transient accept failures never
+  /// escape: EINTR and ECONNABORTED retry immediately, EMFILE/ENFILE
+  /// (fd exhaustion) log and back off (10 ms doubling to 1 s) until a
+  /// descriptor frees up. Returns nullopt once close() was called.
+  /// Accepted sockets have TCP_NODELAY set.
+  [[nodiscard]] std::optional<TcpStream> accept();
+
+  /// Stops the listener and wakes any blocked accept(). Idempotent.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace mgpusw::comm

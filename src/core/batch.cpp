@@ -97,6 +97,118 @@ void run_interseq_prepass(const BatchConfig& config,
 
 }  // namespace
 
+void run_batch_item(const BatchConfig& config, DeviceFleet& fleet,
+                    const BatchItem& item, BatchItemResult& entry) {
+  MGPUSW_REQUIRE(config.devices_per_item >= 0,
+                 "devices_per_item must be non-negative");
+  const std::size_t per_item = config.devices_per_item == 0
+                                   ? fleet.size()
+                                   : static_cast<std::size_t>(
+                                         config.devices_per_item);
+  MGPUSW_REQUIRE(per_item <= fleet.size(),
+                 "devices_per_item exceeds fleet size");
+  entry.label = item.label;
+  // Item lifetime span: covers the lease wait, the run(s) and any
+  // recovery retries, on the calling thread's track.
+  const obs::Scope& obs = config.engine.obs;
+  obs::TraceSpan item_span(obs.tracer, "batch", "item " + item.label);
+  if (obs.metrics != nullptr) {
+    obs.metrics->gauge("batch.in_flight").add(1);
+  }
+  try {
+    if (!config.enable_recovery) {
+      DeviceLease lease = fleet.acquire(per_item);
+      EngineConfig engine_config = config.engine;
+      engine_config.job = item.label;
+      if (item.cancel != nullptr) engine_config.stop_request = item.cancel;
+      MultiDeviceEngine engine(engine_config, lease.devices());
+      entry.result = engine.run(item.query, item.subject);
+    } else {
+      // Degraded-pool retry loop: each pass leases what the fleet
+      // can still grant (devices that died under other items shrink
+      // the request) and runs the item under recovery. A pass whose
+      // whole lease died retries on a fresh lease; bounded so a
+      // cascade of deaths cannot loop forever.
+      int lease_attempts = 0;
+      // Fault-plan ordinals name devices of the lease they were armed
+      // against. After an exhausted lease the retry runs on different
+      // physical devices; re-arming the plan would remap its ordinals
+      // onto healthy hardware and kill the replacements too.
+      bool fault_spent = false;
+      for (;;) {
+        const std::size_t healthy = fleet.healthy_count();
+        if (healthy == 0) {
+          throw Error("batch item \"" + item.label +
+                      "\": no healthy devices left");
+        }
+        const std::size_t want =
+            std::max<std::size_t>(1, std::min(per_item, healthy));
+        DeviceLease lease;
+        try {
+          lease = fleet.acquire(want);
+        } catch (const Error&) {
+          // The fleet degraded between the snapshot and the
+          // acquire; re-evaluate with the smaller pool.
+          if (++lease_attempts > config.recovery.max_restarts + 1) {
+            throw;
+          }
+          continue;
+        }
+        EngineConfig engine_config = config.engine;
+        engine_config.job = item.label;
+        if (fault_spent) engine_config.fault = nullptr;
+        if (item.cancel != nullptr) {
+          engine_config.stop_request = item.cancel;
+        }
+        try {
+          RecoveryResult recovered = run_with_recovery(
+              engine_config, lease.devices(), item.query,
+              item.subject, config.recovery, &fleet);
+          entry.result = std::move(recovered.result);
+          entry.restarts += recovered.restarts;
+          entry.lost_devices.insert(
+              entry.lost_devices.end(),
+              recovered.lost_devices.begin(),
+              recovered.lost_devices.end());
+          break;
+        } catch (const RecoveryExhaustedError& e) {
+          entry.restarts += e.restarts();
+          entry.lost_devices.insert(entry.lost_devices.end(),
+                                    e.lost_devices().begin(),
+                                    e.lost_devices().end());
+          lease.release();
+          if (fleet.healthy_count() == 0 ||
+              ++lease_attempts > config.recovery.max_restarts + 1) {
+            throw;
+          }
+          fault_spent = true;
+          // The fresh-lease rerun replays the item from scratch: count
+          // it with the restarts it recovers from. run_with_recovery
+          // threw before booking its own counters, so the retry books
+          // them here — a death must show up as recovery.* whichever
+          // path survives it.
+          ++entry.restarts;
+          if (obs.metrics != nullptr) {
+            obs.metrics->counter("recovery.restarts").increment();
+            obs.metrics->counter("recovery.devices_lost")
+                .add(static_cast<std::int64_t>(e.lost_devices().size()));
+          }
+        }
+      }
+    }
+  } catch (...) {
+    if (obs.metrics != nullptr) {
+      obs.metrics->gauge("batch.in_flight").add(-1);
+      obs.metrics->counter("batch.items_failed").increment();
+    }
+    throw;
+  }
+  if (obs.metrics != nullptr) {
+    obs.metrics->gauge("batch.in_flight").add(-1);
+    obs.metrics->counter("batch.items_completed").increment();
+  }
+}
+
 BatchResult run_batch(const BatchConfig& config, DeviceFleet& fleet,
                       const std::vector<BatchItem>& items) {
   MGPUSW_REQUIRE(!items.empty(), "batch needs at least one item");
@@ -118,20 +230,36 @@ BatchResult run_batch(const BatchConfig& config, DeviceFleet& fleet,
   std::vector<char> handled(items.size(), 0);
   if (config.interseq_max_len > 0) {
     run_interseq_prepass(config, items, batch, handled);
+    if (config.on_item_done) {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (handled[i] != 0) {
+          config.on_item_done(i, batch.items[i], nullptr);
+        }
+      }
+    }
   }
+
+  // Admission order: priority descending, ties in submission order.
+  std::vector<std::size_t> order(items.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&items](std::size_t a, std::size_t b) {
+                     return items[a].priority > items[b].priority;
+                   });
 
   const std::size_t worker_count = std::min<std::size_t>(
       static_cast<std::size_t>(config.max_in_flight), items.size());
 
-  std::atomic<std::size_t> next_item{0};
+  std::atomic<std::size_t> next_slot{0};
   std::mutex error_mu;
   std::exception_ptr first_error;
 
   auto worker = [&] {
     for (;;) {
-      const std::size_t index =
-          next_item.fetch_add(1, std::memory_order_relaxed);
-      if (index >= items.size()) return;
+      const std::size_t slot =
+          next_slot.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= order.size()) return;
+      const std::size_t index = order[slot];
       if (handled[index] != 0) continue;  // solved by the interseq pass
       {
         std::lock_guard<std::mutex> lock(error_mu);
@@ -139,85 +267,16 @@ BatchResult run_batch(const BatchConfig& config, DeviceFleet& fleet,
       }
       const BatchItem& item = items[index];
       BatchItemResult& entry = batch.items[index];
-      entry.label = item.label;
-      // Item lifetime span: covers the lease wait, the run(s) and any
-      // recovery retries, on the admitting worker's track.
-      const obs::Scope& obs = config.engine.obs;
-      obs::TraceSpan item_span(obs.tracer, "batch", "item " + item.label);
-      if (obs.metrics != nullptr) {
-        obs.metrics->gauge("batch.in_flight").add(1);
-      }
-      bool item_ok = false;
       try {
-        if (!config.enable_recovery) {
-          DeviceLease lease = fleet.acquire(per_item);
-          EngineConfig engine_config = config.engine;
-          engine_config.job = item.label;
-          MultiDeviceEngine engine(engine_config, lease.devices());
-          entry.result = engine.run(item.query, item.subject);
-        } else {
-          // Degraded-pool retry loop: each pass leases what the fleet
-          // can still grant (devices that died under other items shrink
-          // the request) and runs the item under recovery. A pass whose
-          // whole lease died retries on a fresh lease; bounded so a
-          // cascade of deaths cannot loop forever.
-          int lease_attempts = 0;
-          for (;;) {
-            const std::size_t healthy = fleet.healthy_count();
-            if (healthy == 0) {
-              throw Error("batch item \"" + item.label +
-                          "\": no healthy devices left");
-            }
-            const std::size_t want =
-                std::max<std::size_t>(1, std::min(per_item, healthy));
-            DeviceLease lease;
-            try {
-              lease = fleet.acquire(want);
-            } catch (const Error&) {
-              // The fleet degraded between the snapshot and the
-              // acquire; re-evaluate with the smaller pool.
-              if (++lease_attempts > config.recovery.max_restarts + 1) {
-                throw;
-              }
-              continue;
-            }
-            EngineConfig engine_config = config.engine;
-            engine_config.job = item.label;
-            try {
-              RecoveryResult recovered = run_with_recovery(
-                  engine_config, lease.devices(), item.query,
-                  item.subject, config.recovery, &fleet);
-              entry.result = std::move(recovered.result);
-              entry.restarts += recovered.restarts;
-              entry.lost_devices.insert(
-                  entry.lost_devices.end(),
-                  recovered.lost_devices.begin(),
-                  recovered.lost_devices.end());
-              break;
-            } catch (const RecoveryExhaustedError& e) {
-              entry.restarts += e.restarts();
-              lease.release();
-              if (fleet.healthy_count() == 0 ||
-                  ++lease_attempts > config.recovery.max_restarts + 1) {
-                throw;
-              }
-            }
-          }
-        }
-        item_ok = true;
+        run_batch_item(config, fleet, item, entry);
       } catch (...) {
-        if (obs.metrics != nullptr) {
-          obs.metrics->gauge("batch.in_flight").add(-1);
-          obs.metrics->counter("batch.items_failed").increment();
-        }
+        const std::exception_ptr error = std::current_exception();
+        if (config.on_item_done) config.on_item_done(index, entry, error);
         std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
+        if (!first_error) first_error = error;
         return;
       }
-      if (item_ok && obs.metrics != nullptr) {
-        obs.metrics->gauge("batch.in_flight").add(-1);
-        obs.metrics->counter("batch.items_completed").increment();
-      }
+      if (config.on_item_done) config.on_item_done(index, entry, nullptr);
     }
   };
 

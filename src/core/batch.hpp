@@ -12,6 +12,10 @@
 // concurrency shows up in the metric.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,6 +29,13 @@ struct BatchItem {
   std::string label;
   seq::Sequence query;
   seq::Sequence subject;
+  /// Admission order: higher runs first; ties keep submission order.
+  int priority = 0;
+  /// Optional cancel flag (owned by the caller, e.g. the service's job
+  /// record). When raised, the item's engine stops at the next
+  /// scheduling-unit boundary with InterruptedError — recovery does not
+  /// restart a cancelled item.
+  std::atomic<bool>* cancel = nullptr;
 };
 
 struct BatchItemResult {
@@ -61,6 +72,16 @@ struct BatchConfig {
   std::int64_t interseq_max_len = 0;
   /// Batch kernel for the short-item pre-pass (sw::batch_kernel_names()).
   std::string interseq_kernel = "interseq";
+
+  /// Completion hook, called once per item as it finishes: the item's
+  /// index, its (possibly partial) result entry, and the error that
+  /// aborted it — nullptr on success. Runs on the worker thread that ran
+  /// the item, so it must be thread-safe when max_in_flight > 1; it
+  /// fires before run_batch returns and before a batch-level abort
+  /// rethrows.
+  std::function<void(std::size_t, const BatchItemResult&,
+                     std::exception_ptr)>
+      on_item_done;
 };
 
 struct BatchResult {
@@ -85,12 +106,23 @@ struct BatchResult {
 };
 
 /// Runs every item on leases drawn from `fleet`. Items are admitted in
-/// order; each engine sees the item's label in ProgressEvent::job.
-/// Exceptions from any item abort the batch (first error rethrown after
-/// all in-flight items finish and release their leases).
+/// priority order (descending; ties by position); each engine sees the
+/// item's label in ProgressEvent::job. Exceptions from any item abort
+/// the batch (first error rethrown after all in-flight items finish and
+/// release their leases).
 [[nodiscard]] BatchResult run_batch(const BatchConfig& config,
                                     DeviceFleet& fleet,
                                     const std::vector<BatchItem>& items);
+
+/// Runs one item: leases devices from `fleet`, runs the engine (under
+/// recovery with the degraded-pool retry loop when enable_recovery is
+/// set), and fills `entry`. This is the per-item body of run_batch,
+/// exposed so a long-lived scheduler (the service daemon) can drive
+/// items through the identical lease/recovery/metrics path one job at a
+/// time. Throws on failure; `entry` then holds whatever bookkeeping
+/// (restarts, lost devices) accumulated before the error.
+void run_batch_item(const BatchConfig& config, DeviceFleet& fleet,
+                    const BatchItem& item, BatchItemResult& entry);
 
 /// Legacy sequential entry point: every item spans all `devices`, one
 /// item at a time (the paper's evaluation mode).

@@ -41,6 +41,13 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
 
   EngineConfig config = base_config;
 
+  // The caller's stop flag means *cancel the job*, which recovery must
+  // never treat as a restartable failure (InterruptedError classifies as
+  // transient). Remember it so the attempt loop can tell a cancel apart
+  // from an engine fault, including attempts where the rebalance
+  // controller substitutes its own stop flag.
+  std::atomic<bool>* const caller_stop = base_config.stop_request;
+
   // Checkpoints are what restarts resume from; without a caller-provided
   // store, recovery keeps its own (in-memory — it only needs to survive
   // the attempt loop, not the process).
@@ -108,8 +115,14 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
       controller =
           std::make_shared<RebalanceController>(config.rebalance);
       attempt.stop_request = controller->stop_flag();
-      attempt.progress = [inner = config.progress,
-                          controller](const ProgressEvent& event) {
+      attempt.progress = [inner = config.progress, controller,
+                          caller_stop](const ProgressEvent& event) {
+        // The controller's flag replaced the caller's for this attempt;
+        // forward a cancel so the engine still stops promptly.
+        if (caller_stop != nullptr &&
+            caller_stop->load(std::memory_order_relaxed)) {
+          controller->stop_flag()->store(true, std::memory_order_relaxed);
+        }
         controller->observe(event);
         if (inner) inner(event);
       };
@@ -149,6 +162,13 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
       return out;
     } catch (...) {
       error = std::current_exception();
+    }
+
+    // A raised caller flag means this failure *is* the cancel: rethrow
+    // without consuming a restart, losing a device, or rebalancing.
+    if (caller_stop != nullptr &&
+        caller_stop->load(std::memory_order_relaxed)) {
+      std::rethrow_exception(error);
     }
 
     const bool rebalance_stop =
@@ -200,7 +220,7 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
       throw RecoveryExhaustedError(
           "recovery exhausted: no healthy devices left after " +
               std::to_string(restarts_used) + " restart(s)",
-          restarts_used);
+          restarts_used, out.lost_devices);
     }
     if (restarts_used >= policy.max_restarts) {
       std::string reason = "unknown error";
@@ -213,7 +233,7 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
       throw RecoveryExhaustedError(
           "recovery exhausted: " + std::to_string(restarts_used) +
               " restart(s) used, last error: " + reason,
-          restarts_used);
+          restarts_used, out.lost_devices);
     }
     restart_count->fetch_add(1, std::memory_order_relaxed);
     if (rebalance_stop && !new_weights.empty()) {

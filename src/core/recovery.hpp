@@ -61,12 +61,21 @@ struct RecoveryResult {
 /// device is left to restart on.
 class RecoveryExhaustedError : public Error {
  public:
-  RecoveryExhaustedError(const std::string& what, int restarts)
-      : Error(what), restarts_(restarts) {}
+  RecoveryExhaustedError(const std::string& what, int restarts,
+                         std::vector<std::string> lost_devices = {})
+      : Error(what),
+        restarts_(restarts),
+        lost_devices_(std::move(lost_devices)) {}
   [[nodiscard]] int restarts() const { return restarts_; }
+  /// Devices lost before recovery gave up — the caller's bookkeeping
+  /// (e.g. a batch retry on a fresh lease) would otherwise lose them.
+  [[nodiscard]] const std::vector<std::string>& lost_devices() const {
+    return lost_devices_;
+  }
 
  private:
   int restarts_ = 0;
+  std::vector<std::string> lost_devices_;
 };
 
 /// Runs query vs subject on `devices` with automatic recovery.

@@ -36,7 +36,6 @@
 #include "core/report.hpp"    // IWYU pragma: export
 #include "core/slice_runner.hpp"  // IWYU pragma: export
 #include "core/special_rows.hpp"  // IWYU pragma: export
-#include "obs/json_parse.hpp" // IWYU pragma: export
 #include "obs/metrics.hpp"    // IWYU pragma: export
 #include "obs/obs.hpp"        // IWYU pragma: export
 #include "obs/phase_profiler.hpp" // IWYU pragma: export

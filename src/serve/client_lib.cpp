@@ -1,0 +1,97 @@
+#include "serve/client_lib.hpp"
+
+#include <utility>
+
+#include "base/error.hpp"
+
+namespace mgpusw::serve {
+
+ServeClient::ServeClient(comm::TcpStream stream)
+    : stream_(std::move(stream)) {}
+
+ServeClient ServeClient::connect(const std::string& host,
+                                 std::uint16_t port,
+                                 std::int64_t timeout_ms) {
+  return ServeClient(comm::TcpStream::connect(host, port, timeout_ms));
+}
+
+Message ServeClient::round_trip(FrameType request, const std::string& body,
+                                FrameType expected_reply) {
+  send_message(stream_, request, body);
+  std::optional<Message> reply = recv_message(stream_);
+  if (!reply.has_value()) {
+    throw IoError("server closed the connection mid-request");
+  }
+  if (reply->type == FrameType::kError) {
+    throw_decoded_error(reply->body);
+  }
+  if (reply->type != expected_reply) {
+    throw ProtocolError(
+        "unexpected reply frame type " +
+        std::to_string(static_cast<int>(reply->type)));
+  }
+  return std::move(*reply);
+}
+
+std::int64_t ServeClient::submit(const SubmitRequest& request) {
+  const Message reply = round_trip(
+      FrameType::kSubmit, encode_submit(request), FrameType::kSubmitOk);
+  return decode_job_id(reply.body);
+}
+
+JobStatus ServeClient::status(std::int64_t job_id) {
+  const Message reply = round_trip(
+      FrameType::kStatus, encode_job_ref(job_id), FrameType::kStatusOk);
+  return decode_status(reply.body);
+}
+
+JobStatus ServeClient::result(std::int64_t job_id, bool wait) {
+  const Message reply =
+      round_trip(FrameType::kResult, encode_result_request(job_id, wait),
+                 FrameType::kResultOk);
+  return decode_status(reply.body);
+}
+
+JobStatus ServeClient::cancel(std::int64_t job_id) {
+  const Message reply = round_trip(
+      FrameType::kCancel, encode_job_ref(job_id), FrameType::kCancelOk);
+  return decode_status(reply.body);
+}
+
+JobStatus ServeClient::stream_progress(
+    std::int64_t job_id,
+    const std::function<void(const ProgressUpdate&)>& on_update) {
+  send_message(stream_, FrameType::kProgress, encode_job_ref(job_id));
+  for (;;) {
+    std::optional<Message> message = recv_message(stream_);
+    if (!message.has_value()) {
+      throw IoError("server closed the connection mid-stream");
+    }
+    switch (message->type) {
+      case FrameType::kProgressEvent:
+        if (on_update) on_update(decode_progress(message->body));
+        break;
+      case FrameType::kProgressDone:
+        return decode_status(message->body);
+      case FrameType::kError:
+        throw_decoded_error(message->body);
+      default:
+        throw ProtocolError(
+            "unexpected frame type " +
+            std::to_string(static_cast<int>(message->type)) +
+            " inside a progress stream");
+    }
+  }
+}
+
+std::string ServeClient::metrics_json() {
+  const Message reply =
+      round_trip(FrameType::kMetrics, "{}", FrameType::kMetricsOk);
+  return reply.body;
+}
+
+void ServeClient::shutdown_server() {
+  (void)round_trip(FrameType::kShutdown, "{}", FrameType::kShutdownOk);
+}
+
+}  // namespace mgpusw::serve

@@ -1,0 +1,63 @@
+// Client side of the alignment service protocol (mgpusw-client, tests,
+// the throughput bench). One ServeClient is one connection; requests on
+// it are sequential (the protocol is strict request/reply, except the
+// PROGRESS stream which multiplexes its events before the final DONE).
+// Not thread-safe — use one client per thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "comm/tcp_stream.hpp"
+#include "serve/protocol.hpp"
+
+namespace mgpusw::serve {
+
+class ServeClient {
+ public:
+  /// Connects to a running daemon. `timeout_ms` bounds the connect and
+  /// every blocking read/write (0 = block forever — the right choice
+  /// when RESULT waits on a long job).
+  [[nodiscard]] static ServeClient connect(const std::string& host,
+                                           std::uint16_t port,
+                                           std::int64_t timeout_ms = 0);
+
+  /// Submits a job; returns its id. ERROR replies (quota, bad spec)
+  /// throw ServeError with the server's code.
+  [[nodiscard]] std::int64_t submit(const SubmitRequest& request);
+
+  /// Current status of a job.
+  [[nodiscard]] JobStatus status(std::int64_t job_id);
+
+  /// Terminal status of a job; waits for completion when `wait` (the
+  /// default). Done jobs carry the full run report in result_json.
+  [[nodiscard]] JobStatus result(std::int64_t job_id, bool wait = true);
+
+  /// Requests a cancel; returns the job's state after the attempt.
+  [[nodiscard]] JobStatus cancel(std::int64_t job_id);
+
+  /// Streams progress until the job is terminal: `on_update` fires per
+  /// PROGRESS_EVENT; the returned status is the PROGRESS_DONE body.
+  JobStatus stream_progress(
+      std::int64_t job_id,
+      const std::function<void(const ProgressUpdate&)>& on_update);
+
+  /// The merged metrics registry snapshot (JSON text).
+  [[nodiscard]] std::string metrics_json();
+
+  /// Asks the daemon to shut down (acknowledged before it begins).
+  void shutdown_server();
+
+ private:
+  explicit ServeClient(comm::TcpStream stream);
+
+  /// One request/reply exchange; ERROR replies throw ServeError,
+  /// unexpected frame types throw ProtocolError.
+  Message round_trip(FrameType request, const std::string& body,
+                     FrameType expected_reply);
+
+  comm::TcpStream stream_;
+};
+
+}  // namespace mgpusw::serve

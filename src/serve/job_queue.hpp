@@ -1,0 +1,133 @@
+// The daemon's job table and priority queue.
+//
+// One JobQueue owns every job the daemon has accepted, for its whole
+// lifetime (terminal jobs stay queryable until shutdown — the "persist"
+// the protocol needs for STATUS/RESULT after completion). Scheduling
+// order is priority descending, FIFO within a priority; a tenant at its
+// running quota is skipped, not blocked — the next runnable tenant's
+// job starts instead.
+//
+// Cancel semantics by state:
+//   queued      -> kCancelled immediately (never reaches the fleet)
+//   running     -> the job's cancel flag is raised; the engine stops at
+//                  the next scheduling-unit boundary and the scheduler
+//                  marks the job cancelled (the lease is released by the
+//                  normal unwind, so the fleet is never wedged)
+//   completing / terminal -> no-op; the current state is returned
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "seq/sequence.hpp"
+#include "serve/protocol.hpp"
+#include "serve/quota.hpp"
+
+namespace mgpusw::serve {
+
+/// One accepted job. State transitions and the bookkeeping fields are
+/// guarded by the owning JobQueue's mutex; the progress snapshot has
+/// its own lock because engine device threads write it concurrently
+/// with protocol reads.
+struct Job {
+  std::int64_t id = -1;
+  std::string tenant;
+  std::string label;
+  int priority = 0;
+  seq::Sequence query;
+  seq::Sequence subject;
+
+  JobState state = JobState::kQueued;
+  std::atomic<bool> cancel{false};
+  core::BatchItemResult entry;  // result + recovery bookkeeping
+  std::string error;            // failure message (kFailed)
+
+  /// Submit-to-result latency bookkeeping (steady-clock ns since the
+  /// queue's epoch).
+  std::int64_t submit_ns = 0;
+  std::int64_t done_ns = 0;
+
+  /// Progress snapshot, aggregated over the engine's device threads.
+  struct Progress {
+    std::mutex mu;
+    std::map<int, std::pair<std::int64_t, std::int64_t>> device_units;
+    int restarts = 0;
+    int rebalances = 0;
+  };
+  Progress progress;
+
+  /// Sums the per-device snapshot into a wire-ready update.
+  [[nodiscard]] ProgressUpdate progress_update();
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(QuotaPolicy policy);
+
+  /// Admits a job (unless the tenant's pending quota rejects it — then
+  /// throws ServeError("quota-exceeded") — or the queue is closed —
+  /// ServeError("shutting-down")). Returns the job with its id set.
+  std::shared_ptr<Job> submit(std::string tenant, std::string label,
+                              int priority, seq::Sequence query,
+                              seq::Sequence subject);
+
+  /// Blocks for the next runnable job: highest priority first, FIFO
+  /// within a priority, skipping tenants at their running quota. Marks
+  /// it kRunning and charges the tenant's running quota. Returns null
+  /// once the queue is closed and drained of runnable work.
+  std::shared_ptr<Job> next();
+
+  /// The scheduler finished running `job` (any outcome): settles the
+  /// tenant's running quota, stamps the terminal state, and wakes
+  /// RESULT waiters. `state` must be terminal.
+  void finish(const std::shared_ptr<Job>& job, JobState state,
+              std::string error_message = {});
+
+  /// Moves a running job to kCompleting (the engine is done; the result
+  /// is being published). Cancel is a no-op from here on.
+  void mark_completing(const std::shared_ptr<Job>& job);
+
+  /// Cancels by id. Returns the job's state after the attempt (queued
+  /// jobs transition to kCancelled right here). Throws
+  /// ServeError("not-found") for unknown ids.
+  JobState cancel(std::int64_t job_id);
+
+  /// Looks a job up; throws ServeError("not-found") if absent.
+  [[nodiscard]] std::shared_ptr<Job> find(std::int64_t job_id);
+
+  /// Blocks until `job` reaches a terminal state.
+  void wait_terminal(const std::shared_ptr<Job>& job);
+
+  /// Snapshot of a job's wire status (everything but result_json).
+  [[nodiscard]] JobStatus status(const std::shared_ptr<Job>& job);
+
+  /// Stops admission and wakes every blocked next()/wait_terminal().
+  /// Queued jobs are cancelled; running jobs get their cancel flag
+  /// raised so schedulers can unwind.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  /// Jobs currently waiting (the serve.queue_depth gauge).
+  [[nodiscard]] std::int64_t depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable runnable_cv_;  // queue or quota state changed
+  std::condition_variable terminal_cv_;  // some job reached terminal
+  QuotaLedger quota_;
+  std::deque<std::shared_ptr<Job>> pending_;  // admission order
+  std::map<std::int64_t, std::shared_ptr<Job>> jobs_;
+  std::int64_t next_id_ = 1;
+  bool closed_ = false;
+  const std::int64_t epoch_ns_;
+};
+
+}  // namespace mgpusw::serve

@@ -1,0 +1,82 @@
+// Per-tenant admission control for the alignment service.
+//
+// Two independent caps per tenant:
+//   * running — jobs holding device leases right now. Enforced by the
+//     scheduler: JobQueue::next() skips tenants at their cap, so one
+//     tenant flooding the queue cannot starve the fleet for others.
+//   * pending — jobs waiting in the queue. Enforced at submit time:
+//     over the cap the submit is either rejected with a protocol error
+//     (reject_when_full, the default) or simply queued (the cap is
+//     advisory), per policy.
+//
+// The ledger itself is plain bookkeeping, guarded by the JobQueue's
+// mutex — it is never touched concurrently.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace mgpusw::serve {
+
+struct QuotaPolicy {
+  /// Jobs a tenant may have running concurrently. <= 0 disables the cap.
+  int max_running_per_tenant = 1;
+  /// Jobs a tenant may have queued. <= 0 disables the cap.
+  int max_pending_per_tenant = 8;
+  /// Over the pending cap: true rejects the submit with a protocol
+  /// error, false admits it anyway (the queue absorbs the burst).
+  bool reject_when_full = true;
+};
+
+class QuotaLedger {
+ public:
+  explicit QuotaLedger(QuotaPolicy policy) : policy_(policy) {}
+
+  /// Would admitting one more queued job for `tenant` exceed the
+  /// pending cap (only meaningful when reject_when_full)?
+  [[nodiscard]] bool pending_full(const std::string& tenant) const {
+    if (policy_.max_pending_per_tenant <= 0 || !policy_.reject_when_full) {
+      return false;
+    }
+    return pending_count(tenant) >= policy_.max_pending_per_tenant;
+  }
+
+  /// May the scheduler start a job for `tenant` now?
+  [[nodiscard]] bool can_start(const std::string& tenant) const {
+    if (policy_.max_running_per_tenant <= 0) return true;
+    return running_count(tenant) < policy_.max_running_per_tenant;
+  }
+
+  void on_submit(const std::string& tenant) { ++counts_[tenant].pending; }
+  void on_start(const std::string& tenant) {
+    Counts& counts = counts_[tenant];
+    --counts.pending;
+    ++counts.running;
+  }
+  void on_finish(const std::string& tenant) { --counts_[tenant].running; }
+  void on_cancel_queued(const std::string& tenant) {
+    --counts_[tenant].pending;
+  }
+
+  [[nodiscard]] int pending_count(const std::string& tenant) const {
+    const auto it = counts_.find(tenant);
+    return it == counts_.end() ? 0 : it->second.pending;
+  }
+  [[nodiscard]] int running_count(const std::string& tenant) const {
+    const auto it = counts_.find(tenant);
+    return it == counts_.end() ? 0 : it->second.running;
+  }
+
+  [[nodiscard]] const QuotaPolicy& policy() const { return policy_; }
+
+ private:
+  struct Counts {
+    int pending = 0;
+    int running = 0;
+  };
+
+  QuotaPolicy policy_;
+  std::map<std::string, Counts> counts_;
+};
+
+}  // namespace mgpusw::serve

@@ -1,0 +1,457 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "base/error.hpp"
+#include "base/log.hpp"
+#include "core/report.hpp"
+#include "seq/synth.hpp"
+#include "vgpu/spec.hpp"
+
+namespace mgpusw::serve {
+
+namespace {
+
+/// How often a PROGRESS stream samples the job snapshot.
+constexpr auto kProgressPollInterval = std::chrono::milliseconds(20);
+
+}  // namespace
+
+AlignServer::AlignServer(ServerConfig config)
+    : config_(std::move(config)),
+      queue_(config_.quota),
+      listener_(config_.port) {
+  MGPUSW_REQUIRE(config_.devices >= 1, "server needs at least one device");
+  MGPUSW_REQUIRE(config_.scheduler_threads >= 1,
+                 "server needs at least one scheduler thread");
+  const std::vector<vgpu::DeviceSpec> env = vgpu::environment1();
+  std::vector<std::unique_ptr<vgpu::Device>> devices;
+  for (int d = 0; d < config_.devices; ++d) {
+    devices.push_back(std::make_unique<vgpu::Device>(
+        env[static_cast<std::size_t>(d) % env.size()]));
+  }
+  fleet_ = std::make_unique<core::DeviceFleet>(std::move(devices));
+  // Lease waits, grants and device health land in the shared registry,
+  // so a METRICS scrape shows fleet.* next to batch.*/recovery.*/serve.*.
+  obs::Scope fleet_scope;
+  fleet_scope.metrics = &metrics_;
+  fleet_->set_obs(fleet_scope);
+  if (!config_.fault_plan.empty()) {
+    injector_ = std::make_unique<vgpu::FaultInjector>(
+        vgpu::parse_fault_plan(config_.fault_plan));
+  }
+  // Touch every serve.* metric so a scrape shows zeros from the first
+  // request on, not only after the counter first fires.
+  metrics_.counter("serve.jobs_accepted");
+  metrics_.counter("serve.jobs_rejected");
+  metrics_.counter("serve.jobs_completed");
+  metrics_.counter("serve.jobs_failed");
+  metrics_.counter("serve.jobs_cancelled");
+  metrics_.gauge("serve.queue_depth");
+  metrics_.histogram("serve.submit_to_done_ms");
+}
+
+AlignServer::~AlignServer() { stop(); }
+
+std::uint16_t AlignServer::port() const { return listener_.port(); }
+
+void AlignServer::start() {
+  if (started_.exchange(true)) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  for (int t = 0; t < config_.scheduler_threads; ++t) {
+    scheduler_threads_.emplace_back([this] { scheduler_loop(); });
+  }
+}
+
+void AlignServer::run() {
+  start();
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] {
+    return shutdown_requested_ || stopping_.load(std::memory_order_acquire);
+  });
+  lock.unlock();
+  stop();
+}
+
+void AlignServer::stop() {
+  if (stopping_.exchange(true)) {
+    // A concurrent/second stop still waits for the joins below to have
+    // happened — but those only run once; the first caller owns them.
+    // Idempotent calls from the destructor after an explicit stop() see
+    // already-joined (unjoinable) threads and fall through.
+  }
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+  listener_.close();
+  queue_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Schedulers drain: queue_.close() raised every running job's cancel
+  // flag, so each current job reaches a terminal state and next()
+  // returns null.
+  for (std::thread& thread : scheduler_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  scheduler_threads_.clear();
+  // Connection handlers may be blocked in recv; shut their sockets so
+  // the reads return EOF. The streams are shared_ptr-owned here so the
+  // descriptor numbers cannot be recycled before the shutdown call.
+  std::vector<Connection> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (Connection& connection : connections) {
+    connection.stream->shutdown();
+  }
+  for (Connection& connection : connections) {
+    if (connection.thread.joinable()) connection.thread.join();
+  }
+}
+
+std::string AlignServer::metrics_json() {
+  metrics_.gauge("serve.queue_depth").set(queue_.depth());
+  return metrics_.to_json();
+}
+
+void AlignServer::accept_loop() {
+  for (;;) {
+    std::optional<comm::TcpStream> accepted = listener_.accept();
+    if (!accepted.has_value()) return;  // listener closed: shutting down
+    auto stream = std::make_shared<comm::TcpStream>(std::move(*accepted));
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    Connection connection;
+    connection.stream = stream;
+    connection.thread = std::thread([this, stream] {
+      try {
+        handle_connection(*stream);
+      } catch (const std::exception& e) {
+        // A torn connection is the client's problem, not the daemon's.
+        MGPUSW_LOG(kWarn) << "serve: connection dropped: " << e.what();
+      } catch (...) {
+        MGPUSW_LOG(kWarn) << "serve: connection dropped";
+      }
+    });
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void AlignServer::handle_http_scrape(comm::TcpStream& stream) {
+  // Drain the request head (best effort — we answer any GET with the
+  // metrics snapshot), then speak just enough HTTP/1.0 for curl and
+  // Prometheus-style scrapers.
+  char buffer[512];
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t got = stream.read_some(buffer, sizeof(buffer));
+    if (got == 0) break;
+    if (got >= 4 && std::memcmp(buffer + got - 4, "\r\n\r\n", 4) == 0) {
+      break;
+    }
+    if (got < sizeof(buffer)) break;  // short read: head is drained
+  }
+  const std::string body = metrics_json();
+  std::string head =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n";
+  stream.write_all(head.data(), head.size());
+  stream.write_all(body.data(), body.size());
+  stream.shutdown();
+}
+
+void AlignServer::handle_connection(comm::TcpStream& stream) {
+  // Protocol sniff: a framed message starts with its u32 length prefix,
+  // an HTTP scrape starts with "GET ". Read the first four bytes by
+  // hand, then either answer the scrape or finish reading the frame.
+  std::uint8_t prefix[4];
+  std::size_t have = 0;
+  while (have < sizeof(prefix)) {
+    const std::size_t got =
+        stream.read_some(prefix + have, sizeof(prefix) - have);
+    if (got == 0) {
+      if (have == 0) return;  // clean disconnect, nothing sent
+      throw ProtocolError("connection closed inside the first frame");
+    }
+    have += got;
+  }
+  if (std::memcmp(prefix, "GET ", 4) == 0) {
+    handle_http_scrape(stream);
+    return;
+  }
+
+  // First frame: the length prefix is already consumed.
+  std::uint32_t length = 0;
+  std::memcpy(&length, prefix, sizeof(length));
+  std::optional<Message> first;
+  try {
+    if (length > comm::kMaxFrameBytes) {
+      throw ProtocolError("frame length " + std::to_string(length) +
+                          " exceeds the frame cap");
+    }
+    std::vector<std::uint8_t> payload(length);
+    if (length > 0) stream.read_all(payload.data(), payload.size());
+    const comm::MessageFrame frame =
+        comm::deserialize_message(payload.data(), payload.size());
+    Message message;
+    message.type = static_cast<FrameType>(frame.type);
+    message.body.assign(frame.body.begin(), frame.body.end());
+    first = std::move(message);
+  } catch (const ProtocolError& e) {
+    send_message(stream, FrameType::kError,
+                 encode_error("bad-request", e.what()));
+    stream.shutdown();
+    return;
+  }
+
+  bool first_pending = true;
+  for (;;) {
+    std::optional<Message> message;
+    if (first_pending) {
+      message = std::move(first);
+      first_pending = false;
+    } else {
+      try {
+        message = recv_message(stream);
+      } catch (const ProtocolError& e) {
+        // The stream position is untrustworthy after a framing error:
+        // answer and drop the connection (never the daemon).
+        send_message(stream, FrameType::kError,
+                     encode_error("bad-request", e.what()));
+        stream.shutdown();
+        return;
+      }
+    }
+    if (!message.has_value()) return;  // client closed
+    if (!dispatch(stream, *message)) return;
+  }
+}
+
+bool AlignServer::dispatch(comm::TcpStream& stream,
+                           const Message& message) {
+  try {
+    switch (message.type) {
+      case FrameType::kSubmit:
+        handle_submit(stream, message.body);
+        return true;
+      case FrameType::kStatus: {
+        const std::shared_ptr<Job> job =
+            queue_.find(decode_job_id(message.body));
+        send_message(stream, FrameType::kStatusOk,
+                     encode_status(queue_.status(job)));
+        return true;
+      }
+      case FrameType::kProgress: {
+        const std::shared_ptr<Job> job =
+            queue_.find(decode_job_id(message.body));
+        handle_progress_stream(stream, job);
+        return true;
+      }
+      case FrameType::kCancel: {
+        const std::int64_t job_id = decode_job_id(message.body);
+        const JobState after = queue_.cancel(job_id);
+        if (after == JobState::kCancelled) {
+          // Cancelled right in the queue; running jobs are counted by
+          // the scheduler when they actually stop.
+          metrics_.counter("serve.jobs_cancelled").increment();
+        }
+        send_message(stream, FrameType::kCancelOk,
+                     encode_status(queue_.status(queue_.find(job_id))));
+        return true;
+      }
+      case FrameType::kResult: {
+        const std::int64_t job_id = decode_job_id(message.body);
+        const bool wait = decode_wait_flag(message.body);
+        const std::shared_ptr<Job> job = queue_.find(job_id);
+        if (wait) queue_.wait_terminal(job);
+        JobStatus status = queue_.status(job);
+        if (!is_terminal(status.state)) {
+          throw ServeError("not-ready",
+                           "job " + std::to_string(job_id) + " is " +
+                               job_state_name(status.state));
+        }
+        if (status.state == JobState::kDone) {
+          // Safe to read entry: terminal states are published under the
+          // queue mutex after the run finished.
+          status.result_json = core::to_json(job->entry.result);
+        }
+        send_message(stream, FrameType::kResultOk, encode_status(status));
+        return true;
+      }
+      case FrameType::kMetrics:
+        send_message(stream, FrameType::kMetricsOk, metrics_json());
+        return true;
+      case FrameType::kShutdown: {
+        send_message(stream, FrameType::kShutdownOk, "{}");
+        {
+          std::lock_guard<std::mutex> lock(shutdown_mu_);
+          shutdown_requested_ = true;
+        }
+        // stop() must not run on this thread (it joins it); run() or
+        // the owner reacts to the flag.
+        shutdown_cv_.notify_all();
+        return false;
+      }
+      default:
+        throw ServeError("bad-request",
+                         "frame type " +
+                             std::to_string(static_cast<int>(message.type)) +
+                             " is not a request");
+    }
+  } catch (const ServeError& e) {
+    send_message(stream, FrameType::kError,
+                 encode_error(e.code(), e.what()));
+    return true;
+  } catch (const ProtocolError& e) {
+    send_message(stream, FrameType::kError,
+                 encode_error("bad-request", e.what()));
+    stream.shutdown();
+    return false;
+  } catch (const Error& e) {
+    send_message(stream, FrameType::kError,
+                 encode_error("internal", e.what()));
+    return true;
+  }
+}
+
+void AlignServer::handle_submit(comm::TcpStream& stream,
+                                const std::string& body) {
+  const SubmitRequest request = decode_submit(body);
+  seq::Sequence query;
+  seq::Sequence subject;
+  try {
+    if (!request.query.empty()) {
+      if (static_cast<std::int64_t>(request.query.size()) >
+              config_.max_job_bases ||
+          static_cast<std::int64_t>(request.subject.size()) >
+              config_.max_job_bases) {
+        throw ServeError("bad-request",
+                         "job exceeds the per-job base cap of " +
+                             std::to_string(config_.max_job_bases));
+      }
+      query = seq::Sequence(request.label + ".q", request.query);
+      subject = seq::Sequence(request.label + ".s", request.subject);
+    } else {
+      if (request.rows > config_.max_job_bases ||
+          request.cols > config_.max_job_bases) {
+        throw ServeError("bad-request",
+                         "job exceeds the per-job base cap of " +
+                             std::to_string(config_.max_job_bases));
+      }
+      query = seq::generate_chromosome(
+          request.label + ".q", request.rows,
+          static_cast<std::uint64_t>(request.seed));
+      subject = seq::generate_chromosome(
+          request.label + ".s", request.cols,
+          static_cast<std::uint64_t>(request.seed) + 1);
+    }
+  } catch (const InvalidArgument& e) {
+    throw ServeError("bad-request", e.what());
+  }
+  std::shared_ptr<Job> job;
+  try {
+    job = queue_.submit(request.tenant, request.label, request.priority,
+                        std::move(query), std::move(subject));
+  } catch (const ServeError&) {
+    metrics_.counter("serve.jobs_rejected").increment();
+    throw;
+  }
+  metrics_.counter("serve.jobs_accepted").increment();
+  metrics_.gauge("serve.queue_depth").set(queue_.depth());
+  send_message(stream, FrameType::kSubmitOk, encode_job_ref(job->id));
+}
+
+void AlignServer::handle_progress_stream(
+    comm::TcpStream& stream, const std::shared_ptr<Job>& job) {
+  ProgressUpdate last;
+  last.completed_units = -1;  // force the first event out
+  for (;;) {
+    const JobStatus status = queue_.status(job);
+    ProgressUpdate update = job->progress_update();
+    if (is_terminal(status.state)) {
+      send_message(stream, FrameType::kProgressDone,
+                   encode_status(status));
+      return;
+    }
+    if (update.completed_units != last.completed_units ||
+        update.restarts != last.restarts ||
+        update.rebalances != last.rebalances) {
+      send_message(stream, FrameType::kProgressEvent,
+                   encode_progress(update));
+      last = update;
+    }
+    std::this_thread::sleep_for(kProgressPollInterval);
+  }
+}
+
+void AlignServer::scheduler_loop() {
+  for (;;) {
+    const std::shared_ptr<Job> job = queue_.next();
+    if (job == nullptr) return;  // queue closed and drained
+    metrics_.gauge("serve.queue_depth").set(queue_.depth());
+    run_job(job);
+  }
+}
+
+void AlignServer::run_job(const std::shared_ptr<Job>& job) {
+  core::BatchConfig batch;
+  batch.engine.scheme = config_.scheme;
+  batch.engine.block_rows = config_.block;
+  batch.engine.block_cols = config_.block;
+  batch.engine.obs.metrics = &metrics_;
+  batch.devices_per_item = config_.devices_per_job;
+  batch.enable_recovery = config_.enable_recovery;
+  batch.recovery = config_.recovery;
+  // Device threads stream progress into the job's snapshot; a restart
+  // resets the per-device table (the engine re-plans from scratch, so
+  // stale device rows would double-count).
+  batch.engine.progress = [job](const core::ProgressEvent& event) {
+    std::lock_guard<std::mutex> lock(job->progress.mu);
+    if (event.restarts != job->progress.restarts) {
+      job->progress.device_units.clear();
+      job->progress.restarts = event.restarts;
+    }
+    job->progress.rebalances = event.rebalances;
+    job->progress.device_units[event.device_index] = {
+        event.completed_units, event.total_units};
+  };
+  // Injected faults arm on the first job only: injector ordinals are
+  // lease-local, so sharing one injector across concurrent jobs would
+  // replay a death into every job's device 0.
+  if (injector_ != nullptr && !fault_armed_.exchange(true)) {
+    batch.engine.fault = injector_.get();
+  }
+
+  core::BatchItem item;
+  item.label = job->label;
+  item.query = job->query;
+  item.subject = job->subject;
+  item.priority = job->priority;
+  item.cancel = &job->cancel;
+
+  try {
+    core::run_batch_item(batch, *fleet_, item, job->entry);
+  } catch (const std::exception& e) {
+    if (job->cancel.load(std::memory_order_relaxed)) {
+      metrics_.counter("serve.jobs_cancelled").increment();
+      queue_.finish(job, JobState::kCancelled);
+    } else {
+      metrics_.counter("serve.jobs_failed").increment();
+      queue_.finish(job, JobState::kFailed, e.what());
+    }
+    return;
+  }
+  queue_.mark_completing(job);
+  metrics_.counter("serve.jobs_completed").increment();
+  queue_.finish(job, JobState::kDone);
+  metrics_.histogram("serve.submit_to_done_ms")
+      .observe(static_cast<double>(job->done_ns - job->submit_ns) / 1e6);
+}
+
+}  // namespace mgpusw::serve

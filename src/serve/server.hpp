@@ -1,0 +1,135 @@
+// The alignment service daemon (mgpusw-serve).
+//
+// One AlignServer owns the whole serving stack:
+//
+//   TcpListener ──► connection threads ──► JobQueue (priority + quotas)
+//                                              │
+//                              scheduler threads (one job each)
+//                                              │
+//                        core::run_batch_item  ──►  DeviceFleet lease
+//                        (run_with_recovery: device death degrades the
+//                         job, checkpoint restarts keep the score
+//                         bit-identical; cancel stops cooperatively)
+//
+// Connection threads only ever touch the queue and job snapshots —
+// device work happens exclusively on scheduler threads, so a slow or
+// hostile client cannot stall the fleet. Metrics: the shared registry
+// collects fleet.*, batch.*, recovery.* from the engine layers plus the
+// serve.* counters the daemon maintains; METRICS (or a plain HTTP GET
+// on the same port) returns one merged snapshot.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/fleet.hpp"
+#include "obs/metrics.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/protocol.hpp"
+#include "serve/quota.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/fault.hpp"
+
+namespace mgpusw::serve {
+
+struct ServerConfig {
+  /// Port to bind (0 = ephemeral; read back with port()).
+  std::uint16_t port = 0;
+  /// Virtual devices in the fleet (environment-1 profiles, round-robin).
+  int devices = 3;
+  /// Concurrent jobs (scheduler threads). Each job leases
+  /// `devices_per_job` devices, so keep threads * devices_per_job within
+  /// the fleet or jobs will serialize on the lease queue (which is safe,
+  /// just not concurrent).
+  int scheduler_threads = 2;
+  /// Devices leased per job; 0 = the whole fleet.
+  int devices_per_job = 0;
+  /// Block geometry for served jobs (small blocks keep progress events
+  /// and cancel latency fine-grained).
+  std::int64_t block = 128;
+  sw::ScoreScheme scheme;
+  QuotaPolicy quota;
+  /// Recovery wrapping for every job (device death -> degraded lease,
+  /// checkpoint restart; see core/recovery.hpp).
+  bool enable_recovery = true;
+  core::RecoveryPolicy recovery;
+  /// Fault plan (vgpu grammar, e.g. "dev0:die@kernel=40") armed on the
+  /// FIRST job that starts — only that job sees injected faults, so one
+  /// injected death cannot re-fire in every concurrent job's
+  /// lease-local ordinal space. Empty = no injection.
+  std::string fault_plan;
+  /// Admission cap on query/subject length (inline or synthetic), the
+  /// daemon's defence against a single job monopolizing memory.
+  std::int64_t max_job_bases = 4u << 20;
+};
+
+class AlignServer {
+ public:
+  explicit AlignServer(ServerConfig config);
+  ~AlignServer();
+
+  AlignServer(const AlignServer&) = delete;
+  AlignServer& operator=(const AlignServer&) = delete;
+
+  /// The bound port (useful with config.port = 0).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Starts the accept loop and scheduler threads; returns immediately.
+  void start();
+  /// start() + block until a SHUTDOWN frame (or stop()) arrives.
+  void run();
+  /// Stops everything: closes the listener and queue, cancels live
+  /// jobs, joins all threads. Idempotent; called by the destructor.
+  void stop();
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// The merged metrics snapshot the METRICS frame returns.
+  [[nodiscard]] std::string metrics_json();
+
+ private:
+  struct Connection {
+    std::shared_ptr<comm::TcpStream> stream;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void handle_connection(comm::TcpStream& stream);
+  /// Answers a plain HTTP GET with the metrics snapshot and closes.
+  void handle_http_scrape(comm::TcpStream& stream);
+  /// Dispatches one protocol message; returns false when the
+  /// connection should close (SHUTDOWN or a framing error).
+  bool dispatch(comm::TcpStream& stream, const Message& message);
+  void scheduler_loop();
+  void run_job(const std::shared_ptr<Job>& job);
+  void handle_submit(comm::TcpStream& stream, const std::string& body);
+  void handle_progress_stream(comm::TcpStream& stream,
+                              const std::shared_ptr<Job>& job);
+
+  ServerConfig config_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<core::DeviceFleet> fleet_;  // owns the devices
+  std::unique_ptr<vgpu::FaultInjector> injector_;
+  std::atomic<bool> fault_armed_{false};
+  JobQueue queue_;
+  comm::TcpListener listener_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> scheduler_threads_;
+  std::mutex connections_mu_;
+  std::vector<Connection> connections_;
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace mgpusw::serve

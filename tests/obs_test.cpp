@@ -15,7 +15,7 @@
 #include "base/json.hpp"
 #include "core/engine.hpp"
 #include "core/report.hpp"
-#include "obs/json_parse.hpp"
+#include "base/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/phase_profiler.hpp"
@@ -199,12 +199,12 @@ TEST(MetricsRegistryTest, JsonSnapshotParses) {
   registry.histogram("wait_ms", {1.0, 10.0}).observe(0.5);
   registry.histogram("wait_ms").observe(100.0);
 
-  const obs::json::Value doc = obs::json::parse(registry.to_json());
+  const base::json::Value doc = base::json::parse(registry.to_json());
   EXPECT_EQ(doc.at("counters").at("runs").as_int(), 2);
   EXPECT_EQ(doc.at("gauges").at("depth").as_int(), -3);
-  const obs::json::Value& hist = doc.at("histograms").at("wait_ms");
+  const base::json::Value& hist = doc.at("histograms").at("wait_ms");
   EXPECT_EQ(hist.at("count").as_int(), 2);
-  const obs::json::Value& buckets = hist.at("buckets");
+  const base::json::Value& buckets = hist.at("buckets");
   ASSERT_TRUE(buckets.is_array());
   ASSERT_EQ(buckets.array.size(), 3u);  // 2 bounds + overflow
   EXPECT_EQ(buckets.array[0].at("count").as_int(), 1);
@@ -253,10 +253,10 @@ TEST(ChromeTraceTest, ExportIsValidAndComplete) {
                  {obs::TraceArg::number("attempt", 1)});
   tracer.counter("engine", "progress", 42);
 
-  const obs::json::Value doc =
-      obs::json::parse(obs::chrome_trace_json(tracer));
+  const base::json::Value doc =
+      base::json::parse(obs::chrome_trace_json(tracer));
   EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
-  const obs::json::Value& events = doc.at("traceEvents");
+  const base::json::Value& events = doc.at("traceEvents");
   ASSERT_TRUE(events.is_array());
   // 1 thread_name metadata + span + instant + counter.
   ASSERT_EQ(events.array.size(), 4u);
@@ -265,7 +265,7 @@ TEST(ChromeTraceTest, ExportIsValidAndComplete) {
   int complete = 0;
   int instant = 0;
   int counter = 0;
-  for (const obs::json::Value& event : events.array) {
+  for (const base::json::Value& event : events.array) {
     const std::string& ph = event.at("ph").string;
     if (ph == "M") {
       ++metadata;
@@ -312,7 +312,7 @@ TEST(JsonWriterTest, PrettyAndCompactLayout) {
 }
 
 TEST(JsonParseTest, HandlesEscapesAndNumbers) {
-  const obs::json::Value doc = obs::json::parse(
+  const base::json::Value doc = base::json::parse(
       R"({"s": "a\"\\\nA", "n": -1.5e2, "b": true,)"
       R"( "x": null, "a": [1, 2]})");
   EXPECT_EQ(doc.at("s").string, "a\"\\\nA");
@@ -323,13 +323,13 @@ TEST(JsonParseTest, HandlesEscapesAndNumbers) {
 }
 
 TEST(JsonParseTest, RejectsMalformedInput) {
-  EXPECT_THROW((void)obs::json::parse("{"), InvalidArgument);
-  EXPECT_THROW((void)obs::json::parse("{} trailing"), InvalidArgument);
-  EXPECT_THROW((void)obs::json::parse("{'single': 1}"), InvalidArgument);
-  EXPECT_THROW((void)obs::json::parse(""), InvalidArgument);
+  EXPECT_THROW((void)base::json::parse("{"), InvalidArgument);
+  EXPECT_THROW((void)base::json::parse("{} trailing"), InvalidArgument);
+  EXPECT_THROW((void)base::json::parse("{'single': 1}"), InvalidArgument);
+  EXPECT_THROW((void)base::json::parse(""), InvalidArgument);
   std::string deep;
   for (int i = 0; i < 100; ++i) deep += "[";
-  EXPECT_THROW((void)obs::json::parse(deep), InvalidArgument);
+  EXPECT_THROW((void)base::json::parse(deep), InvalidArgument);
 }
 
 // ---------------------------------------------------------------------------
@@ -427,12 +427,12 @@ TEST(ObsIntegrationTest, TwoDeviceRunProducesCoherentArtifacts) {
 
   // The trace parses, covers both devices, and shows compute next to
   // border waits.
-  const obs::json::Value doc =
-      obs::json::parse(obs::chrome_trace_json(tracer));
+  const base::json::Value doc =
+      base::json::parse(obs::chrome_trace_json(tracer));
   bool block_span = false;
   bool border_span = false;
   std::vector<std::string> device_threads;
-  for (const obs::json::Value& event : doc.at("traceEvents").array) {
+  for (const base::json::Value& event : doc.at("traceEvents").array) {
     const std::string& ph = event.at("ph").string;
     if (ph == "M") {
       const std::string& name = event.at("args").at("name").string;
@@ -451,8 +451,8 @@ TEST(ObsIntegrationTest, TwoDeviceRunProducesCoherentArtifacts) {
   EXPECT_EQ(device_threads.size(), 2u);
 
   // The merged report carries the metrics object.
-  const obs::json::Value report =
-      obs::json::parse(core::to_json(result, &metrics));
+  const base::json::Value report =
+      base::json::parse(core::to_json(result, &metrics));
   EXPECT_EQ(report.at("metrics").at("counters")
                 .at("engine.cells_computed").as_int(),
             result.computed_cells);
