@@ -8,10 +8,13 @@
 // Latency is measured per job by a dedicated client thread (submit,
 // then RESULT with wait) — queue wait, scheduling, the engine run and
 // result publication are all inside the clock, which is what a tenant
-// sees. Writes BENCH_serve.json.
+// sees. Each size also runs once with the durable job journal enabled,
+// so the artifact records what crash-durability costs the same path.
+// Writes BENCH_serve.json.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -29,6 +32,7 @@ using Clock = std::chrono::steady_clock;
 struct SizeResult {
   std::int64_t size = 0;
   bool fault = false;
+  bool journal = false;
   int jobs = 0;
   double wall_seconds = 0.0;
   double jobs_per_sec = 0.0;
@@ -46,7 +50,7 @@ double percentile(std::vector<double> sorted, double q) {
 }
 
 SizeResult run_config(std::int64_t size, int jobs, const std::string& fault,
-                      int devices) {
+                      int devices, bool journal) {
   serve::ServerConfig config;
   config.port = 0;
   config.devices = devices;
@@ -56,6 +60,14 @@ SizeResult run_config(std::int64_t size, int jobs, const std::string& fault,
   config.quota.max_running_per_tenant = 0;  // the bench is the only tenant
   config.quota.max_pending_per_tenant = 0;
   config.fault_plan = fault;
+  std::string journal_dir;
+  if (journal) {
+    journal_dir = (std::filesystem::temp_directory_path() /
+                   ("mgpusw_bench_journal_" + std::to_string(size)))
+                      .string();
+    std::filesystem::remove_all(journal_dir);
+    config.journal_dir = journal_dir;
+  }
   serve::AlignServer server(config);
   server.start();
 
@@ -87,10 +99,12 @@ SizeResult run_config(std::int64_t size, int jobs, const std::string& fault,
   const double wall =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
   server.stop();
+  if (!journal_dir.empty()) std::filesystem::remove_all(journal_dir);
 
   SizeResult result;
   result.size = size;
   result.fault = !fault.empty();
+  result.journal = journal;
   result.jobs = jobs;
   result.wall_seconds = wall;
   result.jobs_per_sec = static_cast<double>(jobs) / wall;
@@ -116,6 +130,7 @@ void write_serve_json(const std::string& path, int devices, int jobs,
     w.begin_object();
     w.key("size").value(r.size);
     w.key("fault").value(r.fault);
+    w.key("journal").value(r.journal);
     w.key("wall_seconds").value_fixed(r.wall_seconds, 6);
     w.key("jobs_per_sec").value_fixed(r.jobs_per_sec, 2);
     w.key("p50_ms").value_fixed(r.p50_ms, 3);
@@ -168,19 +183,28 @@ int main(int argc, char** argv) {
       "a daemon front door adds queueing but keeps the fleet saturated; "
       "a device death degrades, never kills, a tenant's job");
 
+  // Per size: healthy, healthy+journal (durability overhead), fault.
+  struct Mode {
+    bool with_fault;
+    bool journal;
+  };
+  const Mode modes[] = {{false, false}, {false, true}, {true, false}};
+
   std::vector<SizeResult> results;
-  std::printf("%8s %6s %8s %10s %10s %10s %9s %7s\n", "size", "fault",
-              "jobs/s", "p50 ms", "p99 ms", "wall s", "restarts", "failed");
+  std::printf("%8s %6s %8s %8s %10s %10s %10s %9s %7s\n", "size", "fault",
+              "journal", "jobs/s", "p50 ms", "p99 ms", "wall s", "restarts",
+              "failed");
   int total_failed = 0;
   for (const std::int64_t size : sizes) {
-    for (const bool with_fault : {false, true}) {
-      if (with_fault && fault.empty()) continue;
+    for (const Mode mode : modes) {
+      if (mode.with_fault && fault.empty()) continue;
       const SizeResult r =
-          run_config(size, jobs, with_fault ? fault : std::string(), devices);
-      std::printf("%8lld %6s %8.2f %10.3f %10.3f %10.3f %9d %7d\n",
+          run_config(size, jobs, mode.with_fault ? fault : std::string(),
+                     devices, mode.journal);
+      std::printf("%8lld %6s %8s %8.2f %10.3f %10.3f %10.3f %9d %7d\n",
                   static_cast<long long>(r.size), r.fault ? "yes" : "no",
-                  r.jobs_per_sec, r.p50_ms, r.p99_ms, r.wall_seconds,
-                  r.restarts, r.failed);
+                  r.journal ? "yes" : "no", r.jobs_per_sec, r.p50_ms,
+                  r.p99_ms, r.wall_seconds, r.restarts, r.failed);
       results.push_back(r);
       total_failed += r.failed;
     }
@@ -188,6 +212,9 @@ int main(int argc, char** argv) {
 
   bench::print_shape_check(
       {"jobs/sec falls as job size grows (bigger matrices, same fleet)",
+       "journal overhead is a fixed per-job cost (a few WAL appends plus "
+       "a checkpoint spill dir) — visible on tiny jobs, amortized to a "
+       "few percent at realistic sizes",
        "death runs record >= 1 restart (the replayed job) and 0 failed "
        "jobs — the death degrades the fleet, never a tenant's result",
        "p50 latency grows with job size in both modes"});

@@ -8,7 +8,11 @@
 //   $ ./mgpusw-client status --port=7421 1
 //   $ ./mgpusw-client cancel --port=7421 1
 //   $ ./mgpusw-client metrics --port=7421
-//   $ ./mgpusw-client shutdown --port=7421
+//   $ ./mgpusw-client shutdown --port=7421 --drain
+//
+// With --retries=N the client rides through daemon restarts; pair a
+// retried submit with --key=... so the journal-backed daemon dedupes
+// the resubmission instead of running the job twice.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -34,6 +38,9 @@ void print_status(const serve::JobStatus& status) {
   }
   for (const std::string& name : status.lost_devices) {
     std::printf("  lost=%s", name.c_str());
+  }
+  if (status.resumed_row >= 0) {
+    std::printf("  resumed=%lld", static_cast<long long>(status.resumed_row));
   }
   if (!status.error.empty()) {
     std::printf("  error=\"%s\"", status.error.c_str());
@@ -66,8 +73,18 @@ int main(int argc, char** argv) {
   flags.add_int("rows", 0, "synthetic query length");
   flags.add_int("cols", 0, "synthetic subject length");
   flags.add_int("seed", 1, "synthetic generator seed");
+  flags.add_string("key", "",
+                   "submit: idempotency key (per tenant) — a resubmit "
+                   "with the same key returns the original job");
   flags.add_bool("wait", true, "result: wait for the job to finish");
   flags.add_bool("pretty", true, "result/metrics: pretty-print the JSON");
+  flags.add_bool("drain", false,
+                 "shutdown: let running jobs finish before exiting");
+  flags.add_int("retries", 0,
+                "reconnect attempts per request after a connection "
+                "failure (0 = fail fast)");
+  flags.add_int("retry-backoff-ms", 50, "initial reconnect backoff");
+  flags.add_int("retry-max-backoff-ms", 2000, "reconnect backoff cap");
   if (!flags.parse(argc, argv)) return 0;
   if (flags.positional().empty()) {
     std::fprintf(stderr,
@@ -78,10 +95,14 @@ int main(int argc, char** argv) {
   const std::string command = flags.positional()[0];
 
   try {
+    serve::ReconnectPolicy policy;
+    policy.max_attempts = static_cast<int>(flags.get_int("retries"));
+    policy.initial_backoff_ms = flags.get_int("retry-backoff-ms");
+    policy.max_backoff_ms = flags.get_int("retry-max-backoff-ms");
     serve::ServeClient client = serve::ServeClient::connect(
         flags.get_string("host"),
         static_cast<std::uint16_t>(flags.get_int("port")),
-        flags.get_int("timeout-ms"));
+        flags.get_int("timeout-ms"), policy);
 
     if (command == "submit") {
       serve::SubmitRequest request;
@@ -93,6 +114,7 @@ int main(int argc, char** argv) {
       request.rows = flags.get_int("rows");
       request.cols = flags.get_int("cols");
       request.seed = flags.get_int("seed");
+      request.idempotency_key = flags.get_string("key");
       const std::int64_t job_id = client.submit(request);
       std::printf("job %lld submitted\n", static_cast<long long>(job_id));
     } else if (command == "status") {
@@ -131,8 +153,9 @@ int main(int argc, char** argv) {
               : snapshot;
       std::printf("%s\n", report.c_str());
     } else if (command == "shutdown") {
-      client.shutdown_server();
-      std::printf("server shutting down\n");
+      client.shutdown_server(flags.get_bool("drain"));
+      std::printf("server shutting down%s\n",
+                  flags.get_bool("drain") ? " (draining)" : "");
     } else {
       std::fprintf(stderr, "error: unknown command \"%s\"\n",
                    command.c_str());

@@ -11,6 +11,7 @@
 //         --devices-per-job=2
 //   $ ./mgpusw-serve --port=0            # ephemeral; port printed
 //   $ ./mgpusw-serve --fault "dev0:die@kernel=40"   # chaos drill
+//   $ ./mgpusw-serve --journal-dir=/var/lib/mgpusw  # survives restarts
 #include <cstdio>
 
 #include "base/flags.hpp"
@@ -37,6 +38,14 @@ int main(int argc, char** argv) {
   flags.add_string("fault", "",
                    "fault plan armed on the first job; " +
                        vgpu::fault_plan_grammar());
+  flags.add_string("journal-dir", "",
+                   "durable job journal directory (empty = no journal; "
+                   "restarting on the same dir replays unfinished jobs)");
+  flags.add_bool("fsync-journal", false,
+                 "fsync the journal after every append (survives power "
+                 "loss, not just process death)");
+  flags.add_int("journal-compact-min-appends", 512,
+                "appends between journal compaction checks");
   if (!flags.parse(argc, argv)) return 0;
 
   serve::ServerConfig config;
@@ -56,11 +65,20 @@ int main(int argc, char** argv) {
   config.recovery.max_restarts =
       static_cast<int>(flags.get_int("max-restarts"));
   config.fault_plan = flags.get_string("fault");
+  config.journal_dir = flags.get_string("journal-dir");
+  config.journal_fsync = flags.get_bool("fsync-journal");
+  config.journal_compact_min_appends =
+      flags.get_int("journal-compact-min-appends");
 
   serve::AlignServer server(config);
   std::printf("mgpusw-serve listening on 127.0.0.1:%u (%d devices, %d "
               "scheduler threads)\n",
               server.port(), config.devices, config.scheduler_threads);
+  if (!config.journal_dir.empty()) {
+    std::printf("mgpusw-serve: journal at %s (%lld jobs replayed)\n",
+                config.journal_dir.c_str(),
+                static_cast<long long>(server.replayed_jobs()));
+  }
   std::fflush(stdout);
   server.run();
   std::printf("mgpusw-serve: shutdown complete\n");

@@ -115,6 +115,8 @@ void run_batch_item(const BatchConfig& config, DeviceFleet& fleet,
   if (obs.metrics != nullptr) {
     obs.metrics->gauge("batch.in_flight").add(1);
   }
+  MGPUSW_REQUIRE(item.checkpoints == nullptr || config.enable_recovery,
+                 "durable checkpoints need enable_recovery");
   try {
     if (!config.enable_recovery) {
       DeviceLease lease = fleet.acquire(per_item);
@@ -160,10 +162,20 @@ void run_batch_item(const BatchConfig& config, DeviceFleet& fleet,
         if (item.cancel != nullptr) {
           engine_config.stop_request = item.cancel;
         }
+        if (item.checkpoints != nullptr) {
+          // Durable store (service journal): the engine checkpoints
+          // where a restarted *process* can find them.
+          engine_config.special_rows = item.checkpoints;
+          engine_config.special_row_interval =
+              config.recovery.checkpoint_interval;
+          engine_config.checkpoint_f = true;
+        }
         try {
           RecoveryResult recovered = run_with_recovery(
               engine_config, lease.devices(), item.query,
-              item.subject, config.recovery, &fleet);
+              item.subject, config.recovery, &fleet,
+              item.checkpoints != nullptr ? &item.resume : nullptr,
+              item.on_restart);
           entry.result = std::move(recovered.result);
           entry.restarts += recovered.restarts;
           entry.lost_devices.insert(

@@ -36,6 +36,20 @@ struct BatchItem {
   /// scheduling-unit boundary with InterruptedError — recovery does not
   /// restart a cancelled item.
   std::atomic<bool>* cancel = nullptr;
+
+  /// Durable-checkpoint handoff (the service's journal layer). When
+  /// non-null, the item's engine checkpoints into this store (usually a
+  /// disk-spilling SpecialRowStore that outlives the process) at the
+  /// recovery policy's checkpoint_interval, overriding
+  /// BatchConfig::engine's store for this item. Requires
+  /// enable_recovery.
+  SpecialRowStore* checkpoints = nullptr;
+  /// Where the item resumes from (row = -1: from scratch). Only
+  /// meaningful with `checkpoints`, which must contain the row.
+  ResumeSpec resume;
+  /// Forwarded to run_with_recovery: fires before each in-process
+  /// restart with the crash-resumable (row, carried best) pair.
+  RestartHook on_restart;
 };
 
 struct BatchItemResult {

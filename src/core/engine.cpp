@@ -233,6 +233,7 @@ EngineResult MultiDeviceEngine::run_internal(const seq::Sequence& query,
   context.checkpoint_f = config_.checkpoint_f;
   context.progress = config_.progress;
   context.job = config_.job;
+  context.device_count = static_cast<int>(plan.device_count());
   context.stop_request = config_.stop_request;
   context.obs = config_.obs;
   context.run_epoch = std::chrono::steady_clock::now();

@@ -34,10 +34,16 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
                                  const seq::Sequence& query,
                                  const seq::Sequence& subject,
                                  const RecoveryPolicy& policy,
-                                 DeviceFleet* fleet) {
+                                 DeviceFleet* fleet,
+                                 const ResumeSpec* resume,
+                                 const RestartHook& on_restart) {
   MGPUSW_REQUIRE(!devices.empty(), "recovery needs at least one device");
   MGPUSW_REQUIRE(policy.max_restarts >= 0,
                  "max_restarts must be non-negative");
+  MGPUSW_REQUIRE(resume == nullptr || resume->row < 0 ||
+                     base_config.special_rows != nullptr,
+                 "resuming from a checkpoint row needs the caller's "
+                 "special-row store");
 
   EngineConfig config = base_config;
 
@@ -95,6 +101,13 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
   sw::ScoreResult carried_best;
   std::vector<double> rebalanced_weights;
   std::int64_t resume_row = -1;
+  if (resume != nullptr) {
+    // Cross-process resume: seed the first attempt exactly like an
+    // internal restart would — from the caller's checkpoint row with
+    // the best over everything at or below it carried forward.
+    carried_best = resume->carried_best;
+    resume_row = resume->row;
+  }
   std::int64_t backoff_ms = policy.backoff_ms;
   const std::int64_t rows = query.size();
   const std::int64_t cols = subject.size();
@@ -289,6 +302,10 @@ RecoveryResult run_with_recovery(const EngineConfig& base_config,
     // intact (complete coverage, F data, CRC); -1 restarts from scratch.
     // limit = rows - 1 keeps the resume precondition row + 1 < rows.
     resume_row = config.special_rows->last_restartable_row(cols, rows - 1);
+    // (resume_row, carried_best) is now precisely what a process crash
+    // could restart from; give the durability layer its chance to make
+    // it crash-safe before the in-process attempt consumes it.
+    if (on_restart) on_restart(ResumeSpec{resume_row, carried_best});
     MGPUSW_LOG(kInfo) << "recovery: restart "
                       << restart_count->load(std::memory_order_relaxed)
                       << " on " << devices.size() << " device(s)"

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,23 @@ struct RecoveryPolicy {
   /// in-memory store so restarts have something to resume from).
   std::int64_t checkpoint_interval = 4;
 };
+
+/// Where a run resumes from: a restartable checkpoint row of the
+/// caller's special-row store plus the best score over every cell in
+/// rows <= that row. `row = -1` runs from scratch; `carried_best` is
+/// merged into the final result either way (merging a best over a
+/// subset of cells is a no-op when those cells are recomputed, since
+/// sw::improves is a total order).
+struct ResumeSpec {
+  std::int64_t row = -1;
+  sw::ScoreResult carried_best;
+};
+
+/// Fired by run_with_recovery right before each in-process restart with
+/// the exact state a *process* crash at that moment could resume from:
+/// the checkpoint row the restart seeds from and the best carried over
+/// all cells at or below it. A durability layer journals this pair.
+using RestartHook = std::function<void(const ResumeSpec&)>;
 
 /// A recovered (or clean) run plus how eventful it was.
 struct RecoveryResult {
@@ -100,9 +118,18 @@ class RecoveryExhaustedError : public Error {
 /// custom weights. Rebalance restarts consume the same max_restarts
 /// budget as failures and are counted in RecoveryResult::rebalances;
 /// the recovered result stays bit-identical either way.
+///
+/// `resume`, when non-null with row >= 0, seeds the first attempt from
+/// that row of `config.special_rows` (which must then be non-null and
+/// contain it) instead of running from scratch — the cross-process
+/// counterpart of the internal restart path. `on_restart` is invoked
+/// before each in-process restart with the pair a crash could resume
+/// from (see RestartHook).
 [[nodiscard]] RecoveryResult run_with_recovery(
     const EngineConfig& config, std::vector<vgpu::Device*> devices,
     const seq::Sequence& query, const seq::Sequence& subject,
-    const RecoveryPolicy& policy = {}, DeviceFleet* fleet = nullptr);
+    const RecoveryPolicy& policy = {}, DeviceFleet* fleet = nullptr,
+    const ResumeSpec* resume = nullptr,
+    const RestartHook& on_restart = {});
 
 }  // namespace mgpusw::core

@@ -308,7 +308,8 @@ void SliceRunner::reduce_outcome(TaskOutcome& outcome) {
 void SliceRunner::publish_best() { atomic_max(global_best_, best_.score); }
 
 void SliceRunner::notify_progress(std::int64_t completed,
-                                  std::int64_t total) {
+                                  std::int64_t total,
+                                  std::int64_t settled_block_rows) {
   if (obs_.tracer != nullptr) {
     // ProgressEvent re-expressed as a trace counter: one series per
     // device, plotting completed scheduling units over time.
@@ -327,6 +328,13 @@ void SliceRunner::notify_progress(std::int64_t completed,
                    .count();
   event.job = context_.job;
   event.busy_ns = device_.busy_ns() - initial_busy_ns_;
+  event.device_count = context_.device_count;
+  if (settled_block_rows > 0) {
+    const std::int64_t rows = static_cast<std::int64_t>(query_.size());
+    event.safe_row =
+        std::min(settled_block_rows * context_.block_rows, rows) - 1;
+  }
+  event.best = best_;
   context_.progress(event);
 }
 
@@ -438,7 +446,7 @@ void RowMajorSchedule::run(SliceRunner& r) const {
                        r.sent_corner_);
     }
     r.phase(obs::Phase::kIdle);
-    r.notify_progress(i + 1, r.nbr_);
+    r.notify_progress(i + 1, r.nbr_, i + 1);
   }
 }
 
@@ -523,7 +531,12 @@ void DiagonalSchedule::run(SliceRunner& r) const {
       }
     }
     r.phase(obs::Phase::kIdle);
-    r.notify_progress(diag + 1, nbr_eff + r.nbc_ - 1);
+    // Relative block row li settles once diagonal li + nbc - 1 is done,
+    // so after `diag` the first max(0, diag - nbc + 2) relative rows are
+    // complete; rows before `start` were settled by the predecessor.
+    r.notify_progress(diag + 1, nbr_eff + r.nbc_ - 1,
+                      start + std::max<std::int64_t>(
+                                  0, diag - r.nbc_ + 2));
   }
 }
 

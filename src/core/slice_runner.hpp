@@ -71,6 +71,20 @@ struct ProgressEvent {
   /// How many of those restarts were rebalance re-splits (stamped by
   /// run_with_recovery; always <= restarts).
   int rebalances = 0;
+  /// How many devices participate in the attempt this event belongs to.
+  /// A consumer that has collected events from `device_count` distinct
+  /// devices of one attempt may take the minimum of their safe rows as
+  /// globally settled.
+  int device_count = 1;
+  /// Highest matrix row fully settled from this device's point of view:
+  /// every block row at or below it is computed (or was settled by the
+  /// resume predecessor this attempt seeded from). -1 until the first
+  /// unit completes. min() over an attempt's devices is crash-safe: a
+  /// restart from that row plus `best` reproduces the final result.
+  std::int64_t safe_row = -1;
+  /// This device's running best (merged across its computed blocks this
+  /// attempt). Valid whenever safe_row >= 0 or units completed.
+  sw::ScoreResult best;
 };
 
 /// Per-device outcome of a run.
@@ -117,6 +131,9 @@ struct RunnerContext {
   bool checkpoint_f = false;
   std::function<void(const ProgressEvent&)> progress;
   std::string job;  // threaded into every ProgressEvent
+  /// Devices participating in the run; stamped into every ProgressEvent
+  /// so durability consumers know when an attempt's picture is complete.
+  int device_count = 1;
 
   /// Cooperative stop flag (EngineConfig::stop_request): polled at every
   /// scheduling-unit boundary; when raised, the runner throws
@@ -314,7 +331,12 @@ class SliceRunner {
   void compute_one(std::int64_t i, std::int64_t j, TaskOutcome& outcome);
   void reduce_outcome(TaskOutcome& outcome);
   void publish_best();
-  void notify_progress(std::int64_t completed, std::int64_t total);
+  /// `settled_block_rows` counts block rows of the matrix (from row 0,
+  /// including rows settled by the resume predecessor) whose every block
+  /// in this slice is complete — the durability cursor behind
+  /// ProgressEvent::safe_row.
+  void notify_progress(std::int64_t completed, std::int64_t total,
+                       std::int64_t settled_block_rows);
 
   /// Throws InterruptedError when the engine's cooperative stop flag is
   /// raised. The schedules call it at unit boundaries only, so every

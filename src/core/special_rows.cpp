@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "base/crc32.hpp"
@@ -203,6 +204,84 @@ std::int64_t SpecialRowStore::last_restartable_row(
     }
   }
   return -1;
+}
+
+SpecialRowStore::RecoveryReport SpecialRowStore::recover_existing() {
+  MGPUSW_REQUIRE(spills_to_disk(),
+                 "recover_existing applies to disk-spilling stores only");
+  std::lock_guard lock(mu_);
+  MGPUSW_REQUIRE(disk_rows_.empty(),
+                 "recover_existing must run before any save_segment");
+  RecoveryReport report;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory_, ec)) {
+    const std::string name = entry.path().filename().string();
+    // Only row_<digits>.srw files belong to the store.
+    if (name.size() <= 8 || name.rfind("row_", 0) != 0 ||
+        name.substr(name.size() - 4) != ".srw") {
+      continue;
+    }
+    const std::string digits = name.substr(4, name.size() - 8);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    const std::int64_t row = std::stoll(digits);
+
+    // Walk the record sequence, remembering the end of the last record
+    // that parses and passes its CRC; anything past it is torn.
+    const std::string path = entry.path().string();
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::int64_t good_end = 0;
+    std::int64_t payload_bytes = 0;
+    std::int64_t segments = 0;
+    RecordHeader header;
+    while (in.read(reinterpret_cast<char*>(&header), sizeof(header))) {
+      if (header.count < 0 || header.first_col < 0 ||
+          header.count > (std::int64_t{1} << 31)) {
+        break;
+      }
+      std::vector<sw::Score> h(static_cast<std::size_t>(header.count));
+      std::vector<sw::Score> f;
+      in.read(reinterpret_cast<char*>(h.data()),
+              static_cast<std::streamsize>(h.size() * sizeof(sw::Score)));
+      if (header.has_f != 0) {
+        f.resize(static_cast<std::size_t>(header.count));
+        in.read(
+            reinterpret_cast<char*>(f.data()),
+            static_cast<std::streamsize>(f.size() * sizeof(sw::Score)));
+      }
+      if (!in || payload_crc(h, f) != header.crc) break;
+      good_end += static_cast<std::int64_t>(
+          sizeof(header) + (h.size() + f.size()) * sizeof(sw::Score));
+      payload_bytes +=
+          static_cast<std::int64_t>((h.size() + f.size()) *
+                                    sizeof(sw::Score));
+      ++segments;
+    }
+    in.close();
+
+    const std::int64_t file_size = static_cast<std::int64_t>(
+        fs::file_size(fs::path(path), ec));
+    if (!ec && file_size > good_end) {
+      report.truncated_bytes += file_size - good_end;
+      if (good_end == 0) {
+        fs::remove(fs::path(path), ec);
+      } else {
+        fs::resize_file(fs::path(path),
+                        static_cast<std::uintmax_t>(good_end), ec);
+      }
+    }
+    if (good_end == 0) continue;
+    disk_rows_[row] = payload_bytes;
+    bytes_ += payload_bytes;
+    ++report.rows;
+    report.segments += segments;
+  }
+  return report;
 }
 
 std::int64_t SpecialRowStore::bytes() const {

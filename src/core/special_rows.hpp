@@ -69,6 +69,22 @@ class SpecialRowStore {
   [[nodiscard]] std::vector<sw::Score> assemble_row(
       std::int64_t row, std::int64_t expected_cols) const;
 
+  /// Outcome of recover_existing(): what survived on disk and how much
+  /// torn tail was cut away.
+  struct RecoveryReport {
+    std::int64_t rows = 0;             // row files with >= 1 intact record
+    std::int64_t segments = 0;         // intact records registered
+    std::int64_t truncated_bytes = 0;  // torn/corrupt tail bytes removed
+  };
+
+  /// Revives a disk store from whatever a previous process left in the
+  /// directory (crash recovery): scans every `row_<n>.srw`, keeps each
+  /// file's longest prefix of CRC-intact records, truncates the torn or
+  /// corrupt tail in place (a record after a bad one is unreachable by
+  /// the sequential reader anyway), and deletes files with no intact
+  /// record. Disk mode only; call before any save_segment.
+  RecoveryReport recover_existing();
+
   /// Total payload bytes currently stored (RAM or disk).
   [[nodiscard]] std::int64_t bytes() const;
 

@@ -1,36 +1,87 @@
 #include "serve/client_lib.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "base/error.hpp"
 
 namespace mgpusw::serve {
 
-ServeClient::ServeClient(comm::TcpStream stream)
-    : stream_(std::move(stream)) {}
+ServeClient::ServeClient(comm::TcpStream stream, std::string host,
+                         std::uint16_t port, std::int64_t timeout_ms,
+                         ReconnectPolicy policy)
+    : stream_(std::move(stream)),
+      host_(std::move(host)),
+      port_(port),
+      timeout_ms_(timeout_ms),
+      policy_(policy) {}
 
 ServeClient ServeClient::connect(const std::string& host,
                                  std::uint16_t port,
-                                 std::int64_t timeout_ms) {
-  return ServeClient(comm::TcpStream::connect(host, port, timeout_ms));
+                                 std::int64_t timeout_ms,
+                                 ReconnectPolicy policy) {
+  std::int64_t backoff = policy.initial_backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return ServeClient(comm::TcpStream::connect(host, port, timeout_ms),
+                         host, port, timeout_ms, policy);
+    } catch (const IoError&) {
+      if (attempt >= policy.max_attempts) throw;
+    } catch (const TransientError&) {
+      if (attempt >= policy.max_attempts) throw;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    backoff = std::min(backoff * 2, policy.max_backoff_ms);
+  }
+}
+
+bool ServeClient::try_recover(int failures) {
+  if (policy_.max_attempts <= 0 || failures >= policy_.max_attempts) {
+    return false;
+  }
+  std::int64_t backoff = policy_.initial_backoff_ms;
+  for (int i = 0; i < failures; ++i) {
+    backoff = std::min(backoff * 2, policy_.max_backoff_ms);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  try {
+    stream_ = comm::TcpStream::connect(host_, port_, timeout_ms_);
+  } catch (const Error&) {
+    // The daemon is still down; the retried request fails fast on the
+    // stale socket and re-enters with a longer backoff.
+  }
+  return true;
 }
 
 Message ServeClient::round_trip(FrameType request, const std::string& body,
                                 FrameType expected_reply) {
-  send_message(stream_, request, body);
-  std::optional<Message> reply = recv_message(stream_);
-  if (!reply.has_value()) {
-    throw IoError("server closed the connection mid-request");
+  for (int failures = 0;; ++failures) {
+    try {
+      send_message(stream_, request, body);
+      std::optional<Message> reply = recv_message(stream_);
+      if (!reply.has_value()) {
+        throw IoError("server closed the connection mid-request");
+      }
+      if (reply->type == FrameType::kError) {
+        throw_decoded_error(reply->body);
+      }
+      if (reply->type != expected_reply) {
+        throw ProtocolError(
+            "unexpected reply frame type " +
+            std::to_string(static_cast<int>(reply->type)));
+      }
+      return std::move(*reply);
+    } catch (const IoError&) {
+      if (!try_recover(failures)) throw;
+    } catch (const TransientError&) {
+      // Covers torn frames and interrupted reads; ServeError is NOT
+      // transient — a server-reported error is an answer, never
+      // retried.
+      if (!try_recover(failures)) throw;
+    }
   }
-  if (reply->type == FrameType::kError) {
-    throw_decoded_error(reply->body);
-  }
-  if (reply->type != expected_reply) {
-    throw ProtocolError(
-        "unexpected reply frame type " +
-        std::to_string(static_cast<int>(reply->type)));
-  }
-  return std::move(*reply);
 }
 
 std::int64_t ServeClient::submit(const SubmitRequest& request) {
@@ -61,25 +112,33 @@ JobStatus ServeClient::cancel(std::int64_t job_id) {
 JobStatus ServeClient::stream_progress(
     std::int64_t job_id,
     const std::function<void(const ProgressUpdate&)>& on_update) {
-  send_message(stream_, FrameType::kProgress, encode_job_ref(job_id));
-  for (;;) {
-    std::optional<Message> message = recv_message(stream_);
-    if (!message.has_value()) {
-      throw IoError("server closed the connection mid-stream");
-    }
-    switch (message->type) {
-      case FrameType::kProgressEvent:
-        if (on_update) on_update(decode_progress(message->body));
-        break;
-      case FrameType::kProgressDone:
-        return decode_status(message->body);
-      case FrameType::kError:
-        throw_decoded_error(message->body);
-      default:
-        throw ProtocolError(
-            "unexpected frame type " +
-            std::to_string(static_cast<int>(message->type)) +
-            " inside a progress stream");
+  for (int failures = 0;; ++failures) {
+    try {
+      send_message(stream_, FrameType::kProgress, encode_job_ref(job_id));
+      for (;;) {
+        std::optional<Message> message = recv_message(stream_);
+        if (!message.has_value()) {
+          throw IoError("server closed the connection mid-stream");
+        }
+        switch (message->type) {
+          case FrameType::kProgressEvent:
+            if (on_update) on_update(decode_progress(message->body));
+            break;
+          case FrameType::kProgressDone:
+            return decode_status(message->body);
+          case FrameType::kError:
+            throw_decoded_error(message->body);
+          default:
+            throw ProtocolError(
+                "unexpected frame type " +
+                std::to_string(static_cast<int>(message->type)) +
+                " inside a progress stream");
+        }
+      }
+    } catch (const IoError&) {
+      if (!try_recover(failures)) throw;
+    } catch (const TransientError&) {
+      if (!try_recover(failures)) throw;
     }
   }
 }
@@ -90,8 +149,9 @@ std::string ServeClient::metrics_json() {
   return reply.body;
 }
 
-void ServeClient::shutdown_server() {
-  (void)round_trip(FrameType::kShutdown, "{}", FrameType::kShutdownOk);
+void ServeClient::shutdown_server(bool drain) {
+  (void)round_trip(FrameType::kShutdown, encode_shutdown(drain),
+                   FrameType::kShutdownOk);
 }
 
 }  // namespace mgpusw::serve

@@ -3,6 +3,14 @@
 // it are sequential (the protocol is strict request/reply, except the
 // PROGRESS stream which multiplexes its events before the final DONE).
 // Not thread-safe — use one client per thread.
+//
+// With a ReconnectPolicy the client rides through daemon restarts: a
+// connection-level failure (refused connect, reset mid-request, torn
+// frame) sleeps a bounded exponential backoff, re-dials, and repeats
+// the request. Pair retried SUBMITs with an idempotency key — the
+// journal-backed daemon then dedupes the resubmission onto the original
+// job instead of running it twice. Server-reported errors (ServeError)
+// are never retried; they are answers, not failures.
 #pragma once
 
 #include <cstdint>
@@ -14,14 +22,25 @@
 
 namespace mgpusw::serve {
 
+/// Retry schedule for connection-level failures. `max_attempts` counts
+/// reconnect cycles per operation; 0 (the default) disables retrying —
+/// the pre-journal fail-fast behaviour.
+struct ReconnectPolicy {
+  int max_attempts = 0;
+  std::int64_t initial_backoff_ms = 50;
+  std::int64_t max_backoff_ms = 2000;
+};
+
 class ServeClient {
  public:
   /// Connects to a running daemon. `timeout_ms` bounds the connect and
   /// every blocking read/write (0 = block forever — the right choice
-  /// when RESULT waits on a long job).
+  /// when RESULT waits on a long job). With a policy, a refused initial
+  /// connect also retries on the backoff schedule.
   [[nodiscard]] static ServeClient connect(const std::string& host,
                                            std::uint16_t port,
-                                           std::int64_t timeout_ms = 0);
+                                           std::int64_t timeout_ms = 0,
+                                           ReconnectPolicy policy = {});
 
   /// Submits a job; returns its id. ERROR replies (quota, bad spec)
   /// throw ServeError with the server's code.
@@ -39,6 +58,8 @@ class ServeClient {
 
   /// Streams progress until the job is terminal: `on_update` fires per
   /// PROGRESS_EVENT; the returned status is the PROGRESS_DONE body.
+  /// After a mid-stream reconnect the stream restarts from the current
+  /// snapshot, so updates may repeat.
   JobStatus stream_progress(
       std::int64_t job_id,
       const std::function<void(const ProgressUpdate&)>& on_update);
@@ -47,17 +68,33 @@ class ServeClient {
   [[nodiscard]] std::string metrics_json();
 
   /// Asks the daemon to shut down (acknowledged before it begins).
-  void shutdown_server();
+  /// With `drain`, running jobs finish (journaling their terminals)
+  /// before the daemon exits; without it the stop is crash-equivalent
+  /// for the journal and unfinished jobs replay on the next start.
+  void shutdown_server(bool drain = false);
 
  private:
-  explicit ServeClient(comm::TcpStream stream);
+  ServeClient(comm::TcpStream stream, std::string host,
+              std::uint16_t port, std::int64_t timeout_ms,
+              ReconnectPolicy policy);
 
   /// One request/reply exchange; ERROR replies throw ServeError,
-  /// unexpected frame types throw ProtocolError.
+  /// unexpected frame types throw ProtocolError. Connection-level
+  /// failures reconnect and repeat, per the policy.
   Message round_trip(FrameType request, const std::string& body,
                      FrameType expected_reply);
 
+  /// Sleeps the backoff for this failure count and re-dials. Returns
+  /// false once the policy's attempts are exhausted (caller rethrows).
+  /// A failed re-dial still returns true — the retried request fails
+  /// fast and re-enters with a longer backoff.
+  bool try_recover(int failures);
+
   comm::TcpStream stream_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  std::int64_t timeout_ms_ = 0;
+  ReconnectPolicy policy_;
 };
 
 }  // namespace mgpusw::serve

@@ -37,32 +37,102 @@ JobQueue::JobQueue(QuotaPolicy policy)
 std::shared_ptr<Job> JobQueue::submit(std::string tenant, std::string label,
                                       int priority, seq::Sequence query,
                                       seq::Sequence subject) {
+  SubmitRequest spec;
+  spec.tenant = std::move(tenant);
+  spec.label = std::move(label);
+  spec.priority = priority;
+  return submit(std::move(spec), std::move(query), std::move(subject));
+}
+
+std::shared_ptr<Job> JobQueue::submit(SubmitRequest spec,
+                                      seq::Sequence query,
+                                      seq::Sequence subject,
+                                      bool* deduped) {
+  if (deduped != nullptr) *deduped = false;
   std::lock_guard<std::mutex> lock(mu_);
-  if (closed_) {
+  if (closed_ || draining_) {
     throw ServeError("shutting-down",
                      "the server is shutting down; submit refused");
   }
-  if (quota_.pending_full(tenant)) {
+  if (!spec.idempotency_key.empty()) {
+    const auto it =
+        by_key_.find(spec.tenant + "\n" + spec.idempotency_key);
+    if (it != by_key_.end()) {
+      if (deduped != nullptr) *deduped = true;
+      return it->second;
+    }
+  }
+  if (quota_.pending_full(spec.tenant)) {
     throw ServeError(
         "quota-exceeded",
-        "tenant \"" + tenant + "\" already has " +
-            std::to_string(quota_.pending_count(tenant)) +
+        "tenant \"" + spec.tenant + "\" already has " +
+            std::to_string(quota_.pending_count(spec.tenant)) +
             " queued job(s), the per-tenant cap");
   }
   auto job = std::make_shared<Job>();
   job->id = next_id_++;
-  job->tenant = std::move(tenant);
-  job->label = std::move(label);
+  job->tenant = spec.tenant;
+  job->label = spec.label;
   if (job->label.empty()) job->label = "job-" + std::to_string(job->id);
-  job->priority = priority;
+  job->priority = spec.priority;
   job->query = std::move(query);
   job->subject = std::move(subject);
+  job->spec = std::move(spec);
+  job->spec.label = job->label;  // journal the defaulted label
   job->submit_ns = steady_ns() - epoch_ns_;
   quota_.on_submit(job->tenant);
   jobs_.emplace(job->id, job);
+  if (!job->spec.idempotency_key.empty()) {
+    by_key_.emplace(job->tenant + "\n" + job->spec.idempotency_key, job);
+  }
   pending_.push_back(job);
   runnable_cv_.notify_all();
   return job;
+}
+
+void JobQueue::restore(const std::shared_ptr<Job>& job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MGPUSW_REQUIRE(!closed_ && !draining_,
+                 "restore() must run before shutdown begins");
+  MGPUSW_REQUIRE(job->id >= 1, "restored job needs its journaled id");
+  MGPUSW_REQUIRE(jobs_.find(job->id) == jobs_.end(),
+                 "restored job id already in the table");
+  if (job->id >= next_id_) next_id_ = job->id + 1;
+  jobs_.emplace(job->id, job);
+  if (!job->spec.idempotency_key.empty()) {
+    by_key_.emplace(job->tenant + "\n" + job->spec.idempotency_key, job);
+  }
+  if (job->state == JobState::kQueued) {
+    job->submit_ns = steady_ns() - epoch_ns_;
+    quota_.on_submit(job->tenant);
+    pending_.push_back(job);
+    runnable_cv_.notify_all();
+  } else {
+    MGPUSW_REQUIRE(is_terminal(job->state),
+                   "a restored job is either queued or terminal");
+  }
+}
+
+void JobQueue::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || draining_) return;
+  draining_ = true;
+  // Wake schedulers blocked in next() so they observe the drain and
+  // exit once their current jobs are finished.
+  runnable_cv_.notify_all();
+}
+
+bool JobQueue::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::vector<std::shared_ptr<Job>> JobQueue::all_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Job>> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job);
+  return out;
 }
 
 std::shared_ptr<Job> JobQueue::next() {
@@ -80,6 +150,9 @@ std::shared_ptr<Job> JobQueue::next() {
         best = it;
       }
     }
+    // Draining: hand out nothing more; pending jobs stay queued (their
+    // journal SUBMITs carry them into the next daemon life).
+    if (draining_) return nullptr;
     if (best != pending_.end()) {
       std::shared_ptr<Job> job = *best;
       pending_.erase(best);
@@ -170,6 +243,7 @@ JobStatus JobQueue::status(const std::shared_ptr<Job>& job) {
   status.tenant = job->tenant;
   status.label = job->label;
   status.error = job->error;
+  status.resumed_row = job->resumed_row;
   // `entry` is written by the scheduler thread during the run; it is
   // safe to read only for states the scheduler publishes under mu_
   // *after* the run (completing and terminal). Live runs report the

@@ -44,11 +44,29 @@ struct Job {
   int priority = 0;
   seq::Sequence query;
   seq::Sequence subject;
+  /// The wire spec as submitted — what the journal persists, so a
+  /// restarted daemon can rebuild the job (and its sequences) verbatim.
+  SubmitRequest spec;
 
   JobState state = JobState::kQueued;
   std::atomic<bool> cancel{false};
   core::BatchItemResult entry;  // result + recovery bookkeeping
   std::string error;            // failure message (kFailed)
+
+  // --- journal-mode fields (unused without a journal) ---
+  /// Per-job disk checkpoint store under the journal directory; owned
+  /// here so it survives scheduler unwinds but dies with the job table.
+  std::unique_ptr<core::SpecialRowStore> checkpoints;
+  /// Seed for the next run (replay fills it from the journal + a disk
+  /// probe); row = -1 runs from scratch.
+  core::ResumeSpec resume;
+  /// Checkpoint row the job's run actually resumed from (-1: none) —
+  /// surfaced as JobStatus::resumed_row.
+  std::int64_t resumed_row = -1;
+  /// True when this daemon life never ran the job: its terminal facts
+  /// (entry fields, result_json) were replayed from the journal.
+  bool replayed = false;
+  std::string replayed_result_json;  // RESULT body for replayed jobs
 
   /// Submit-to-result latency bookkeeping (steady-clock ns since the
   /// queue's epoch).
@@ -61,6 +79,18 @@ struct Job {
     std::map<int, std::pair<std::int64_t, std::int64_t>> device_units;
     int restarts = 0;
     int rebalances = 0;
+
+    // Journal-mode durability cursor. Per-device (safe_row, best) of
+    // the current attempt; once every device of the attempt has
+    // reported, min(safe_row) + the merged bests fold into the durable
+    // pair — the invariant being that `durable_best` covers every cell
+    // in rows <= durable_row, so the pair is what a CHECKPOINT record
+    // may journal.
+    std::map<int, std::pair<std::int64_t, sw::ScoreResult>> device_safe;
+    std::int64_t durable_row = -1;
+    sw::ScoreResult durable_best;
+    std::int64_t journaled_row = -1;  // newest CHECKPOINT written
+    std::int64_t last_checkpoint_ns = 0;
   };
   Progress progress;
 
@@ -73,11 +103,39 @@ class JobQueue {
   explicit JobQueue(QuotaPolicy policy);
 
   /// Admits a job (unless the tenant's pending quota rejects it — then
-  /// throws ServeError("quota-exceeded") — or the queue is closed —
-  /// ServeError("shutting-down")). Returns the job with its id set.
+  /// throws ServeError("quota-exceeded") — or the queue is closed or
+  /// draining — ServeError("shutting-down")). Returns the job with its
+  /// id set.
   std::shared_ptr<Job> submit(std::string tenant, std::string label,
                               int priority, seq::Sequence query,
                               seq::Sequence subject);
+
+  /// Spec-carrying admission used by the journal path. When the spec
+  /// has an idempotency key the tenant already used, no job is created:
+  /// the original is returned and `*deduped` set — whatever its state,
+  /// so a resubmission after a daemon restart finds its result instead
+  /// of recomputing.
+  std::shared_ptr<Job> submit(SubmitRequest spec, seq::Sequence query,
+                              seq::Sequence subject,
+                              bool* deduped = nullptr);
+
+  /// Installs a job replayed from the journal: id, spec, state and any
+  /// replayed terminal facts are already set by the caller. Queued jobs
+  /// enter the pending queue (and charge the tenant's pending quota);
+  /// terminal jobs only join the table, immediately queryable. Bumps
+  /// the id counter past the replayed id and registers the idempotency
+  /// key. Must run before the queue is closed or draining.
+  void restore(const std::shared_ptr<Job>& job);
+
+  /// Stops admission without cancelling anything: submit() refuses,
+  /// next() returns null (running jobs finish normally), queued jobs
+  /// stay queued — journaled as plain SUBMITs for the next daemon life.
+  void drain();
+  [[nodiscard]] bool draining() const;
+
+  /// Snapshot of every job in the table, id-ascending (journal
+  /// compaction walks this).
+  [[nodiscard]] std::vector<std::shared_ptr<Job>> all_jobs() const;
 
   /// Blocks for the next runnable job: highest priority first, FIFO
   /// within a priority, skipping tenants at their running quota. Marks
@@ -125,8 +183,11 @@ class JobQueue {
   QuotaLedger quota_;
   std::deque<std::shared_ptr<Job>> pending_;  // admission order
   std::map<std::int64_t, std::shared_ptr<Job>> jobs_;
+  /// "tenant\nkey" -> job, for idempotent resubmission.
+  std::map<std::string, std::shared_ptr<Job>> by_key_;
   std::int64_t next_id_ = 1;
   bool closed_ = false;
+  bool draining_ = false;
   const std::int64_t epoch_ns_;
 };
 

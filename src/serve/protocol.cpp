@@ -102,6 +102,9 @@ std::string encode_submit(const SubmitRequest& request) {
   if (request.rows > 0) w.key("rows").value(request.rows);
   if (request.cols > 0) w.key("cols").value(request.cols);
   w.key("seed").value(request.seed);
+  if (!request.idempotency_key.empty()) {
+    w.key("key").value(request.idempotency_key);
+  }
   w.end_object();
   return w.str();
 }
@@ -121,6 +124,7 @@ SubmitRequest decode_submit(const std::string& body) {
   request.rows = optional_int(doc, "rows", 0);
   request.cols = optional_int(doc, "cols", 0);
   request.seed = optional_int(doc, "seed", 1);
+  request.idempotency_key = optional_string(doc, "key");
   const bool inline_pair = !request.query.empty() && !request.subject.empty();
   const bool synth_pair = request.rows > 0 && request.cols > 0;
   if (inline_pair == synth_pair) {
@@ -179,6 +183,9 @@ std::string encode_status(const JobStatus& status) {
   w.end_array();
   if (!status.error.empty()) w.key("error").value(status.error);
   if (status.score >= 0) w.key("score").value(status.score);
+  if (status.resumed_row >= 0) {
+    w.key("resumed_row").value(status.resumed_row);
+  }
   if (!status.result_json.empty()) {
     w.key("result").raw_value(status.result_json);
   }
@@ -209,6 +216,7 @@ JobStatus decode_status(const std::string& body) {
   }
   status.error = optional_string(doc, "error");
   status.score = optional_int(doc, "score", -1);
+  status.resumed_row = optional_int(doc, "resumed_row", -1);
   // The nested run report round-trips as text so the client can pretty-
   // print or archive it without knowing its schema.
   if (const base::json::Value* result = doc.find("result")) {
@@ -244,6 +252,26 @@ ProgressUpdate decode_progress(const std::string& body) {
   update.restarts = static_cast<int>(optional_int(doc, "restarts", 0));
   update.rebalances = static_cast<int>(optional_int(doc, "rebalances", 0));
   return update;
+}
+
+std::string encode_shutdown(bool drain) {
+  base::JsonWriter w;
+  w.begin_object(base::JsonWriter::kCompact);
+  w.key("drain").value(drain);
+  w.end_object();
+  return w.str();
+}
+
+bool decode_shutdown_drain(const std::string& body) {
+  if (body.empty()) return false;
+  const base::json::Value doc = parse_body(body);
+  if (!doc.is_object()) throw ProtocolError("body must be an object");
+  const base::json::Value* drain = doc.find("drain");
+  if (drain == nullptr) return false;
+  if (drain->type != base::json::Value::kBool) {
+    throw ProtocolError("\"drain\" must be a boolean");
+  }
+  return drain->boolean;
 }
 
 std::string encode_error(const std::string& code,

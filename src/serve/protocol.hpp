@@ -103,6 +103,11 @@ struct SubmitRequest {
   std::int64_t rows = 0;  // synthetic query length
   std::int64_t cols = 0;  // synthetic subject length
   std::int64_t seed = 1;  // synthetic generator seed
+  /// Client-chosen dedupe token, scoped per tenant. A resubmission with
+  /// the same key (e.g. after a reconnect, or to a restarted daemon
+  /// that replayed its journal) returns the original job instead of
+  /// queueing a duplicate. Empty = no deduplication.
+  std::string idempotency_key;
 };
 
 /// The job-status object shared by STATUS_OK / CANCEL_OK / RESULT_OK /
@@ -119,6 +124,10 @@ struct JobStatus {
   std::string error;        // failure message (failed jobs)
   std::int64_t score = -1;  // best score (done jobs)
   std::string result_json;  // full run report (RESULT_OK only)
+  /// Checkpoint row this job's run resumed from after a daemon restart
+  /// (journal replay); -1 when the job ran start to finish in one
+  /// daemon life.
+  std::int64_t resumed_row = -1;
 };
 
 /// One PROGRESS_EVENT body: job-level totals aggregated over devices.
@@ -149,6 +158,14 @@ struct ProgressUpdate {
 
 [[nodiscard]] std::string encode_progress(const ProgressUpdate& update);
 [[nodiscard]] ProgressUpdate decode_progress(const std::string& body);
+
+/// SHUTDOWN body: {"drain": bool}. Draining stops admission, lets
+/// running jobs finish (journaling their terminal records), and leaves
+/// queued jobs journaled for the next daemon life; non-drain stops hard
+/// (crash-equivalent for the journal). Decoding defaults to false so
+/// pre-drain clients keep their immediate-stop behaviour.
+[[nodiscard]] std::string encode_shutdown(bool drain);
+[[nodiscard]] bool decode_shutdown_drain(const std::string& body);
 
 [[nodiscard]] std::string encode_error(const std::string& code,
                                        const std::string& message);

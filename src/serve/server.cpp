@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -17,6 +18,12 @@ namespace {
 
 /// How often a PROGRESS stream samples the job snapshot.
 constexpr auto kProgressPollInterval = std::chrono::milliseconds(20);
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -47,14 +54,30 @@ AlignServer::AlignServer(ServerConfig config)
   // request on, not only after the counter first fires.
   metrics_.counter("serve.jobs_accepted");
   metrics_.counter("serve.jobs_rejected");
+  metrics_.counter("serve.jobs_deduped");
   metrics_.counter("serve.jobs_completed");
   metrics_.counter("serve.jobs_failed");
   metrics_.counter("serve.jobs_cancelled");
   metrics_.gauge("serve.queue_depth");
   metrics_.histogram("serve.submit_to_done_ms");
+  if (!config_.journal_dir.empty()) {
+    metrics_.counter("serve.journal_appends");
+    metrics_.counter("serve.journal_replayed_jobs");
+    metrics_.counter("serve.journal_truncated_bytes");
+    metrics_.counter("serve.journal_compactions");
+    metrics_.counter("serve.journal_checkpoints");
+    journal_ = std::make_unique<JobJournal>(config_.journal_dir,
+                                            config_.journal_fsync);
+    replay_journal();
+  }
 }
 
 AlignServer::~AlignServer() { stop(); }
+
+void AlignServer::request_drain() {
+  drain_requested_.store(true, std::memory_order_release);
+  queue_.drain();
+}
 
 std::uint16_t AlignServer::port() const { return listener_.port(); }
 
@@ -89,15 +112,33 @@ void AlignServer::stop() {
   }
   shutdown_cv_.notify_all();
   listener_.close();
-  queue_.close();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // Schedulers drain: queue_.close() raised every running job's cancel
-  // flag, so each current job reaches a terminal state and next()
-  // returns null.
-  for (std::thread& thread : scheduler_threads_) {
-    if (thread.joinable()) thread.join();
+  if (drain_requested_.load(std::memory_order_acquire)) {
+    // Graceful drain: running jobs finish (and journal their
+    // terminals) before the queue closes. next() hands out nothing
+    // once the queue is draining, so the joins terminate; queued jobs
+    // stay SUBMIT-only in the journal and re-enqueue next life.
+    queue_.drain();
+    for (std::thread& thread : scheduler_threads_) {
+      if (thread.joinable()) thread.join();
+    }
+    scheduler_threads_.clear();
+    queue_.close();  // wake RESULT waiters on still-queued jobs
+  } else {
+    // Hard stop. Freeze the journal FIRST: everything after this
+    // instant — close()'s in-memory cancels included — is deliberately
+    // not journaled, so on disk this shutdown is indistinguishable
+    // from a crash and unfinished jobs replay in the next life.
+    journal_frozen_.store(true, std::memory_order_release);
+    queue_.close();
+    // Schedulers drain: queue_.close() raised every running job's
+    // cancel flag, so each current job reaches a terminal state and
+    // next() returns null.
+    for (std::thread& thread : scheduler_threads_) {
+      if (thread.joinable()) thread.join();
+    }
+    scheduler_threads_.clear();
   }
-  scheduler_threads_.clear();
+  if (accept_thread_.joinable()) accept_thread_.join();
   // Connection handlers may be blocked in recv; shut their sockets so
   // the reads return EOF. The streams are shared_ptr-owned here so the
   // descriptor numbers cannot be recycled before the shutdown call.
@@ -117,6 +158,271 @@ void AlignServer::stop() {
 std::string AlignServer::metrics_json() {
   metrics_.gauge("serve.queue_depth").set(queue_.depth());
   return metrics_.to_json();
+}
+
+void AlignServer::make_sequences(const SubmitRequest& request,
+                                 seq::Sequence& query,
+                                 seq::Sequence& subject) const {
+  try {
+    if (!request.query.empty()) {
+      if (static_cast<std::int64_t>(request.query.size()) >
+              config_.max_job_bases ||
+          static_cast<std::int64_t>(request.subject.size()) >
+              config_.max_job_bases) {
+        throw ServeError("bad-request",
+                         "job exceeds the per-job base cap of " +
+                             std::to_string(config_.max_job_bases));
+      }
+      query = seq::Sequence(request.label + ".q", request.query);
+      subject = seq::Sequence(request.label + ".s", request.subject);
+    } else {
+      if (request.rows > config_.max_job_bases ||
+          request.cols > config_.max_job_bases) {
+        throw ServeError("bad-request",
+                         "job exceeds the per-job base cap of " +
+                             std::to_string(config_.max_job_bases));
+      }
+      query = seq::generate_chromosome(
+          request.label + ".q", request.rows,
+          static_cast<std::uint64_t>(request.seed));
+      subject = seq::generate_chromosome(
+          request.label + ".s", request.cols,
+          static_cast<std::uint64_t>(request.seed) + 1);
+    }
+  } catch (const InvalidArgument& e) {
+    throw ServeError("bad-request", e.what());
+  }
+}
+
+void AlignServer::replay_journal() {
+  const ReplayResult replayed = journal_->replay();
+  metrics_.counter("serve.journal_truncated_bytes")
+      .add(replayed.truncated_bytes);
+  for (const ReplayedJob& record : replayed.jobs) {
+    auto job = std::make_shared<Job>();
+    job->id = record.job_id;
+    job->spec = record.spec;
+    job->tenant = record.spec.tenant;
+    job->label = record.spec.label.empty()
+                     ? "job-" + std::to_string(job->id)
+                     : record.spec.label;
+    job->priority = record.spec.priority;
+    if (record.terminal) {
+      // Terminal: re-serve the journaled outcome, recompute nothing.
+      const JournalRecord& outcome = record.outcome;
+      switch (outcome.kind) {
+        case JournalRecord::Kind::kDone:
+          job->state = JobState::kDone;
+          break;
+        case JournalRecord::Kind::kFailed:
+          job->state = JobState::kFailed;
+          break;
+        default:
+          job->state = JobState::kCancelled;
+          break;
+      }
+      job->replayed = true;
+      job->replayed_result_json = outcome.result_json;
+      job->error = outcome.error;
+      job->resumed_row = outcome.resumed_row;
+      job->entry.label = job->label;
+      job->entry.restarts = outcome.restarts;
+      job->entry.lost_devices = outcome.lost_devices;
+      if (outcome.score >= 0) {
+        job->entry.result.best.score =
+            static_cast<sw::Score>(outcome.score);
+      }
+      job->progress.rebalances = outcome.rebalances;
+      queue_.restore(job);
+    } else if (record.cancel_requested) {
+      // The cancel intent was journaled but the terminal never was (the
+      // daemon died first). Honour it now, durably — the job never ran
+      // to completion, so cancelled is the truthful terminal.
+      job->state = JobState::kCancelled;
+      job->replayed = true;
+      queue_.restore(job);
+      JournalRecord terminal;
+      terminal.kind = JournalRecord::Kind::kCancelled;
+      terminal.job_id = job->id;
+      journal_append(terminal);
+      metrics_.counter("serve.jobs_cancelled").increment();
+    } else {
+      // Queued or mid-flight: rebuild the sequences from the spec and
+      // re-enqueue. A mid-flight job additionally probes its checkpoint
+      // store for the newest restart-safe row at or below the journaled
+      // pair — recomputing from there is bit-identical because the
+      // journaled best already covers every cell at or below the row.
+      try {
+        make_sequences(job->spec, job->query, job->subject);
+      } catch (const ServeError& e) {
+        job->state = JobState::kFailed;
+        job->replayed = true;
+        job->error = std::string("replay rejected: ") + e.what();
+        queue_.restore(job);
+        JournalRecord terminal;
+        terminal.kind = JournalRecord::Kind::kFailed;
+        terminal.job_id = job->id;
+        terminal.error = job->error;
+        journal_append(terminal);
+        metrics_.counter("serve.jobs_failed").increment();
+        ++replayed_jobs_;
+        continue;
+      }
+      job->checkpoints = std::make_unique<core::SpecialRowStore>(
+          journal_->job_checkpoint_dir(job->id));
+      const core::SpecialRowStore::RecoveryReport report =
+          job->checkpoints->recover_existing();
+      metrics_.counter("serve.journal_truncated_bytes")
+          .add(report.truncated_bytes);
+      if (record.checkpoint_row >= 0) {
+        const auto rows = static_cast<std::int64_t>(job->query.size());
+        const auto cols = static_cast<std::int64_t>(job->subject.size());
+        // last_restartable_row's limit is exclusive; the journaled row
+        // itself must stay eligible, and the engine requires a resume
+        // row to leave at least one row to compute.
+        const std::int64_t limit =
+            std::min(record.checkpoint_row + 1, rows - 1);
+        job->resume.row =
+            job->checkpoints->last_restartable_row(cols, limit);
+        job->resume.carried_best.score =
+            static_cast<sw::Score>(record.best_score);
+        job->resume.carried_best.end.row = record.best_row;
+        job->resume.carried_best.end.col = record.best_col;
+        job->resumed_row = job->resume.row;
+        std::lock_guard<std::mutex> lock(job->progress.mu);
+        job->progress.durable_row = job->resume.row;
+        job->progress.durable_best = job->resume.carried_best;
+        job->progress.journaled_row = record.checkpoint_row;
+      }
+      queue_.restore(job);
+    }
+    ++replayed_jobs_;
+  }
+  metrics_.counter("serve.journal_replayed_jobs").add(replayed_jobs_);
+  metrics_.gauge("serve.queue_depth").set(queue_.depth());
+}
+
+void AlignServer::journal_append(const JournalRecord& record) {
+  if (journal_ == nullptr ||
+      journal_frozen_.load(std::memory_order_acquire)) {
+    return;
+  }
+  journal_->append(record);
+  metrics_.counter("serve.journal_appends").increment();
+}
+
+void AlignServer::maybe_journal_checkpoint(
+    const std::shared_ptr<Job>& job, bool force) {
+  if (journal_ == nullptr ||
+      journal_frozen_.load(std::memory_order_acquire)) {
+    return;
+  }
+  JournalRecord record;
+  record.kind = JournalRecord::Kind::kCheckpoint;
+  record.job_id = job->id;
+  {
+    // Decide and claim under the progress lock, append outside it — a
+    // progress event must never wait on the journal's file write (and
+    // compaction takes these locks in the opposite order).
+    std::lock_guard<std::mutex> lock(job->progress.mu);
+    if (job->progress.durable_row <= job->progress.journaled_row) {
+      return;
+    }
+    const std::int64_t now = steady_ns();
+    const std::int64_t interval_ns =
+        config_.journal_checkpoint_interval_ms * 1'000'000;
+    if (!force && job->progress.last_checkpoint_ns != 0 &&
+        now - job->progress.last_checkpoint_ns < interval_ns) {
+      return;
+    }
+    job->progress.last_checkpoint_ns = now;
+    job->progress.journaled_row = job->progress.durable_row;
+    record.row = job->progress.durable_row;
+    record.best_score = job->progress.durable_best.score;
+    record.best_row = job->progress.durable_best.end.row;
+    record.best_col = job->progress.durable_best.end.col;
+  }
+  journal_append(record);
+  metrics_.counter("serve.journal_checkpoints").increment();
+}
+
+void AlignServer::maybe_compact() {
+  if (journal_ == nullptr ||
+      journal_frozen_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (journal_->appends_since_compact() <
+      config_.journal_compact_min_appends) {
+    return;
+  }
+  const std::vector<std::shared_ptr<Job>> jobs = queue_.all_jobs();
+  std::int64_t terminal = 0;
+  std::vector<JournalRecord> snapshot;
+  snapshot.reserve(jobs.size() * 2);
+  for (const std::shared_ptr<Job>& job : jobs) {
+    const JobStatus status = queue_.status(job);
+    JournalRecord submit;
+    submit.kind = JournalRecord::Kind::kSubmit;
+    submit.job_id = job->id;
+    submit.spec = job->spec;
+    snapshot.push_back(std::move(submit));
+    JournalRecord fact;
+    fact.job_id = job->id;
+    switch (status.state) {
+      case JobState::kQueued:
+        continue;  // the SUBMIT alone re-enqueues it
+      case JobState::kRunning:
+      case JobState::kCompleting: {
+        ++terminal;  // counts as reclaimable: its records re-shrink
+        fact.kind = JournalRecord::Kind::kStart;
+        snapshot.push_back(fact);
+        JournalRecord checkpoint;
+        checkpoint.kind = JournalRecord::Kind::kCheckpoint;
+        checkpoint.job_id = job->id;
+        {
+          std::lock_guard<std::mutex> lock(job->progress.mu);
+          checkpoint.row = job->progress.durable_row;
+          checkpoint.best_score = job->progress.durable_best.score;
+          checkpoint.best_row = job->progress.durable_best.end.row;
+          checkpoint.best_col = job->progress.durable_best.end.col;
+        }
+        if (checkpoint.row >= 0) snapshot.push_back(std::move(checkpoint));
+        if (job->cancel.load(std::memory_order_relaxed)) {
+          JournalRecord intent;
+          intent.kind = JournalRecord::Kind::kCancel;
+          intent.job_id = job->id;
+          snapshot.push_back(std::move(intent));
+        }
+        continue;
+      }
+      case JobState::kDone:
+        ++terminal;
+        fact.kind = JournalRecord::Kind::kDone;
+        fact.score = status.score;
+        fact.result_json = job->replayed
+                               ? job->replayed_result_json
+                               : core::to_json(job->entry.result);
+        break;
+      case JobState::kFailed:
+        ++terminal;
+        fact.kind = JournalRecord::Kind::kFailed;
+        fact.error = job->error;
+        break;
+      case JobState::kCancelled:
+        ++terminal;
+        fact.kind = JournalRecord::Kind::kCancelled;
+        break;
+    }
+    fact.restarts = status.restarts;
+    fact.rebalances = status.rebalances;
+    fact.lost_devices = status.lost_devices;
+    fact.resumed_row = status.resumed_row;
+    snapshot.push_back(std::move(fact));
+  }
+  // Only worth the rewrite when most of the log is settled history.
+  if (terminal * 2 < static_cast<std::int64_t>(jobs.size())) return;
+  journal_->compact(snapshot);
+  metrics_.counter("serve.journal_compactions").increment();
 }
 
 void AlignServer::accept_loop() {
@@ -256,10 +562,20 @@ bool AlignServer::dispatch(comm::TcpStream& stream,
       case FrameType::kCancel: {
         const std::int64_t job_id = decode_job_id(message.body);
         const JobState after = queue_.cancel(job_id);
+        JournalRecord record;
+        record.job_id = job_id;
         if (after == JobState::kCancelled) {
           // Cancelled right in the queue; running jobs are counted by
           // the scheduler when they actually stop.
           metrics_.counter("serve.jobs_cancelled").increment();
+          record.kind = JournalRecord::Kind::kCancelled;
+          journal_append(record);
+        } else if (after == JobState::kRunning) {
+          // Intent only: the scheduler journals the terminal when the
+          // engine actually stops. If the daemon dies first, replay
+          // honours the intent instead of re-running the job.
+          record.kind = JournalRecord::Kind::kCancel;
+          journal_append(record);
         }
         send_message(stream, FrameType::kCancelOk,
                      encode_status(queue_.status(queue_.find(job_id))));
@@ -278,8 +594,12 @@ bool AlignServer::dispatch(comm::TcpStream& stream,
         }
         if (status.state == JobState::kDone) {
           // Safe to read entry: terminal states are published under the
-          // queue mutex after the run finished.
-          status.result_json = core::to_json(job->entry.result);
+          // queue mutex after the run finished. A replayed job never
+          // ran in this daemon life — its result body comes verbatim
+          // from the journal instead.
+          status.result_json = job->replayed
+                                   ? job->replayed_result_json
+                                   : core::to_json(job->entry.result);
         }
         send_message(stream, FrameType::kResultOk, encode_status(status));
         return true;
@@ -288,6 +608,11 @@ bool AlignServer::dispatch(comm::TcpStream& stream,
         send_message(stream, FrameType::kMetricsOk, metrics_json());
         return true;
       case FrameType::kShutdown: {
+        if (decode_shutdown_drain(message.body)) {
+          // Drain before acknowledging: once the flag is up, stop()
+          // lets running jobs finish and journal their terminals.
+          request_drain();
+        }
         send_message(stream, FrameType::kShutdownOk, "{}");
         {
           std::lock_guard<std::mutex> lock(shutdown_mu_);
@@ -325,43 +650,31 @@ void AlignServer::handle_submit(comm::TcpStream& stream,
   const SubmitRequest request = decode_submit(body);
   seq::Sequence query;
   seq::Sequence subject;
-  try {
-    if (!request.query.empty()) {
-      if (static_cast<std::int64_t>(request.query.size()) >
-              config_.max_job_bases ||
-          static_cast<std::int64_t>(request.subject.size()) >
-              config_.max_job_bases) {
-        throw ServeError("bad-request",
-                         "job exceeds the per-job base cap of " +
-                             std::to_string(config_.max_job_bases));
-      }
-      query = seq::Sequence(request.label + ".q", request.query);
-      subject = seq::Sequence(request.label + ".s", request.subject);
-    } else {
-      if (request.rows > config_.max_job_bases ||
-          request.cols > config_.max_job_bases) {
-        throw ServeError("bad-request",
-                         "job exceeds the per-job base cap of " +
-                             std::to_string(config_.max_job_bases));
-      }
-      query = seq::generate_chromosome(
-          request.label + ".q", request.rows,
-          static_cast<std::uint64_t>(request.seed));
-      subject = seq::generate_chromosome(
-          request.label + ".s", request.cols,
-          static_cast<std::uint64_t>(request.seed) + 1);
-    }
-  } catch (const InvalidArgument& e) {
-    throw ServeError("bad-request", e.what());
-  }
+  make_sequences(request, query, subject);
   std::shared_ptr<Job> job;
+  bool deduped = false;
   try {
-    job = queue_.submit(request.tenant, request.label, request.priority,
-                        std::move(query), std::move(subject));
+    job = queue_.submit(request, std::move(query), std::move(subject),
+                        &deduped);
   } catch (const ServeError&) {
     metrics_.counter("serve.jobs_rejected").increment();
     throw;
   }
+  if (deduped) {
+    // The idempotency key matched an existing job (possibly replayed
+    // from the journal after a restart): hand back its id, whatever
+    // state it is in — nothing new to journal or schedule.
+    metrics_.counter("serve.jobs_deduped").increment();
+    send_message(stream, FrameType::kSubmitOk, encode_job_ref(job->id));
+    return;
+  }
+  // Write-ahead: the SUBMIT record hits the log before the client sees
+  // SUBMIT_OK, so an acknowledged job can never vanish in a crash.
+  JournalRecord record;
+  record.kind = JournalRecord::Kind::kSubmit;
+  record.job_id = job->id;
+  record.spec = job->spec;
+  journal_append(record);
   metrics_.counter("serve.jobs_accepted").increment();
   metrics_.gauge("serve.queue_depth").set(queue_.depth());
   send_message(stream, FrameType::kSubmitOk, encode_job_ref(job->id));
@@ -408,18 +721,51 @@ void AlignServer::run_job(const std::shared_ptr<Job>& job) {
   batch.devices_per_item = config_.devices_per_job;
   batch.enable_recovery = config_.enable_recovery;
   batch.recovery = config_.recovery;
+  const bool journaling = journal_ != nullptr;
   // Device threads stream progress into the job's snapshot; a restart
   // resets the per-device table (the engine re-plans from scratch, so
-  // stale device rows would double-count).
-  batch.engine.progress = [job](const core::ProgressEvent& event) {
-    std::lock_guard<std::mutex> lock(job->progress.mu);
-    if (event.restarts != job->progress.restarts) {
-      job->progress.device_units.clear();
-      job->progress.restarts = event.restarts;
+  // stale device rows would double-count). In journal mode the same
+  // events also advance the durable (row, best) cursor: once every
+  // device of the attempt reported, min(safe_row) bounds the rows whose
+  // cells are all settled, and the merged bests cover them — that pair
+  // is what a CHECKPOINT record may persist.
+  batch.engine.progress = [this, job,
+                           journaling](const core::ProgressEvent& event) {
+    bool checkpoint = false;
+    {
+      std::lock_guard<std::mutex> lock(job->progress.mu);
+      if (event.restarts != job->progress.restarts) {
+        job->progress.device_units.clear();
+        job->progress.device_safe.clear();
+        job->progress.restarts = event.restarts;
+      }
+      job->progress.rebalances = event.rebalances;
+      job->progress.device_units[event.device_index] = {
+          event.completed_units, event.total_units};
+      if (journaling) {
+        job->progress.device_safe[event.device_index] = {event.safe_row,
+                                                         event.best};
+        if (static_cast<int>(job->progress.device_safe.size()) >=
+            event.device_count) {
+          std::int64_t row = event.safe_row;
+          sw::ScoreResult best = job->progress.durable_best;
+          for (const auto& [device, pair] : job->progress.device_safe) {
+            row = std::min(row, pair.first);
+            if (sw::improves(pair.second, best)) best = pair.second;
+          }
+          if (row > job->progress.durable_row) {
+            // Merging bests that may cover cells above `row` is safe:
+            // a resumed run recomputes those cells and re-merges the
+            // same values (sw::improves is a total order), so the
+            // journaled pair still recovers bit-identically.
+            job->progress.durable_row = row;
+            job->progress.durable_best = best;
+            checkpoint = true;
+          }
+        }
+      }
     }
-    job->progress.rebalances = event.rebalances;
-    job->progress.device_units[event.device_index] = {
-        event.completed_units, event.total_units};
+    if (checkpoint) maybe_journal_checkpoint(job);
   };
   // Injected faults arm on the first job only: injector ordinals are
   // lease-local, so sharing one injector across concurrent jobs would
@@ -434,24 +780,77 @@ void AlignServer::run_job(const std::shared_ptr<Job>& job) {
   item.subject = job->subject;
   item.priority = job->priority;
   item.cancel = &job->cancel;
+  if (journaling) {
+    // Checkpoints go to the job's directory under the journal so the
+    // next daemon life can find them; the resume seed is non-trivial
+    // only for jobs replayed mid-flight.
+    if (job->checkpoints == nullptr) {
+      job->checkpoints = std::make_unique<core::SpecialRowStore>(
+          journal_->job_checkpoint_dir(job->id));
+    }
+    item.checkpoints = job->checkpoints.get();
+    item.resume = job->resume;
+    // Before each in-process restart, recovery hands us the exact
+    // (resume row, carried best) it will seed the next attempt with —
+    // a restart-grade pair by construction, so journal it eagerly and
+    // rebase the durability cursor on it.
+    item.on_restart = [this, job](const core::ResumeSpec& spec) {
+      {
+        std::lock_guard<std::mutex> lock(job->progress.mu);
+        job->progress.device_safe.clear();
+        job->progress.durable_row = spec.row;
+        job->progress.durable_best = spec.carried_best;
+        job->progress.journaled_row =
+            std::min(job->progress.journaled_row, spec.row);
+      }
+      maybe_journal_checkpoint(job, /*force=*/true);
+    };
+    JournalRecord start;
+    start.kind = JournalRecord::Kind::kStart;
+    start.job_id = job->id;
+    journal_append(start);
+  }
 
+  JournalRecord terminal;
+  terminal.job_id = job->id;
+  terminal.resumed_row = job->resumed_row;
   try {
     core::run_batch_item(batch, *fleet_, item, job->entry);
   } catch (const std::exception& e) {
+    terminal.restarts = job->entry.restarts;
+    terminal.rebalances = job->progress_update().rebalances;
+    terminal.lost_devices = job->entry.lost_devices;
     if (job->cancel.load(std::memory_order_relaxed)) {
+      terminal.kind = JournalRecord::Kind::kCancelled;
+      journal_append(terminal);
       metrics_.counter("serve.jobs_cancelled").increment();
       queue_.finish(job, JobState::kCancelled);
     } else {
+      terminal.kind = JournalRecord::Kind::kFailed;
+      terminal.error = e.what();
+      journal_append(terminal);
       metrics_.counter("serve.jobs_failed").increment();
       queue_.finish(job, JobState::kFailed, e.what());
     }
+    maybe_compact();
     return;
   }
   queue_.mark_completing(job);
+  // Write-ahead: the DONE record (with the full result body) is on
+  // disk before the job turns terminal, so no client can observe a
+  // result the journal could still lose.
+  terminal.kind = JournalRecord::Kind::kDone;
+  terminal.score = job->entry.result.best.score;
+  terminal.restarts = job->entry.restarts;
+  terminal.rebalances = job->progress_update().rebalances;
+  terminal.lost_devices = job->entry.lost_devices;
+  terminal.result_json = core::to_json(job->entry.result);
+  journal_append(terminal);
   metrics_.counter("serve.jobs_completed").increment();
   queue_.finish(job, JobState::kDone);
   metrics_.histogram("serve.submit_to_done_ms")
       .observe(static_cast<double>(job->done_ns - job->submit_ns) / 1e6);
+  maybe_compact();
 }
 
 }  // namespace mgpusw::serve

@@ -32,6 +32,7 @@
 #include "core/fleet.hpp"
 #include "obs/metrics.hpp"
 #include "serve/job_queue.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/quota.hpp"
 #include "vgpu/device.hpp"
@@ -68,6 +69,23 @@ struct ServerConfig {
   /// Admission cap on query/subject length (inline or synthetic), the
   /// daemon's defence against a single job monopolizing memory.
   std::int64_t max_job_bases = 4u << 20;
+
+  /// Durable job journal directory (empty = volatile daemon, the
+  /// pre-journal behaviour). With a journal every accepted job is
+  /// written ahead of its SUBMIT_OK, runs checkpoint to disk, and a
+  /// restarted daemon replays the log: terminal results are re-served,
+  /// queued jobs re-enqueue, and mid-flight jobs resume from their
+  /// newest intact checkpoint.
+  std::string journal_dir;
+  /// fdatasync every journal append (safe against power loss, not just
+  /// daemon death). Off by default: tests and benches only need
+  /// process-crash durability.
+  bool journal_fsync = false;
+  /// Compact the log once this many records accumulated since the last
+  /// compaction (and terminal entries dominate the job table).
+  std::int64_t journal_compact_min_appends = 512;
+  /// Minimum spacing between CHECKPOINT records per job.
+  std::int64_t journal_checkpoint_interval_ms = 200;
 };
 
 class AlignServer {
@@ -87,7 +105,24 @@ class AlignServer {
   void run();
   /// Stops everything: closes the listener and queue, cancels live
   /// jobs, joins all threads. Idempotent; called by the destructor.
+  ///
+  /// Journal semantics: unless a drain was requested (SHUTDOWN with
+  /// drain=true, or request_drain()), stop() freezes the journal FIRST
+  /// — the in-memory cancels that follow are never journaled, so
+  /// running and queued jobs replay in the next daemon life exactly as
+  /// if the process had crashed. A drain stop instead lets running
+  /// jobs finish (journaling their terminals) before closing.
   void stop();
+
+  /// Switches the next stop() to drain mode: admission stops, running
+  /// jobs finish and journal their terminals, queued jobs stay queued
+  /// (their SUBMIT records carry them into the next daemon life).
+  void request_drain();
+
+  /// Jobs reconstructed from the journal at startup (0 without one).
+  [[nodiscard]] std::int64_t replayed_jobs() const {
+    return replayed_jobs_;
+  }
 
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
 
@@ -113,12 +148,37 @@ class AlignServer {
   void handle_progress_stream(comm::TcpStream& stream,
                               const std::shared_ptr<Job>& job);
 
+  /// Builds the job's sequences from its wire spec (inline bases or the
+  /// synthetic generator) — shared by admission and journal replay so a
+  /// replayed job is bit-identical to its first submission.
+  void make_sequences(const SubmitRequest& request, seq::Sequence& query,
+                      seq::Sequence& subject) const;
+  /// Replays the journal into the queue: terminal jobs become
+  /// immediately queryable, everything else re-enqueues (mid-flight
+  /// jobs with a ResumeSpec probed from their checkpoint store).
+  void replay_journal();
+  /// Appends one record unless the journal is absent or frozen.
+  void journal_append(const JournalRecord& record);
+  /// Journals the job's durable (row, best) pair if it advanced and the
+  /// per-job checkpoint interval elapsed (force skips the throttle).
+  void maybe_journal_checkpoint(const std::shared_ptr<Job>& job,
+                                bool force = false);
+  /// Rewrites the log as one snapshot when terminal records dominate.
+  void maybe_compact();
+
   ServerConfig config_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<core::DeviceFleet> fleet_;  // owns the devices
   std::unique_ptr<vgpu::FaultInjector> injector_;
   std::atomic<bool> fault_armed_{false};
   JobQueue queue_;
+  std::unique_ptr<JobJournal> journal_;  // null without journal_dir
+  /// Set by a non-drain stop() before anything is cancelled: appends
+  /// become no-ops, so the shutdown is journal-indistinguishable from a
+  /// crash and unfinished jobs replay next life.
+  std::atomic<bool> journal_frozen_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::int64_t replayed_jobs_ = 0;  // written once, before start()
   comm::TcpListener listener_;
 
   std::atomic<bool> started_{false};

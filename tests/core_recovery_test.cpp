@@ -3,8 +3,12 @@
 // produce a bit-identical result to a run that never failed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -327,6 +331,79 @@ TEST(BatchRecoveryTest, BatchSurvivesDeviceDeathOnDegradedPool) {
   EXPECT_EQ(fleet.healthy_count(), 2u);
   // The second item ran on the surviving two devices.
   EXPECT_EQ(batch.items[1].result.devices.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process resume: a ResumeSpec seeded from a disk checkpoint left
+// by a "crashed" first run recovers bit-identically — the contract the
+// serve layer's durable journal builds on.
+
+TEST(RecoveryTest, ResumeSpecFromDiskCheckpointIsBitIdentical) {
+  auto [a, b] = testutil::related_pair(320, 211);
+  const std::string dir =
+      ::testing::TempDir() + "resume_spec_checkpoints";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  Pool3 pool;
+
+  EngineConfig reference_config =
+      small_blocks(core::Transport::kInProcess, core::Schedule::kRowMajor);
+  MultiDeviceEngine reference(reference_config, pool.all());
+  const auto expected = reference.run(a, b);
+
+  // First life: checkpoint to disk and capture a mid-run durable pair
+  // exactly the way the daemon folds it — min(safe_row) across the
+  // devices of the attempt plus the merged bests.
+  core::SpecialRowStore store(dir);
+  std::mutex mu;
+  std::map<int, std::pair<std::int64_t, sw::ScoreResult>> safe;
+  std::int64_t captured_row = -1;
+  sw::ScoreResult captured_best;
+  EngineConfig first_config = reference_config;
+  first_config.special_rows = &store;
+  first_config.special_row_interval = 2;
+  first_config.checkpoint_f = true;
+  first_config.progress = [&](const core::ProgressEvent& event) {
+    std::lock_guard<std::mutex> lock(mu);
+    safe[event.device_index] = {event.safe_row, event.best};
+    if (static_cast<int>(safe.size()) < event.device_count) return;
+    std::int64_t row = event.safe_row;
+    sw::ScoreResult best;
+    for (const auto& [device, pair] : safe) {
+      row = std::min(row, pair.first);
+      if (sw::improves(pair.second, best)) best = pair.second;
+    }
+    if (row >= 160 && captured_row < 0) {
+      captured_row = row;
+      captured_best = best;
+    }
+  };
+  const RecoveryResult first =
+      run_with_recovery(first_config, pool.all(), a, b);
+  EXPECT_EQ(first.result.best, expected.best);
+  ASSERT_GE(captured_row, 160);
+
+  // Second life: a fresh store revives the spill files, the resume row
+  // is probed at or below the captured pair, and the run completes
+  // from there with the carried best merged in.
+  core::SpecialRowStore revived(dir);
+  (void)revived.recover_existing();
+  const std::int64_t rows = static_cast<std::int64_t>(a.size());
+  const std::int64_t cols = static_cast<std::int64_t>(b.size());
+  const std::int64_t probe = revived.last_restartable_row(
+      cols, std::min(captured_row + 1, rows - 1));
+  ASSERT_GT(probe, 0);
+  core::ResumeSpec resume;
+  resume.row = probe;
+  resume.carried_best = captured_best;
+  EngineConfig second_config = reference_config;
+  second_config.special_rows = &revived;
+  second_config.special_row_interval = 2;
+  second_config.checkpoint_f = true;
+  const RecoveryResult second = run_with_recovery(
+      second_config, pool.all(), a, b, RecoveryPolicy{},
+      /*fleet=*/nullptr, &resume);
+  EXPECT_EQ(second.result.best, expected.best);
 }
 
 TEST(RecoveryTest, ReportCarriesRecoveryFields) {

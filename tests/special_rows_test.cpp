@@ -173,5 +173,53 @@ TEST(SpecialRowsDiskTest, LastRestartableRowSkipsCorruptRows) {
   EXPECT_EQ(store.last_restartable_row(2), 31);
 }
 
+// --- recover_existing: reviving another process's spill files --------------
+
+TEST(SpecialRowsDiskTest, RecoverExistingRevivesIntactRows) {
+  const std::string dir = make_spill_dir("recover_intact");
+  {
+    core::SpecialRowStore store(dir);
+    store.save_segment(31, 0, {1, 2, 3}, {-1, -1, -1});
+    store.save_segment(63, 0, {4, 5}, {-2, -2});
+    store.save_segment(63, 2, {6}, {-2});
+  }  // the writing process "dies"; the files stay behind
+  core::SpecialRowStore revived(dir);
+  const auto report = revived.recover_existing();
+  EXPECT_EQ(report.rows, 2);
+  EXPECT_EQ(report.truncated_bytes, 0);
+  EXPECT_EQ(revived.rows(), (std::vector<std::int64_t>{31, 63}));
+  EXPECT_EQ(revived.assemble_row(63, 3),
+            (std::vector<sw::Score>{4, 5, 6}));
+  EXPECT_EQ(revived.last_restartable_row(3), 63);
+}
+
+TEST(SpecialRowsDiskTest, RecoverExistingTruncatesCorruptTail) {
+  const std::string dir = make_spill_dir("recover_torn");
+  {
+    core::SpecialRowStore store(dir);
+    store.save_segment(31, 0, {1, 2}, {-1, -1});
+    store.save_segment(63, 0, {3, 4}, {-2, -2});
+  }
+  // Tear the newest row file mid-record, as a crash mid-write would.
+  const std::string path = dir + "/row_63.srw";
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 5);
+  core::SpecialRowStore revived(dir);
+  const auto report = revived.recover_existing();
+  EXPECT_GT(report.truncated_bytes, 0);
+  // Row 31 survives untouched; the torn row 63 lost its only record,
+  // so it no longer qualifies as a checkpoint.
+  EXPECT_EQ(revived.last_restartable_row(2), 31);
+}
+
+TEST(SpecialRowsDiskTest, RecoverExistingOnFreshDirIsEmpty) {
+  core::SpecialRowStore store(make_spill_dir("recover_fresh"));
+  const auto report = store.recover_existing();
+  EXPECT_EQ(report.rows, 0);
+  EXPECT_EQ(report.segments, 0);
+  EXPECT_EQ(report.truncated_bytes, 0);
+  EXPECT_TRUE(store.rows().empty());
+}
+
 }  // namespace
 }  // namespace mgpusw
